@@ -1,0 +1,268 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure (plus the §4 validations and ablations). Each benchmark runs a
+// complete experiment per iteration at a reduced scale and reports the
+// paper's figures of merit (rounds, messages per node, estimates per
+// node) through b.ReportMetric, so `go test -bench=.` both measures the
+// implementation and re-derives the paper's qualitative results. The full
+// paper-scale tables are produced by cmd/kcore-bench.
+package dkcore_test
+
+import (
+	"testing"
+
+	"dkcore"
+	"dkcore/internal/bench"
+	"dkcore/internal/core"
+	"dkcore/internal/dataset"
+	"dkcore/internal/kcore"
+)
+
+// benchScale keeps per-iteration work around tens of milliseconds.
+const benchScale = 0.15
+
+func benchGraph(b *testing.B, key string) *dkcore.Graph {
+	b.Helper()
+	d, err := dataset.ByKey(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d.Build(benchScale, 1)
+}
+
+// BenchmarkTable1 runs the Table-1 measurement (one-to-one protocol) on
+// each dataset analogue.
+func BenchmarkTable1(b *testing.B) {
+	for _, key := range dataset.Keys() {
+		b.Run(key, func(b *testing.B) {
+			g := benchGraph(b, key)
+			var rounds, msgsPerNode float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := dkcore.DecomposeOneToOne(g, dkcore.WithSeed(int64(i+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = float64(res.ExecutionTime)
+				msgsPerNode = float64(res.TotalMessages) / float64(g.NumNodes())
+			}
+			b.ReportMetric(rounds, "rounds")
+			b.ReportMetric(msgsPerNode, "msgs/node")
+		})
+	}
+}
+
+// BenchmarkTable2 reproduces the per-core convergence measurement on the
+// web-BerkStan analogue.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Table2(bench.Config{Scale: benchScale, Reps: 1, Seed: int64(i + 1)}, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ExecutionTime), "rounds")
+		b.ReportMetric(float64(len(res.Cores)), "delayed-shells")
+	}
+}
+
+// BenchmarkFigure4 measures an error-trace run (average/maximum error per
+// round against the sequential ground truth).
+func BenchmarkFigure4(b *testing.B) {
+	g := benchGraph(b, "gnutella")
+	truth := dkcore.Decompose(g).CorenessValues()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dkcore.DecomposeOneToOne(g,
+			dkcore.WithSeed(int64(i+1)),
+			dkcore.WithGroundTruth(truth),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The paper's observation: max error <= 1 within ~22 rounds.
+		roundsToMaxErr1 := len(res.MaxErrorTrace)
+		for r, e := range res.MaxErrorTrace {
+			if e <= 1 {
+				roundsToMaxErr1 = r + 1
+				break
+			}
+		}
+		b.ReportMetric(float64(roundsToMaxErr1), "rounds-to-maxerr<=1")
+	}
+}
+
+// BenchmarkFigure5 measures the one-to-many overhead at a representative
+// host count for both dissemination policies.
+func BenchmarkFigure5(b *testing.B) {
+	modes := []struct {
+		name string
+		mode dkcore.Dissemination
+	}{
+		{"broadcast", dkcore.Broadcast},
+		{"point-to-point", dkcore.PointToPoint},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			g := benchGraph(b, "astroph")
+			var overhead float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := dkcore.DecomposeOneToMany(g, dkcore.ModuloAssignment{H: 64},
+					dkcore.WithSeed(int64(i+1)), dkcore.WithDissemination(m.mode))
+				if err != nil {
+					b.Fatal(err)
+				}
+				overhead = float64(res.EstimatesSent) / float64(g.NumNodes())
+			}
+			b.ReportMetric(overhead, "estimates/node")
+		})
+	}
+}
+
+// BenchmarkWorstCase validates and times the §4.2 exact-round-count runs.
+func BenchmarkWorstCase(b *testing.B) {
+	g := dkcore.GenerateWorstCase(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dkcore.DecomposeOneToOne(g, dkcore.WithDelivery(dkcore.DeliverNextRound))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RoundsToQuiescence != 127 {
+			b.Fatalf("worst case rounds = %d, want 127", res.RoundsToQuiescence)
+		}
+	}
+	b.ReportMetric(127, "rounds")
+}
+
+// BenchmarkSendOptimizationAblation measures the §3.1.2 optimization's
+// message reduction.
+func BenchmarkSendOptimizationAblation(b *testing.B) {
+	g := benchGraph(b, "condmat")
+	var reduction float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := dkcore.WithSeed(int64(i + 1))
+		plain, err := dkcore.DecomposeOneToOne(g, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err := dkcore.DecomposeOneToOne(g, seed, dkcore.WithSendOptimization(true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = 100 * (1 - float64(opt.TotalMessages)/float64(plain.TotalMessages))
+	}
+	b.ReportMetric(reduction, "%-saved")
+}
+
+// BenchmarkAssignmentAblation compares node-to-host assignment policies
+// (extension bench called out in DESIGN.md).
+func BenchmarkAssignmentAblation(b *testing.B) {
+	g := benchGraph(b, "astroph")
+	n := g.NumNodes()
+	policies := []struct {
+		name   string
+		assign dkcore.Assignment
+	}{
+		{"modulo", dkcore.ModuloAssignment{H: 16}},
+		{"block", dkcore.BlockAssignment{N: n, H: 16}},
+		{"random", dkcore.NewRandomAssignment(n, 16, 1)},
+	}
+	for _, p := range policies {
+		b.Run(p.name, func(b *testing.B) {
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				res, err := dkcore.DecomposeOneToMany(g, p.assign,
+					dkcore.WithSeed(int64(i+1)),
+					dkcore.WithDissemination(dkcore.PointToPoint))
+				if err != nil {
+					b.Fatal(err)
+				}
+				overhead = float64(res.EstimatesSent) / float64(n)
+			}
+			b.ReportMetric(overhead, "estimates/node")
+		})
+	}
+}
+
+// BenchmarkSequentialBaseline times the Batagelj–Zaversnik O(m)
+// decomposition used as ground truth.
+func BenchmarkSequentialBaseline(b *testing.B) {
+	for _, key := range []string{"astroph", "berkstan", "roadnet"} {
+		b.Run(key, func(b *testing.B) {
+			g := benchGraph(b, key)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kcore.Decompose(g)
+			}
+			b.ReportMetric(float64(g.NumEdges()), "edges")
+		})
+	}
+}
+
+// BenchmarkLiveAsync times the goroutine-per-node asynchronous runtime.
+func BenchmarkLiveAsync(b *testing.B) {
+	g := benchGraph(b, "gnutella")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dkcore.DecomposeLive(g, dkcore.WithLiveSendOptimization(true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Messages)/float64(g.NumNodes()), "msgs/node")
+	}
+}
+
+// BenchmarkPregelKCore times the vertex-program deployment (§6 future
+// work) against the same workload as the simulator benchmarks.
+func BenchmarkPregelKCore(b *testing.B) {
+	g := benchGraph(b, "gnutella")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coreness, supersteps, err := dkcore.DecomposePregel(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = coreness
+		b.ReportMetric(float64(supersteps), "supersteps")
+	}
+}
+
+// BenchmarkLossRecovery measures the cost of exact convergence under 30%
+// message loss with retransmission every 2 rounds (extension bench).
+func BenchmarkLossRecovery(b *testing.B) {
+	g := benchGraph(b, "gnutella")
+	truth := dkcore.Decompose(g).CorenessValues()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dkcore.DecomposeOneToOne(g,
+			dkcore.WithSeed(int64(i+1)),
+			dkcore.WithLoss(0.3),
+			dkcore.WithRetransmitEvery(2),
+			dkcore.WithMaxRounds(200),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for u := range truth {
+			if res.Coreness[u] != truth[u] {
+				b.Fatalf("not exact under loss at node %d", u)
+			}
+		}
+		b.ReportMetric(float64(res.TotalMessages)/float64(g.NumNodes()), "msgs/node")
+	}
+}
+
+// BenchmarkComputeIndex micro-benchmarks Algorithm 2, the per-message hot
+// path of every protocol variant.
+func BenchmarkComputeIndex(b *testing.B) {
+	est := make([]int, 64)
+	for i := range est {
+		est[i] = (i * 7) % 40
+	}
+	count := make([]int, 41)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ComputeIndex(est, 40, count)
+	}
+}

@@ -1,0 +1,118 @@
+// Command kcore-bench regenerates the paper's evaluation: every table and
+// figure of §5 plus the §4 worst-case validation and the §3.1.2
+// send-optimization ablation, printed as paper-style tables with the
+// published numbers alongside for comparison.
+//
+// Usage:
+//
+//	kcore-bench -exp all                 # everything, default scale
+//	kcore-bench -exp table1 -reps 50     # Table 1 with the paper's 50 reps
+//	kcore-bench -exp fig5 -datasets astroph,berkstan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dkcore/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kcore-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("kcore-bench", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment: table1, table2, fig4, fig5, worstcase, ablation, assignment, all")
+		scale    = fs.Float64("scale", 1.0, "dataset scale factor")
+		reps     = fs.Int("reps", 10, "repetitions per measurement (paper: 50 for Table 1, 20 for Figure 5)")
+		seed     = fs.Int64("seed", 1, "base seed")
+		datasets = fs.String("datasets", "", "comma-separated dataset keys (default: all)")
+		step     = fs.Int("step", 25, "round sampling step for table2")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := bench.Config{Scale: *scale, Reps: *reps, Seed: *seed}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	experiments := strings.Split(*exp, ",")
+	if *exp == "all" {
+		experiments = []string{"table1", "table2", "fig4", "fig5", "worstcase", "ablation", "assignment"}
+	}
+	for _, e := range experiments {
+		start := time.Now()
+		if err := runOne(e, cfg, *step, w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n[%s done in %v]\n", e, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runOne(exp string, cfg bench.Config, step int, w io.Writer) error {
+	switch exp {
+	case "table1":
+		fmt.Fprintf(w, "\n=== Table 1: one-to-one protocol performance (reps=%d, scale=%.2f) ===\n\n",
+			cfg.WithDefaults().Reps, cfg.WithDefaults().Scale)
+		rows, err := bench.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		return bench.WriteTable1(w, rows)
+	case "table2":
+		fmt.Fprintf(w, "\n=== Table 2: per-core convergence on web-BerkStan analogue ===\n\n")
+		res, err := bench.Table2(cfg, step)
+		if err != nil {
+			return err
+		}
+		return bench.WriteTable2(w, res)
+	case "fig4":
+		fmt.Fprintf(w, "\n=== Figure 4: error evolution over rounds ===\n")
+		series, err := bench.Figure4(cfg)
+		if err != nil {
+			return err
+		}
+		return bench.WriteFigure4(w, series)
+	case "fig5":
+		fmt.Fprintf(w, "\n=== Figure 5: one-to-many overhead vs hosts ===\n")
+		series, err := bench.Figure5(cfg, nil)
+		if err != nil {
+			return err
+		}
+		return bench.WriteFigure5(w, series)
+	case "worstcase":
+		fmt.Fprintf(w, "\n=== §4.2 validation: worst-case family and chains ===\n\n")
+		rows, err := bench.WorstCase(nil)
+		if err != nil {
+			return err
+		}
+		return bench.WriteWorstCase(w, rows)
+	case "ablation":
+		fmt.Fprintf(w, "\n=== §3.1.2 ablation: send optimization ===\n\n")
+		rows, err := bench.SendOptimizationAblation(cfg)
+		if err != nil {
+			return err
+		}
+		return bench.WriteAblation(w, rows)
+	case "assignment":
+		fmt.Fprintf(w, "\n=== extension: assignment policy ablation ===\n\n")
+		rows, err := bench.AssignmentAblation(cfg)
+		if err != nil {
+			return err
+		}
+		return bench.WriteAssignment(w, rows)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyExperiments(t *testing.T) {
+	// Exercise each experiment at minuscule scale to keep the test fast.
+	tests := []struct {
+		exp  string
+		want string // substring that must appear in the report
+	}{
+		{"table1", "(paper)"},
+		{"table2", "execution time"},
+		{"fig4", "avg err"},
+		{"worstcase", "want N-1"},
+		{"ablation", "reduction"},
+		{"assignment", "modulo (paper)"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.exp, func(t *testing.T) {
+			var out bytes.Buffer
+			args := []string{"-exp", tt.exp, "-scale", "0.04", "-reps", "2",
+				"-datasets", "gnutella,berkstan"}
+			if tt.exp == "assignment" {
+				args = []string{"-exp", tt.exp, "-scale", "0.04", "-reps", "2", "-datasets", "gnutella"}
+			}
+			if err := run(args, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), tt.want) {
+				t.Fatalf("%s output missing %q:\n%s", tt.exp, tt.want, out.String())
+			}
+		})
+	}
+}
+
+func TestRunFig5Tiny(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "fig5", "-scale", "0.04", "-reps", "1", "-datasets", "gnutella"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "broadcast medium") ||
+		!strings.Contains(out.String(), "point-to-point") {
+		t.Fatalf("fig5 output missing panels:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Fatalf("unknown experiment accepted")
+	}
+}

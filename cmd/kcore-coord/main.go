@@ -1,0 +1,97 @@
+// Command kcore-coord runs the coordinator of a networked one-to-many
+// deployment: it loads a graph, waits for -hosts kcore-host workers to
+// connect, drives the protocol to termination, and prints the coreness.
+//
+// Usage:
+//
+//	kcore-coord -in graph.txt -hosts 4 -listen 127.0.0.1:7070
+//
+// then start four workers:
+//
+//	kcore-host -coord 127.0.0.1:7070
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dkcore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kcore-coord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kcore-coord", flag.ContinueOnError)
+	var (
+		in        = fs.String("in", "-", "input edge list file, or - for stdin")
+		hosts     = fs.Int("hosts", 2, "number of host workers to wait for")
+		listen    = fs.String("listen", "127.0.0.1:7070", "address to listen on")
+		histogram = fs.Bool("histogram", false, "print shell-size histogram instead of per-node coreness")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, origID, err := dkcore.ReadEdgeList(bufio.NewReader(r))
+	if err != nil {
+		return err
+	}
+
+	coord, err := dkcore.NewCoordinator(dkcore.ClusterConfig{
+		Graph:      g,
+		NumHosts:   *hosts,
+		ListenAddr: *listen,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kcore-coord: listening on %s, waiting for %d hosts\n", coord.Addr(), *hosts)
+	res, err := coord.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kcore-coord: converged in %d rounds, %d estimates shipped\n",
+		res.Rounds, res.EstimatesSent)
+
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	if *histogram {
+		maxK := 0
+		for _, k := range res.Coreness {
+			if k > maxK {
+				maxK = k
+			}
+		}
+		sizes := make([]int, maxK+1)
+		for _, k := range res.Coreness {
+			sizes[k]++
+		}
+		for k, n := range sizes {
+			if n > 0 {
+				fmt.Fprintf(w, "%d %d\n", k, n)
+			}
+		}
+		return nil
+	}
+	for u, k := range res.Coreness {
+		fmt.Fprintf(w, "%d %d\n", origID[u], k)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command kcore-gen generates graphs: either a synthetic analogue of one
+// of the paper's nine datasets, or a parameterized random family.
+//
+// Usage:
+//
+//	kcore-gen -dataset berkstan -scale 1.0 -out g.txt
+//	kcore-gen -family gnm -n 10000 -m 50000 -out g.txt
+//	kcore-gen -family worstcase -n 64 -format binary -out g.bin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dkcore"
+	"dkcore/internal/dataset"
+	"dkcore/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kcore-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kcore-gen", flag.ContinueOnError)
+	var (
+		dsKey  = fs.String("dataset", "", "dataset analogue to generate ("+fmt.Sprint(dataset.Keys())+")")
+		family = fs.String("family", "", "random family: gnm, gnp, ba, ws, grid, chain, complete, worstcase")
+		n      = fs.Int("n", 1000, "node count (family generators)")
+		m      = fs.Int("m", 5000, "edge count (gnm)")
+		p      = fs.Float64("p", 0.01, "edge probability (gnp) / rewiring (ws)")
+		k      = fs.Int("k", 4, "attachment (ba) / lattice degree (ws) / grid columns")
+		scale  = fs.Float64("scale", 1.0, "dataset scale factor")
+		seed   = fs.Int64("seed", 1, "generator seed")
+		format = fs.String("format", "text", "output format: text or binary")
+		out    = fs.String("out", "-", "output file, or - for stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *dkcore.Graph
+	switch {
+	case *dsKey != "":
+		d, err := dataset.ByKey(*dsKey)
+		if err != nil {
+			return err
+		}
+		g = d.Build(*scale, *seed)
+	case *family != "":
+		var err error
+		g, err = buildFamily(*family, *n, *m, *p, *k, *seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -dataset or -family is required")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	switch *format {
+	case "text":
+		return graph.WriteEdgeList(bw, g)
+	case "binary":
+		return graph.WriteBinary(bw, g)
+	default:
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+}
+
+func buildFamily(family string, n, m int, p float64, k int, seed int64) (*dkcore.Graph, error) {
+	switch family {
+	case "gnm":
+		return dkcore.GenerateGNM(n, m, seed), nil
+	case "gnp":
+		return dkcore.GenerateGNP(n, p, seed), nil
+	case "ba":
+		return dkcore.GenerateBarabasiAlbert(n, k, seed), nil
+	case "ws":
+		return dkcore.GenerateWattsStrogatz(n, k, p, seed), nil
+	case "grid":
+		return dkcore.GenerateGrid(n, k), nil
+	case "chain":
+		return dkcore.GenerateChain(n), nil
+	case "complete":
+		return dkcore.GenerateComplete(n), nil
+	case "worstcase":
+		return dkcore.GenerateWorstCase(n), nil
+	default:
+		return nil, fmt.Errorf("unknown -family %q", family)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dkcore"
+)
+
+func TestGenerateDatasetToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.txt")
+	err := run([]string{"-dataset", "gnutella", "-scale", "0.02", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, _, err := dkcore.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatalf("generated graph has no edges")
+	}
+}
+
+func TestGenerateFamilyBinaryRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.bin")
+	err := run([]string{"-family", "worstcase", "-n", "20", "-format", "binary", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := dkcore.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 20 {
+		t.Fatalf("nodes = %d, want 20", g.NumNodes())
+	}
+	if g.Degree(19) != 18 {
+		t.Fatalf("hub degree = %d, want 18", g.Degree(19))
+	}
+}
+
+func TestGenerateAllFamilies(t *testing.T) {
+	for _, fam := range []string{"gnm", "gnp", "ba", "ws", "grid", "chain", "complete", "worstcase"} {
+		t.Run(fam, func(t *testing.T) {
+			out := filepath.Join(t.TempDir(), fam+".txt")
+			args := []string{"-family", fam, "-n", "24", "-m", "40", "-k", "4", "-p", "0.2", "-out", out}
+			if err := run(args); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(string(data), "#") {
+				t.Fatalf("missing header comment")
+			}
+		})
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	tests := [][]string{
+		{},
+		{"-dataset", "nope"},
+		{"-family", "nope"},
+		{"-dataset", "gnutella", "-format", "nope", "-out", filepath.Join(t.TempDir(), "x")},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

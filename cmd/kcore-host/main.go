@@ -1,0 +1,44 @@
+// Command kcore-host runs one host worker of a networked one-to-many
+// deployment. It connects to a kcore-coord coordinator, receives its
+// graph partition, exchanges estimate batches with peer hosts, and exits
+// when the coordinator signals termination.
+//
+// Usage:
+//
+//	kcore-host -coord 127.0.0.1:7070 [-listen 127.0.0.1:0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dkcore"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kcore-host:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kcore-host", flag.ContinueOnError)
+	var (
+		coord  = fs.String("coord", "127.0.0.1:7070", "coordinator address")
+		listen = fs.String("listen", "127.0.0.1:0", "address to listen on for peer hosts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	estimates, err := dkcore.RunHost(dkcore.HostConfig{
+		CoordinatorAddr: *coord,
+		ListenAddr:      *listen,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kcore-host: done, owned %d nodes\n", len(estimates))
+	return nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fig2File writes the paper's §3.1.1 example graph to a temp file using
+// its original 1-based labels.
+func fig2File(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	content := "# paper fig 2\n1 2\n2 3\n2 4\n3 4\n3 5\n4 5\n5 6\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunModes(t *testing.T) {
+	path := fig2File(t)
+	want := map[string]string{
+		"1": "1", "2": "2", "3": "2", "4": "2", "5": "2", "6": "1",
+	}
+	for _, mode := range []string{"seq", "one2one", "one2many", "live"} {
+		t.Run(mode, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run([]string{"-in", path, "-mode", mode}, &out); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+			if len(lines) != 6 {
+				t.Fatalf("got %d lines:\n%s", len(lines), out.String())
+			}
+			for _, line := range lines {
+				fields := strings.Fields(line)
+				if len(fields) != 2 {
+					t.Fatalf("bad line %q", line)
+				}
+				if want[fields[0]] != fields[1] {
+					t.Fatalf("node %s: coreness %s, want %s", fields[0], fields[1], want[fields[0]])
+				}
+			}
+		})
+	}
+}
+
+func TestRunHistogram(t *testing.T) {
+	path := fig2File(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-histogram"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(out.String())
+	// Shells: two nodes of coreness 1, four of coreness 2.
+	if got != "1 2\n2 4" {
+		t.Fatalf("histogram = %q", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := fig2File(t)
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown mode", []string{"-in", path, "-mode", "nope"}},
+		{"missing file", []string{"-in", filepath.Join(t.TempDir(), "absent.txt")}},
+		{"bad hosts", []string{"-in", path, "-mode", "one2many", "-hosts", "0"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tt.args, &out); err == nil {
+				t.Fatalf("no error")
+			}
+		})
+	}
+}

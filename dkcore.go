@@ -1,0 +1,239 @@
+// Package dkcore is a from-scratch Go implementation of the distributed
+// k-core decomposition algorithms of Montresor, De Pellegrini and
+// Miorandi (PODC 2011), together with everything needed to reproduce the
+// paper's evaluation: a sequential baseline, a round-based simulator, a
+// live goroutine runtime, a networked cluster deployment, graph
+// generators, and synthetic analogues of the paper's datasets.
+//
+// # Quick start
+//
+// Build a graph, decompose it sequentially, and compare with a
+// distributed run:
+//
+//	b := dkcore.NewBuilder(0)
+//	b.AddEdge(0, 1)
+//	b.AddEdge(1, 2)
+//	g := b.Build()
+//
+//	dec := dkcore.Decompose(g)             // Batagelj–Zaversnik baseline
+//	res, err := dkcore.DecomposeOneToOne(g) // simulated distributed run
+//
+// The one-to-one scenario simulates one process per graph node
+// (Algorithm 1 of the paper); the one-to-many scenario groups nodes onto
+// hosts (Algorithm 3):
+//
+//	res, err := dkcore.DecomposeOneToMany(g, dkcore.ModuloAssignment{H: 8},
+//	    dkcore.WithDissemination(dkcore.PointToPoint))
+//
+// For an actually concurrent execution — one goroutine per node,
+// asynchronous messages, centralized termination detection — use
+// DecomposeLive. For deployment across OS processes and machines, see
+// NewCoordinator / RunHost (and the cmd/kcore-coord, cmd/kcore-host
+// binaries).
+package dkcore
+
+import (
+	"io"
+
+	"dkcore/internal/cluster"
+	"dkcore/internal/core"
+	"dkcore/internal/graph"
+	"dkcore/internal/kcore"
+	"dkcore/internal/live"
+	"dkcore/internal/pregel"
+	"dkcore/internal/sim"
+)
+
+// Graph is an immutable undirected simple graph in CSR form; construct
+// one with a Builder, FromEdges, or the readers below.
+type Graph = graph.Graph
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder = graph.Builder
+
+// Decomposition is the result of a sequential k-core decomposition.
+type Decomposition = kcore.Decomposition
+
+// Result reports a simulated distributed run: the computed coreness and
+// the paper's performance metrics (execution time in rounds, message
+// counts, error traces).
+type Result = core.Result
+
+// LiveResult reports a live (goroutine-based) run.
+type LiveResult = live.Result
+
+// Assignment maps graph nodes to responsible hosts (the paper's h(u)).
+type Assignment = core.Assignment
+
+// ModuloAssignment is the paper's node-to-host policy: host(u) = u mod H.
+type ModuloAssignment = core.ModuloAssignment
+
+// BlockAssignment assigns contiguous node ranges to hosts.
+type BlockAssignment = core.BlockAssignment
+
+// Option configures a simulated distributed run.
+type Option = core.Option
+
+// Dissemination selects the one-to-many update-shipping policy.
+type Dissemination = core.Dissemination
+
+// Dissemination policies (§3.2.1 of the paper).
+const (
+	// Broadcast ships one batch per round over a broadcast medium.
+	Broadcast = core.Broadcast
+	// PointToPoint ships per-destination batches (Algorithm 5).
+	PointToPoint = core.PointToPoint
+)
+
+// DeliveryMode selects the simulator's message-visibility discipline.
+type DeliveryMode = sim.DeliveryMode
+
+// Delivery modes for WithDelivery.
+const (
+	// DeliverNextRound is strict synchrony (the §4 analysis model).
+	DeliverNextRound = sim.DeliverNextRound
+	// DeliverSameRound is PeerSim-style cycle-driven delivery (the §5
+	// experimental model and the default).
+	DeliverSameRound = sim.DeliverSameRound
+)
+
+// NewBuilder returns a Builder for a graph with at least n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph with n nodes from an undirected edge list.
+func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
+
+// ReadEdgeList parses a whitespace-separated edge list ('#'/'%' comments
+// allowed), remapping arbitrary IDs to dense ones; origID maps back.
+func ReadEdgeList(r io.Reader) (g *Graph, origID []int64, err error) {
+	return graph.ReadEdgeList(r)
+}
+
+// WriteEdgeList writes g as a plain "u v" edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReadBinary reads the compact binary graph format.
+func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteBinary writes the compact binary graph format.
+func WriteBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// Decompose computes the exact k-core decomposition with the centralized
+// Batagelj–Zaversnik O(m) algorithm — the paper's baseline and the ground
+// truth for error traces.
+func Decompose(g *Graph) *Decomposition { return kcore.Decompose(g) }
+
+// VerifyLocality checks the paper's Theorem 1 on a claimed coreness
+// assignment.
+func VerifyLocality(g *Graph, coreness []int) error { return kcore.VerifyLocality(g, coreness) }
+
+// DecomposeOneToOne runs the simulated one-to-one protocol (Algorithm 1):
+// one process per node.
+func DecomposeOneToOne(g *Graph, opts ...Option) (*Result, error) {
+	return core.RunOneToOne(g, opts...)
+}
+
+// DecomposeOneToMany runs the simulated one-to-many protocol
+// (Algorithm 3) over the hosts defined by the assignment.
+func DecomposeOneToMany(g *Graph, assign Assignment, opts ...Option) (*Result, error) {
+	return core.RunOneToMany(g, assign, opts...)
+}
+
+// WithSeed sets the seed for the run's randomized operation order.
+func WithSeed(seed int64) Option { return core.WithSeed(seed) }
+
+// WithMaxRounds overrides the round budget.
+func WithMaxRounds(n int) Option { return core.WithMaxRounds(n) }
+
+// WithDelivery selects DeliverNextRound or DeliverSameRound.
+func WithDelivery(mode DeliveryMode) Option { return core.WithDelivery(mode) }
+
+// WithSendOptimization toggles the §3.1.2 message filter.
+func WithSendOptimization(on bool) Option { return core.WithSendOptimization(on) }
+
+// WithDissemination selects Broadcast or PointToPoint (one-to-many).
+func WithDissemination(d Dissemination) Option { return core.WithDissemination(d) }
+
+// WithGroundTruth enables per-round error traces against the given true
+// coreness values.
+func WithGroundTruth(coreness []int) Option { return core.WithGroundTruth(coreness) }
+
+// WithSnapshot observes per-node estimates at the end of each round. The
+// slice is reused between calls and must not be retained.
+func WithSnapshot(fn func(round int, estimates []int)) Option { return core.WithSnapshot(fn) }
+
+// WithLoss drops each message independently with the given probability —
+// an extension past the paper's reliable-channel assumption. Combine
+// with WithRetransmitEvery to keep convergence exact.
+func WithLoss(rate float64) Option { return core.WithLoss(rate) }
+
+// WithRetransmitEvery rebroadcasts current estimates every k rounds even
+// when unchanged (one-to-one only), restoring liveness under loss. Such
+// runs execute exactly the WithMaxRounds budget.
+func WithRetransmitEvery(k int) Option { return core.WithRetransmitEvery(k) }
+
+// NewRandomAssignment assigns each node to a uniformly random host.
+func NewRandomAssignment(n, h int, seed int64) Assignment {
+	return core.NewRandomAssignment(n, h, seed)
+}
+
+// DecomposeLive runs the protocol with one goroutine per node and
+// asynchronous message passing, detecting termination with the
+// centralized credit-counting approach. The result is exact.
+func DecomposeLive(g *Graph, opts ...live.Option) (*LiveResult, error) {
+	return live.Decompose(g, opts...)
+}
+
+// DecomposeLiveRounds runs the live runtime for a fixed number of
+// δ-rounds (the paper's fixed-round termination), returning possibly
+// approximate estimates.
+func DecomposeLiveRounds(g *Graph, rounds int, opts ...live.Option) (*LiveResult, error) {
+	return live.DecomposeRounds(g, rounds, opts...)
+}
+
+// DecomposeLiveEpidemic runs the live runtime with the decentralized
+// epidemic termination detector (quiet = required silence window).
+func DecomposeLiveEpidemic(g *Graph, quiet int, opts ...live.Option) (*LiveResult, error) {
+	return live.DecomposeEpidemic(g, quiet, opts...)
+}
+
+// LiveOption configures the live runtime.
+type LiveOption = live.Option
+
+// WithLiveSendOptimization toggles the §3.1.2 filter in live runs.
+func WithLiveSendOptimization(on bool) LiveOption { return live.WithSendOptimization(on) }
+
+// WithLiveSeed seeds the epidemic detector's gossip.
+func WithLiveSeed(seed int64) LiveOption { return live.WithSeed(seed) }
+
+// WithLiveWorkers bounds worker parallelism of the round-based live
+// modes (0 = GOMAXPROCS).
+func WithLiveWorkers(n int) LiveOption { return live.WithWorkers(n) }
+
+// DecomposePregel runs the protocol as a vertex program on the built-in
+// Pregel-style BSP engine — the deployment path the paper's conclusions
+// (§6) propose. It returns the exact coreness and the number of
+// supersteps the program took.
+func DecomposePregel(g *Graph) (coreness []int, supersteps int, err error) {
+	coreness, res, err := pregel.KCore(g)
+	return coreness, res.Supersteps, err
+}
+
+// ClusterConfig configures a networked coordinator.
+type ClusterConfig = cluster.CoordinatorConfig
+
+// ClusterResult is the outcome of a networked run.
+type ClusterResult = cluster.Result
+
+// Coordinator drives a networked one-to-many deployment.
+type Coordinator = cluster.Coordinator
+
+// HostConfig configures a networked host worker.
+type HostConfig = cluster.HostConfig
+
+// NewCoordinator starts a coordinator listening for host workers.
+func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) { return cluster.NewCoordinator(cfg) }
+
+// RunHost joins a networked cluster and serves a partition until the
+// coordinator signals termination.
+func RunHost(cfg HostConfig) (map[int]int, error) { return cluster.RunHost(cfg) }

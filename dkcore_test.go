@@ -1,0 +1,208 @@
+package dkcore_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dkcore"
+)
+
+// paperFig2 is the worked example from §3.1.1 of the paper.
+func paperFig2() *dkcore.Graph {
+	return dkcore.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}, {4, 5},
+	})
+}
+
+func TestPublicSequentialAPI(t *testing.T) {
+	g := paperFig2()
+	dec := dkcore.Decompose(g)
+	want := []int{1, 2, 2, 2, 2, 1}
+	for u, w := range want {
+		if dec.Coreness(u) != w {
+			t.Fatalf("node %d: coreness %d, want %d", u, dec.Coreness(u), w)
+		}
+	}
+	if err := dkcore.VerifyLocality(g, dec.CorenessValues()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicDistributedAPI(t *testing.T) {
+	g := paperFig2()
+	truth := dkcore.Decompose(g).CorenessValues()
+
+	one, err := dkcore.DecomposeOneToOne(g,
+		dkcore.WithSeed(3),
+		dkcore.WithSendOptimization(true),
+		dkcore.WithGroundTruth(truth),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := dkcore.DecomposeOneToMany(g, dkcore.ModuloAssignment{H: 2},
+		dkcore.WithDissemination(dkcore.PointToPoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range truth {
+		if one.Coreness[u] != truth[u] || many.Coreness[u] != truth[u] {
+			t.Fatalf("node %d: one %d many %d truth %d", u, one.Coreness[u], many.Coreness[u], truth[u])
+		}
+	}
+	if len(one.AvgErrorTrace) == 0 {
+		t.Fatalf("ground-truth run recorded no trace")
+	}
+}
+
+func TestPublicLiveAPI(t *testing.T) {
+	g := paperFig2()
+	truth := dkcore.Decompose(g).CorenessValues()
+	res, err := dkcore.DecomposeLive(g, dkcore.WithLiveSendOptimization(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range truth {
+		if res.Coreness[u] != truth[u] {
+			t.Fatalf("live node %d: %d want %d", u, res.Coreness[u], truth[u])
+		}
+	}
+	fixed, err := dkcore.DecomposeLiveRounds(g, 50, dkcore.WithLiveWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epi, err := dkcore.DecomposeLiveEpidemic(g, 10, dkcore.WithLiveSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range truth {
+		if fixed.Coreness[u] != truth[u] || epi.Coreness[u] != truth[u] {
+			t.Fatalf("node %d: fixed %d epidemic %d truth %d", u, fixed.Coreness[u], epi.Coreness[u], truth[u])
+		}
+	}
+}
+
+func TestPublicIOAPI(t *testing.T) {
+	in := "0 1\n1 2\n"
+	g, orig, err := dkcore.ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || len(orig) != 3 {
+		t.Fatalf("parsed %d edges %d ids", g.NumEdges(), len(orig))
+	}
+	var text, bin bytes.Buffer
+	if err := dkcore.WriteEdgeList(&text, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := dkcore.WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := dkcore.ReadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(g2) {
+		t.Fatalf("binary round trip changed the graph")
+	}
+}
+
+func TestPublicClusterAPI(t *testing.T) {
+	g := paperFig2()
+	truth := dkcore.Decompose(g).CorenessValues()
+	coord, err := dkcore.NewCoordinator(dkcore.ClusterConfig{Graph: g, NumHosts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := dkcore.RunHost(dkcore.HostConfig{CoordinatorAddr: coord.Addr()})
+			errs <- err
+		}()
+	}
+	res, err := coord.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for u := range truth {
+		if res.Coreness[u] != truth[u] {
+			t.Fatalf("cluster node %d: %d want %d", u, res.Coreness[u], truth[u])
+		}
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	truthOf := func(g *dkcore.Graph) []int { return dkcore.Decompose(g).CorenessValues() }
+
+	if g := dkcore.GenerateGNM(50, 100, 1); g.NumEdges() != 100 {
+		t.Fatalf("GNM edges = %d", g.NumEdges())
+	}
+	if g := dkcore.GenerateGNP(50, 0.1, 1); g.NumNodes() != 50 {
+		t.Fatalf("GNP nodes = %d", g.NumNodes())
+	}
+	if g := dkcore.GenerateBarabasiAlbert(100, 3, 1); g.MinDegree() < 3 {
+		t.Fatalf("BA min degree = %d", g.MinDegree())
+	}
+	if g := dkcore.GenerateWattsStrogatz(60, 4, 0.1, 1); g.NumNodes() != 60 {
+		t.Fatalf("WS nodes = %d", g.NumNodes())
+	}
+	if g := dkcore.GenerateCollaboration(dkcore.CollaborationConfig{
+		N: 80, Papers: 100, MinSize: 2, MaxSize: 6, SizeExponent: 2.0,
+	}, 1); g.NumNodes() != 80 {
+		t.Fatalf("collaboration nodes = %d", g.NumNodes())
+	}
+	if got := truthOf(dkcore.GenerateGrid(5, 5)); got[12] != 2 {
+		t.Fatalf("grid center coreness = %d, want 2", got[12])
+	}
+	if got := truthOf(dkcore.GenerateChain(9)); got[4] != 1 {
+		t.Fatalf("chain coreness = %d, want 1", got[4])
+	}
+	if got := truthOf(dkcore.GenerateComplete(6)); got[0] != 5 {
+		t.Fatalf("K6 coreness = %d, want 5", got[0])
+	}
+	if got := truthOf(dkcore.GenerateWorstCase(12)); got[0] != 2 {
+		t.Fatalf("worst-case coreness = %d, want 2", got[0])
+	}
+}
+
+func TestPublicPregelAPI(t *testing.T) {
+	g := dkcore.GenerateBarabasiAlbert(200, 3, 5)
+	truth := dkcore.Decompose(g).CorenessValues()
+	coreness, supersteps, err := dkcore.DecomposePregel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if supersteps < 1 {
+		t.Fatalf("supersteps = %d", supersteps)
+	}
+	for u := range truth {
+		if coreness[u] != truth[u] {
+			t.Fatalf("node %d: pregel %d want %d", u, coreness[u], truth[u])
+		}
+	}
+}
+
+func TestPublicLossAndRetransmission(t *testing.T) {
+	g := dkcore.GenerateGNM(120, 480, 3)
+	truth := dkcore.Decompose(g).CorenessValues()
+	res, err := dkcore.DecomposeOneToOne(g,
+		dkcore.WithLoss(0.3),
+		dkcore.WithRetransmitEvery(2),
+		dkcore.WithMaxRounds(300),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range truth {
+		if res.Coreness[u] != truth[u] {
+			t.Fatalf("node %d: %d want %d", u, res.Coreness[u], truth[u])
+		}
+	}
+}

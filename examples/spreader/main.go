@@ -1,0 +1,65 @@
+// Spreader: the paper's §1 motivation. On a social-network-style graph,
+// compare epidemic spreading from seeds chosen by coreness against seeds
+// chosen by degree and uniformly at random — coreness identifies the
+// influential spreaders (Kitsak et al., Nature Physics 2010), which is
+// why a live overlay would compute its own k-core decomposition.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dkcore"
+	"dkcore/internal/epidemic"
+)
+
+func main() {
+	// A collaboration-style graph: dense nucleus plus sparse periphery.
+	g := dkcore.GenerateCollaboration(dkcore.CollaborationConfig{
+		N: 4000, Papers: 5000, MinSize: 2, MaxSize: 30,
+		SizeExponent: 2.0,
+	}, 7)
+
+	// The live protocol computes coreness in-network; every node could do
+	// this at run time on the real overlay.
+	res, err := dkcore.DecomposeLive(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coreness := res.Coreness
+	degrees := make([]int, g.NumNodes())
+	for u := range degrees {
+		degrees[u] = g.Degree(u)
+	}
+
+	// Near the epidemic threshold seed placement matters most; far above
+	// it any seed reaches the giant component and the comparison washes
+	// out.
+	const (
+		seeds  = 5
+		beta   = 0.012
+		trials = 400
+	)
+	cfg := epidemic.SIRConfig{Beta: beta, Trials: trials}
+
+	byCore := epidemic.SIR(g, epidemic.TopBy(coreness, seeds), cfg, 1)
+	byDegree := epidemic.SIR(g, epidemic.TopBy(degrees, seeds), cfg, 1)
+
+	rng := rand.New(rand.NewSource(99))
+	randomSeeds := make([]int, seeds)
+	for i := range randomSeeds {
+		randomSeeds[i] = rng.Intn(g.NumNodes())
+	}
+	byRandom := epidemic.SIR(g, randomSeeds, cfg, 1)
+
+	fmt.Printf("graph: %d nodes, %d edges, max coreness %d\n",
+		g.NumNodes(), g.NumEdges(), dkcore.Decompose(g).MaxCoreness())
+	fmt.Printf("SIR (beta=%.2f, %d seeds, %d trials):\n", beta, seeds, trials)
+	fmt.Printf("  seeds by coreness: mean reach %8.1f nodes\n", byCore.MeanReach)
+	fmt.Printf("  seeds by degree:   mean reach %8.1f nodes\n", byDegree.MeanReach)
+	fmt.Printf("  random seeds:      mean reach %8.1f nodes\n", byRandom.MeanReach)
+	if byCore.MeanReach >= byRandom.MeanReach {
+		fmt.Println("coreness seeding beats random seeding, as the paper's motivation predicts")
+	}
+}

@@ -1,0 +1,51 @@
+package dkcore
+
+import (
+	"dkcore/internal/gen"
+)
+
+// This file re-exports the deterministic graph generators most useful to
+// library consumers: the synthetic families used throughout the paper's
+// evaluation plus the structured graphs from its theory sections. Every
+// generator is a pure function of its parameters and seed.
+
+// GenerateGNM returns an Erdős–Rényi G(n, m) graph with exactly m edges.
+func GenerateGNM(n, m int, seed int64) *Graph { return gen.GNM(n, m, seed) }
+
+// GenerateGNP returns an Erdős–Rényi G(n, p) graph.
+func GenerateGNP(n int, p float64, seed int64) *Graph { return gen.GNP(n, p, seed) }
+
+// GenerateBarabasiAlbert returns a preferential-attachment graph where
+// each new node attaches to `attach` existing nodes.
+func GenerateBarabasiAlbert(n, attach int, seed int64) *Graph {
+	return gen.BarabasiAlbert(n, attach, seed)
+}
+
+// GenerateWattsStrogatz returns a small-world ring lattice with degree k
+// and rewiring probability beta.
+func GenerateWattsStrogatz(n, k int, beta float64, seed int64) *Graph {
+	return gen.WattsStrogatz(n, k, beta, seed)
+}
+
+// CollaborationConfig parameterizes GenerateCollaboration.
+type CollaborationConfig = gen.CollaborationConfig
+
+// GenerateCollaboration returns a co-authorship-style clique-cover graph
+// (the analogue of the paper's CA-* datasets).
+func GenerateCollaboration(cfg CollaborationConfig, seed int64) *Graph {
+	return gen.Collaboration(cfg, seed)
+}
+
+// GenerateGrid returns the rows×cols lattice (roadNet-like).
+func GenerateGrid(rows, cols int) *Graph { return gen.Grid(rows, cols) }
+
+// GenerateChain returns the path graph on n nodes; the paper shows it
+// converges in ⌈n/2⌉ rounds.
+func GenerateChain(n int) *Graph { return gen.Chain(n) }
+
+// GenerateComplete returns the complete graph K_n.
+func GenerateComplete(n int) *Graph { return gen.Complete(n) }
+
+// GenerateWorstCase returns the paper's Figure-3 family, which needs
+// exactly n-1 rounds (n >= 5).
+func GenerateWorstCase(n int) *Graph { return gen.WorstCase(n) }

@@ -1,0 +1,184 @@
+// Package aggregate implements gossip-based (epidemic) aggregation in the
+// style of Jelasity, Montresor and Babaoglu (ACM TOCS 2005) — the paper's
+// reference [6] and the substrate behind its decentralized termination
+// detection (§3.3): push-pull averaging, max propagation, and network-size
+// estimation over an arbitrary connected overlay.
+//
+// All functions are deterministic given the seed. One round means: every
+// node, in a random order, picks a uniformly random overlay neighbor and
+// atomically exchanges state with it (the classic cycle-driven push-pull
+// model).
+package aggregate
+
+import (
+	"math/rand"
+
+	"dkcore/internal/graph"
+)
+
+// Average runs `rounds` rounds of push-pull averaging over the overlay g,
+// starting from the given values. It returns the final per-node estimates
+// and the per-round variance trace (variance[0] is the variance of the
+// initial values). The sum (and thus the true average) is conserved
+// exactly up to floating-point error; variance contracts by roughly 1/e
+// per round on well-connected overlays, giving O(log N) convergence.
+func Average(g *graph.Graph, values []float64, rounds int, seed int64) (est []float64, variance []float64) {
+	n := g.NumNodes()
+	est = make([]float64, n)
+	copy(est, values)
+	variance = make([]float64, 0, rounds+1)
+	variance = append(variance, varianceOf(est))
+
+	rng := rand.New(rand.NewSource(seed))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for r := 0; r < rounds; r++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for _, u := range perm {
+			ns := g.Neighbors(u)
+			if len(ns) == 0 {
+				continue
+			}
+			v := ns[rng.Intn(len(ns))]
+			avg := (est[u] + est[v]) / 2
+			est[u], est[v] = avg, avg
+		}
+		variance = append(variance, varianceOf(est))
+	}
+	return est, variance
+}
+
+// MaxInt runs `rounds` rounds of push-pull max propagation over g and
+// returns the final per-node views. On a connected overlay every node
+// holds the global maximum after O(log N) rounds with high probability
+// (and certainly after `diameter` rounds of flooding-like spread).
+func MaxInt(g *graph.Graph, values []int, rounds int, seed int64) []int {
+	n := g.NumNodes()
+	est := make([]int, n)
+	copy(est, values)
+	rng := rand.New(rand.NewSource(seed))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for r := 0; r < rounds; r++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for _, u := range perm {
+			ns := g.Neighbors(u)
+			if len(ns) == 0 {
+				continue
+			}
+			v := ns[rng.Intn(len(ns))]
+			m := est[u]
+			if est[v] > m {
+				m = est[v]
+			}
+			est[u], est[v] = m, m
+		}
+	}
+	return est
+}
+
+// EstimateCount estimates the overlay size with the classic peak-counting
+// technique: one distinguished node starts with value 1, all others with
+// 0; after averaging, every node's estimate of N is 1/value. It returns
+// each node's size estimate after the given rounds.
+func EstimateCount(g *graph.Graph, distinguished, rounds int, seed int64) []float64 {
+	n := g.NumNodes()
+	values := make([]float64, n)
+	values[distinguished] = 1
+	est, _ := Average(g, values, rounds, seed)
+	out := make([]float64, n)
+	for u, v := range est {
+		if v > 0 {
+			out[u] = 1 / v
+		}
+	}
+	return out
+}
+
+func varianceOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	sum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// Detector implements the paper's decentralized termination rule: nodes
+// gossip the most recent round in which anyone produced a new estimate;
+// when that value has not moved for Quiet consecutive rounds, the protocol
+// is considered terminated. One Detector instance tracks the gossip state
+// across rounds of the host protocol.
+type Detector struct {
+	g     *graph.Graph
+	views []int // per-node belief of the last active round
+	rng   *rand.Rand
+	perm  []int
+	// Quiet is the number of rounds the aggregated last-active value must
+	// lag the current round before a node declares termination.
+	Quiet int
+}
+
+// NewDetector creates a Detector over overlay g. quiet is the required
+// silence window; values around the overlay's diameter (or c·log N for
+// random overlays) make false positives vanishingly unlikely.
+func NewDetector(g *graph.Graph, quiet int, seed int64) *Detector {
+	d := &Detector{
+		g:     g,
+		views: make([]int, g.NumNodes()),
+		rng:   rand.New(rand.NewSource(seed)),
+		perm:  make([]int, g.NumNodes()),
+		Quiet: quiet,
+	}
+	for i := range d.perm {
+		d.perm[i] = i
+	}
+	return d
+}
+
+// Step advances one gossip round: every node that was active in `round`
+// raises its own view to `round`, then each node push-pull-exchanges max
+// views with one random neighbor. It reports whether every node now
+// believes the system has been quiet for at least Quiet rounds.
+func (d *Detector) Step(round int, active func(node int) bool) bool {
+	n := len(d.views)
+	for u := 0; u < n; u++ {
+		if active(u) && round > d.views[u] {
+			d.views[u] = round
+		}
+	}
+	d.rng.Shuffle(n, func(i, j int) { d.perm[i], d.perm[j] = d.perm[j], d.perm[i] })
+	for _, u := range d.perm {
+		ns := d.g.Neighbors(u)
+		if len(ns) == 0 {
+			continue
+		}
+		v := ns[d.rng.Intn(len(ns))]
+		m := d.views[u]
+		if d.views[v] > m {
+			m = d.views[v]
+		}
+		d.views[u], d.views[v] = m, m
+	}
+	for _, view := range d.views {
+		if round-view < d.Quiet {
+			return false
+		}
+	}
+	return true
+}
+
+// View returns node u's current belief of the last active round.
+func (d *Detector) View(u int) int { return d.views[u] }

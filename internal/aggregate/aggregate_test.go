@@ -1,0 +1,134 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"dkcore/internal/gen"
+)
+
+func TestAverageConservesSumAndConverges(t *testing.T) {
+	g := gen.GNM(200, 1200, 3)
+	values := make([]float64, 200)
+	sum := 0.0
+	for i := range values {
+		values[i] = float64(i % 17)
+		sum += values[i]
+	}
+	est, variance := Average(g, values, 40, 5)
+	finalSum := 0.0
+	for _, v := range est {
+		finalSum += v
+	}
+	if math.Abs(finalSum-sum) > 1e-6*math.Abs(sum) {
+		t.Fatalf("sum not conserved: %v -> %v", sum, finalSum)
+	}
+	if variance[len(variance)-1] > variance[0]/1e6 {
+		t.Fatalf("variance did not collapse: %v -> %v", variance[0], variance[len(variance)-1])
+	}
+}
+
+func TestAverageConvergesLogarithmically(t *testing.T) {
+	// On a well-connected overlay the variance should contract by a
+	// near-constant factor per round, reaching < 1e-6 of the initial
+	// variance within ~40 rounds for N=500 (O(log N) behaviour).
+	g := gen.GNM(500, 5000, 7)
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = 0
+	}
+	values[0] = 500 // peak: worst case for averaging
+	_, variance := Average(g, values, 40, 11)
+	ratio := variance[len(variance)-1] / variance[0]
+	if ratio > 1e-6 {
+		t.Fatalf("after 40 rounds variance ratio %v, want < 1e-6", ratio)
+	}
+	// Contraction should be visible early as well.
+	if variance[10] > variance[0]*0.1 {
+		t.Fatalf("variance barely moved in 10 rounds: %v -> %v", variance[0], variance[10])
+	}
+}
+
+func TestAverageDoesNotMutateInput(t *testing.T) {
+	g := gen.Ring(10)
+	values := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	orig := append([]float64(nil), values...)
+	_, _ = Average(g, values, 5, 1)
+	for i := range orig {
+		if values[i] != orig[i] {
+			t.Fatalf("input mutated at %d", i)
+		}
+	}
+}
+
+func TestMaxIntPropagates(t *testing.T) {
+	g := gen.GNM(300, 1800, 9)
+	values := make([]int, 300)
+	values[42] = 99
+	est := MaxInt(g, values, 30, 3)
+	for u, v := range est {
+		if v != 99 {
+			t.Fatalf("node %d did not learn the max: %d", u, v)
+		}
+	}
+}
+
+func TestMaxIntOnChainNeedsMoreRounds(t *testing.T) {
+	// Gossip on a chain spreads the max only a couple of hops per round;
+	// with too few rounds distant nodes must still be ignorant.
+	g := gen.Chain(200)
+	values := make([]int, 200)
+	values[0] = 7
+	est := MaxInt(g, values, 3, 1)
+	if est[199] == 7 {
+		t.Fatalf("max crossed a 200-node chain in 3 rounds")
+	}
+	est = MaxInt(g, values, 500, 1)
+	if est[199] != 7 {
+		t.Fatalf("max did not cross the chain in 500 rounds")
+	}
+}
+
+func TestEstimateCount(t *testing.T) {
+	n := 256
+	g := gen.GNM(n, 2048, 13)
+	est := EstimateCount(g, 0, 60, 17)
+	for u, e := range est {
+		if e < float64(n)*0.9 || e > float64(n)*1.1 {
+			t.Fatalf("node %d size estimate %v, want within 10%% of %d", u, e, n)
+		}
+	}
+}
+
+func TestDetectorFiresOnlyAfterQuietWindow(t *testing.T) {
+	g := gen.GNM(100, 600, 21)
+	det := NewDetector(g, 10, 3)
+	// Activity in rounds 1..5, then silence.
+	lastActive := 5
+	firedAt := -1
+	for round := 1; round <= 60; round++ {
+		active := func(u int) bool { return round <= lastActive && u%7 == 0 }
+		if det.Step(round, active) {
+			firedAt = round
+			break
+		}
+	}
+	if firedAt == -1 {
+		t.Fatalf("detector never fired")
+	}
+	if firedAt < lastActive+10 {
+		t.Fatalf("detector fired at round %d, before quiet window elapsed (last activity %d, quiet 10)", firedAt, lastActive)
+	}
+}
+
+func TestDetectorSeesLateActivity(t *testing.T) {
+	g := gen.GNM(100, 600, 23)
+	det := NewDetector(g, 8, 5)
+	// A single node stays active through round 30; the detector must not
+	// fire before then.
+	for round := 1; round <= 30; round++ {
+		if det.Step(round, func(u int) bool { return u == 99 }) {
+			t.Fatalf("detector fired at round %d despite ongoing activity", round)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps harness self-tests fast.
+func tinyCfg() Config {
+	return Config{Scale: 0.05, Reps: 2, Seed: 3}
+}
+
+func TestTable1Tiny(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Datasets = []string{"gnutella", "roadnet"}
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.TAvg <= 0 || r.TMin > r.TMax || float64(r.TMin) > r.TAvg || r.TAvg > float64(r.TMax) {
+			t.Fatalf("%s: inconsistent t stats %+v", r.Dataset.Key, r)
+		}
+		if r.MAvg <= 0 || r.MMax < r.MAvg {
+			t.Fatalf("%s: inconsistent m stats %+v", r.Dataset.Key, r)
+		}
+		if r.Nodes == 0 || r.MaxCore == 0 {
+			t.Fatalf("%s: missing graph stats", r.Dataset.Key)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(paper)") {
+		t.Fatalf("table must include paper reference rows:\n%s", buf.String())
+	}
+}
+
+func TestTable1RejectsUnknownDataset(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Datasets = []string{"nope"}
+	if _, err := Table1(cfg); err == nil {
+		t.Fatalf("unknown dataset accepted")
+	}
+}
+
+func TestTable2Tiny(t *testing.T) {
+	res, err := Table2(tinyCfg(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecutionTime <= 0 {
+		t.Fatalf("no rounds executed")
+	}
+	// Percentages must be in [0, 100] and per-shell rows must shrink to 0
+	// by the final sample.
+	for k, row := range res.PctWrong {
+		for i, pct := range row {
+			if pct < 0 || pct > 100 {
+				t.Fatalf("core %d round %d: pct %v", k, res.Rounds[i], pct)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTable2(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure4Tiny(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Datasets = []string{"gnutella"}
+	series, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].AvgErr) == 0 {
+		t.Fatalf("no trace data")
+	}
+	s := series[0]
+	if s.AvgErr[len(s.AvgErr)-1] != 0 {
+		t.Fatalf("final average error %v, want 0", s.AvgErr[len(s.AvgErr)-1])
+	}
+	for i := 1; i < len(s.AvgErr); i++ {
+		if s.AvgErr[i] > s.AvgErr[i-1]+1e-9 {
+			t.Fatalf("average error increased at round %d", i+1)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure4(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure5Tiny(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Datasets = []string{"gnutella"}
+	series, err := Figure5(cfg, []int{2, 8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("want broadcast+p2p series, got %d", len(series))
+	}
+	var bcEnd, p2pEnd float64
+	for _, s := range series {
+		if len(s.Points) != 3 {
+			t.Fatalf("want 3 points, got %d", len(s.Points))
+		}
+		last := s.Points[len(s.Points)-1].Overhead
+		if s.Mode == 1 { // Broadcast
+			bcEnd = last
+		} else {
+			p2pEnd = last
+		}
+	}
+	// Figure 5's headline: broadcast overhead stays far below
+	// point-to-point at high host counts.
+	if bcEnd >= p2pEnd {
+		t.Fatalf("broadcast %v >= p2p %v at 32 hosts", bcEnd, p2pEnd)
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure5(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorstCaseValidation(t *testing.T) {
+	rows, err := WorstCase([]int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.WorstRounds != r.N-1 {
+			t.Fatalf("N=%d: worst-case rounds %d, want %d", r.N, r.WorstRounds, r.N-1)
+		}
+		if r.ChainRounds != (r.N+1)/2 {
+			t.Fatalf("N=%d: chain rounds %d, want %d", r.N, r.ChainRounds, (r.N+1)/2)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteWorstCase(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendOptimizationAblationTiny(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Datasets = []string{"gnutella", "astroph"}
+	rows, err := SendOptimizationAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Optimized >= r.Plain {
+			t.Fatalf("%s: optimization did not reduce messages (%.2f -> %.2f)",
+				r.Key, r.Plain, r.Optimized)
+		}
+		if r.ReductionPct < 5 {
+			t.Fatalf("%s: reduction only %.1f%%", r.Key, r.ReductionPct)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteAblation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentAblationTiny(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Datasets = []string{"astroph"}
+	rows, err := AssignmentAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 policies, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Overhead <= 0 {
+			t.Fatalf("%s: zero overhead", r.Policy)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"dkcore/internal/core"
+	"dkcore/internal/dataset"
+	"dkcore/internal/kcore"
+	"dkcore/internal/stats"
+)
+
+// Fig4Series is the error-evolution data for one dataset: the per-round
+// average and maximum estimation error, averaged across repetitions
+// (Figure 4's left and right panels).
+type Fig4Series struct {
+	Dataset dataset.Dataset
+	// AvgErr[r-1] is the mean over repetitions of the average error at
+	// the end of round r; MaxErr[r-1] the mean of the maximum error.
+	AvgErr []float64
+	MaxErr []float64
+}
+
+// Figure4 collects error traces for every configured dataset.
+func Figure4(cfg Config) ([]Fig4Series, error) {
+	cfg = cfg.WithDefaults()
+	ds, err := cfg.datasets()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig4Series, 0, len(ds))
+	for _, d := range ds {
+		g := d.Build(cfg.Scale, cfg.Seed)
+		truth := kcore.Decompose(g).CorenessValues()
+		var sumAvg []float64
+		var sumMax []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			res, err := core.RunOneToOne(g,
+				core.WithSeed(cfg.Seed+int64(rep)),
+				core.WithGroundTruth(truth),
+			)
+			if err != nil {
+				return nil, fmt.Errorf("bench: figure4 %s rep %d: %w", d.Key, rep, err)
+			}
+			for len(sumAvg) < len(res.AvgErrorTrace) {
+				sumAvg = append(sumAvg, 0)
+				sumMax = append(sumMax, 0)
+			}
+			for i := range res.AvgErrorTrace {
+				sumAvg[i] += res.AvgErrorTrace[i]
+				sumMax[i] += float64(res.MaxErrorTrace[i])
+			}
+			// Converged runs contribute zero error for trailing rounds,
+			// which the division below already reflects.
+		}
+		series := Fig4Series{Dataset: d}
+		for i := range sumAvg {
+			series.AvgErr = append(series.AvgErr, sumAvg[i]/float64(cfg.Reps))
+			series.MaxErr = append(series.MaxErr, sumMax[i]/float64(cfg.Reps))
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// WriteFigure4 renders the error series as aligned columns, sampling
+// rounds geometrically so long runs stay readable.
+func WriteFigure4(w io.Writer, series []Fig4Series) error {
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "\n%s (%s)\n", s.Dataset.Name, s.Dataset.Key); err != nil {
+			return err
+		}
+		tab := stats.NewTable("round", "avg err", "max err")
+		for _, r := range sampleRounds(len(s.AvgErr)) {
+			tab.AddRow(
+				fmt.Sprintf("%d", r),
+				fmt.Sprintf("%.4f", s.AvgErr[r-1]),
+				fmt.Sprintf("%.1f", s.MaxErr[r-1]),
+			)
+		}
+		if err := tab.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampleRounds returns 1..n thinned to at most ~24 values: dense at the
+// start (where the paper's inset zooms) and sparser later.
+func sampleRounds(n int) []int {
+	if n <= 24 {
+		rounds := make([]int, n)
+		for i := range rounds {
+			rounds[i] = i + 1
+		}
+		return rounds
+	}
+	var rounds []int
+	for r := 1; r <= 10; r++ {
+		rounds = append(rounds, r)
+	}
+	step := (n - 10) / 13
+	if step < 1 {
+		step = 1
+	}
+	for r := 10 + step; r < n; r += step {
+		rounds = append(rounds, r)
+	}
+	rounds = append(rounds, n)
+	return rounds
+}
+
+// Fig5Point is one measurement of the one-to-many overhead experiment.
+type Fig5Point struct {
+	Hosts    int
+	Overhead float64 // estimates sent per node, averaged over reps
+}
+
+// Fig5Series is the host sweep for one dataset under one dissemination
+// policy.
+type Fig5Series struct {
+	Dataset dataset.Dataset
+	Mode    core.Dissemination
+	Points  []Fig5Point
+}
+
+// Figure5Datasets is the subset of datasets the paper plots in Figure 5.
+var Figure5Datasets = []string{"astroph", "gnutella", "slashdot", "amazon", "berkstan"}
+
+// Figure5 sweeps the number of hosts for both dissemination policies and
+// measures the overhead (estimates shipped per node), reproducing both
+// panels of Figure 5. The paper sweeps hosts in {2, 4, ..., 512} with 20
+// repetitions.
+func Figure5(cfg Config, hostCounts []int) ([]Fig5Series, error) {
+	cfg = cfg.WithDefaults()
+	if len(cfg.Datasets) == 0 {
+		cfg.Datasets = Figure5Datasets
+	}
+	if len(hostCounts) == 0 {
+		hostCounts = []int{2, 4, 8, 16, 32, 64, 128, 256, 512}
+	}
+	ds, err := cfg.datasets()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig5Series
+	for _, d := range ds {
+		g := d.Build(cfg.Scale, cfg.Seed)
+		for _, mode := range []core.Dissemination{core.Broadcast, core.PointToPoint} {
+			series := Fig5Series{Dataset: d, Mode: mode}
+			for _, hosts := range hostCounts {
+				if hosts > g.NumNodes() {
+					continue
+				}
+				var overhead stats.Online
+				for rep := 0; rep < cfg.Reps; rep++ {
+					res, err := core.RunOneToMany(g, core.ModuloAssignment{H: hosts},
+						core.WithSeed(cfg.Seed+int64(rep)),
+						core.WithDissemination(mode),
+					)
+					if err != nil {
+						return nil, fmt.Errorf("bench: figure5 %s hosts=%d: %w", d.Key, hosts, err)
+					}
+					overhead.Add(float64(res.EstimatesSent) / float64(g.NumNodes()))
+				}
+				series.Points = append(series.Points, Fig5Point{Hosts: hosts, Overhead: overhead.Mean()})
+			}
+			out = append(out, series)
+		}
+	}
+	return out, nil
+}
+
+// WriteFigure5 renders the host sweeps, one table per panel (broadcast
+// left, point-to-point right, as in the paper).
+func WriteFigure5(w io.Writer, series []Fig5Series) error {
+	for _, mode := range []core.Dissemination{core.Broadcast, core.PointToPoint} {
+		name := "broadcast medium"
+		if mode == core.PointToPoint {
+			name = "point-to-point"
+		}
+		if _, err := fmt.Fprintf(w, "\noverhead per node — %s\n", name); err != nil {
+			return err
+		}
+		tab := stats.NewTable("dataset", "hosts", "estimates/node")
+		for _, s := range series {
+			if s.Mode != mode {
+				continue
+			}
+			for _, p := range s.Points {
+				tab.AddRow(s.Dataset.Key, fmt.Sprintf("%d", p.Hosts), fmt.Sprintf("%.3f", p.Overhead))
+			}
+		}
+		if err := tab.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dkcore/internal/core"
+	"dkcore/internal/dataset"
+	"dkcore/internal/kcore"
+	"dkcore/internal/stats"
+)
+
+// Table2Result reproduces the paper's Table 2 on the web-BerkStan
+// analogue: for each coreness value and each sampled round, the
+// percentage of nodes in that shell whose estimate is still wrong.
+type Table2Result struct {
+	// Rounds are the sampled round numbers (the paper samples every 25).
+	Rounds []int
+	// Cores are the coreness values with at least one delayed node at the
+	// first sample, in increasing order.
+	Cores []int
+	// ShellSize[k] is the number of nodes with coreness k.
+	ShellSize map[int]int
+	// PctWrong[k][i] is the percentage of shell-k nodes still wrong at
+	// Rounds[i].
+	PctWrong map[int][]float64
+	// ExecutionTime is the run's total execution time in rounds.
+	ExecutionTime int
+}
+
+// Table2 runs the one-to-one protocol on the web-BerkStan analogue and
+// tracks per-shell convergence at multiples of `step` rounds (the paper
+// uses 25).
+func Table2(cfg Config, step int) (*Table2Result, error) {
+	cfg = cfg.WithDefaults()
+	if step <= 0 {
+		step = 25
+	}
+	d, err := dataset.ByKey("berkstan")
+	if err != nil {
+		return nil, err
+	}
+	g := d.Build(cfg.Scale, cfg.Seed)
+	truth := kcore.Decompose(g).CorenessValues()
+
+	// wrongAt[round][k] accumulates the count of shell-k nodes whose
+	// estimate differs from the truth at the sampled round.
+	wrongAt := make(map[int]map[int]int)
+	snapshot := func(round int, est []int) {
+		if round%step != 0 {
+			return
+		}
+		counts := make(map[int]int)
+		for u, e := range est {
+			if e != truth[u] {
+				counts[truth[u]]++
+			}
+		}
+		wrongAt[round] = counts
+	}
+	res, err := core.RunOneToOne(g, core.WithSeed(cfg.Seed), core.WithSnapshot(snapshot))
+	if err != nil {
+		return nil, fmt.Errorf("bench: table2: %w", err)
+	}
+
+	out := &Table2Result{
+		ShellSize:     make(map[int]int),
+		PctWrong:      make(map[int][]float64),
+		ExecutionTime: res.ExecutionTime,
+	}
+	for _, k := range truth {
+		out.ShellSize[k]++
+	}
+	for r := step; r <= res.ExecutionTime+step-1; r += step {
+		if _, ok := wrongAt[r]; ok {
+			out.Rounds = append(out.Rounds, r)
+		}
+	}
+	sort.Ints(out.Rounds)
+	if len(out.Rounds) == 0 {
+		return out, nil
+	}
+	coreSet := make(map[int]bool)
+	for k := range wrongAt[out.Rounds[0]] {
+		coreSet[k] = true
+	}
+	for k := range coreSet {
+		out.Cores = append(out.Cores, k)
+	}
+	sort.Ints(out.Cores)
+	for _, k := range out.Cores {
+		row := make([]float64, len(out.Rounds))
+		for i, r := range out.Rounds {
+			row[i] = 100 * float64(wrongAt[r][k]) / float64(out.ShellSize[k])
+		}
+		out.PctWrong[k] = row
+	}
+	return out, nil
+}
+
+// WriteTable2 renders the per-shell convergence table; empty cells mean
+// the shell has fully converged, as in the paper.
+func WriteTable2(w io.Writer, res *Table2Result) error {
+	if len(res.Rounds) == 0 {
+		_, err := fmt.Fprintf(w, "protocol converged before the first sample (execution time %d rounds)\n",
+			res.ExecutionTime)
+		return err
+	}
+	headers := []string{"k", "#"}
+	for _, r := range res.Rounds {
+		headers = append(headers, fmt.Sprintf("%d", r))
+	}
+	tab := stats.NewTable(headers...)
+	for _, k := range res.Cores {
+		cells := []string{fmt.Sprintf("%d", k), stats.FormatCount(int64(res.ShellSize[k]))}
+		for _, pct := range res.PctWrong[k] {
+			if pct == 0 {
+				cells = append(cells, "")
+			} else {
+				cells = append(cells, fmt.Sprintf("%.2f%%", pct))
+			}
+		}
+		tab.AddRow(cells...)
+	}
+	if err := tab.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "(execution time: %d rounds; all other shells correct at round %d)\n",
+		res.ExecutionTime, res.Rounds[0])
+	return err
+}

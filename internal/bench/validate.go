@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"dkcore/internal/core"
+	"dkcore/internal/gen"
+	"dkcore/internal/sim"
+	"dkcore/internal/stats"
+)
+
+// WorstCaseRow validates the §4.2 bounds for one graph size.
+type WorstCaseRow struct {
+	N           int
+	WorstRounds int // rounds to quiescence on the Figure-3 family (want N-1)
+	ChainRounds int // execution time on the chain (want ⌈N/2⌉)
+}
+
+// WorstCase runs the strict-synchronous protocol on the Figure-3 family
+// and on chains, validating the paper's exact round counts.
+func WorstCase(sizes []int) ([]WorstCaseRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{8, 16, 32, 64, 128, 256}
+	}
+	rows := make([]WorstCaseRow, 0, len(sizes))
+	for _, n := range sizes {
+		worst, err := core.RunOneToOne(gen.WorstCase(n), core.WithDelivery(sim.DeliverNextRound))
+		if err != nil {
+			return nil, fmt.Errorf("bench: worst case n=%d: %w", n, err)
+		}
+		chain, err := core.RunOneToOne(gen.Chain(n), core.WithDelivery(sim.DeliverNextRound))
+		if err != nil {
+			return nil, fmt.Errorf("bench: chain n=%d: %w", n, err)
+		}
+		rows = append(rows, WorstCaseRow{
+			N:           n,
+			WorstRounds: worst.RoundsToQuiescence,
+			ChainRounds: chain.ExecutionTime,
+		})
+	}
+	return rows, nil
+}
+
+// WriteWorstCase renders the validation table with expected values.
+func WriteWorstCase(w io.Writer, rows []WorstCaseRow) error {
+	tab := stats.NewTable("N", "fig3 rounds", "want N-1", "chain rounds", "want ceil(N/2)")
+	for _, r := range rows {
+		tab.AddRow(
+			fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%d", r.WorstRounds),
+			fmt.Sprintf("%d", r.N-1),
+			fmt.Sprintf("%d", r.ChainRounds),
+			fmt.Sprintf("%d", (r.N+1)/2),
+		)
+	}
+	return tab.Render(w)
+}
+
+// AblationRow compares message counts with and without the §3.1.2 send
+// optimization on one dataset.
+type AblationRow struct {
+	Key          string
+	Plain        float64 // messages per node without the optimization
+	Optimized    float64 // messages per node with it
+	ReductionPct float64
+}
+
+// SendOptimizationAblation measures the optimization's savings across the
+// datasets (the paper reports ≈50%).
+func SendOptimizationAblation(cfg Config) ([]AblationRow, error) {
+	cfg = cfg.WithDefaults()
+	ds, err := cfg.datasets()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, len(ds))
+	for _, d := range ds {
+		g := d.Build(cfg.Scale, cfg.Seed)
+		var plain, opt stats.Online
+		for rep := 0; rep < cfg.Reps; rep++ {
+			seed := core.WithSeed(cfg.Seed + int64(rep))
+			p, err := core.RunOneToOne(g, seed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: ablation %s: %w", d.Key, err)
+			}
+			o, err := core.RunOneToOne(g, seed, core.WithSendOptimization(true))
+			if err != nil {
+				return nil, fmt.Errorf("bench: ablation %s: %w", d.Key, err)
+			}
+			plain.Add(float64(p.TotalMessages) / float64(g.NumNodes()))
+			opt.Add(float64(o.TotalMessages) / float64(g.NumNodes()))
+		}
+		rows = append(rows, AblationRow{
+			Key:          d.Key,
+			Plain:        plain.Mean(),
+			Optimized:    opt.Mean(),
+			ReductionPct: 100 * (1 - opt.Mean()/plain.Mean()),
+		})
+	}
+	return rows, nil
+}
+
+// WriteAblation renders the send-optimization comparison.
+func WriteAblation(w io.Writer, rows []AblationRow) error {
+	tab := stats.NewTable("dataset", "msgs/node", "optimized", "reduction")
+	for _, r := range rows {
+		tab.AddRow(r.Key,
+			fmt.Sprintf("%.2f", r.Plain),
+			fmt.Sprintf("%.2f", r.Optimized),
+			fmt.Sprintf("%.1f%%", r.ReductionPct),
+		)
+	}
+	return tab.Render(w)
+}
+
+// AssignmentRow compares node-to-host assignment policies (an extension
+// beyond the paper, which fixes modulo and notes the general problem is
+// hard).
+type AssignmentRow struct {
+	Policy   string
+	Overhead float64 // estimates per node, point-to-point, fixed host count
+}
+
+// AssignmentAblation measures how the assignment policy changes the
+// one-to-many overhead on a collaboration graph with 16 hosts.
+func AssignmentAblation(cfg Config) ([]AssignmentRow, error) {
+	cfg = cfg.WithDefaults()
+	d, err := cfg.datasets()
+	if err != nil {
+		return nil, err
+	}
+	g := d[0].Build(cfg.Scale, cfg.Seed)
+	const hosts = 16
+	policies := []struct {
+		name   string
+		assign core.Assignment
+	}{
+		{"modulo (paper)", core.ModuloAssignment{H: hosts}},
+		{"block", core.BlockAssignment{N: g.NumNodes(), H: hosts}},
+		{"random", core.NewRandomAssignment(g.NumNodes(), hosts, cfg.Seed)},
+	}
+	rows := make([]AssignmentRow, 0, len(policies))
+	for _, p := range policies {
+		var overhead stats.Online
+		for rep := 0; rep < cfg.Reps; rep++ {
+			res, err := core.RunOneToMany(g, p.assign,
+				core.WithSeed(cfg.Seed+int64(rep)),
+				core.WithDissemination(core.PointToPoint),
+			)
+			if err != nil {
+				return nil, fmt.Errorf("bench: assignment ablation: %w", err)
+			}
+			overhead.Add(float64(res.EstimatesSent) / float64(g.NumNodes()))
+		}
+		rows = append(rows, AssignmentRow{Policy: p.name, Overhead: overhead.Mean()})
+	}
+	return rows, nil
+}
+
+// WriteAssignment renders the assignment-policy comparison.
+func WriteAssignment(w io.Writer, rows []AssignmentRow) error {
+	tab := stats.NewTable("policy", "estimates/node (p2p, 16 hosts)")
+	for _, r := range rows {
+		tab.AddRow(r.Policy, fmt.Sprintf("%.3f", r.Overhead))
+	}
+	return tab.Render(w)
+}

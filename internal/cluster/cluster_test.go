@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dkcore/internal/gen"
+	"dkcore/internal/graph"
+	"dkcore/internal/kcore"
+)
+
+// runCluster spins up a coordinator plus numHosts hosts over TCP loopback
+// and returns the coordinator's result.
+func runCluster(t *testing.T, g *graph.Graph, numHosts int) *Result {
+	t.Helper()
+	coord, err := NewCoordinator(CoordinatorConfig{Graph: g, NumHosts: numHosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	hostErrs := make([]error, numHosts)
+	for i := 0; i < numHosts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, hostErrs[i] = RunHost(HostConfig{CoordinatorAddr: coord.Addr()})
+		}(i)
+	}
+	res, err := coord.Run()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, herr := range hostErrs {
+		if herr != nil {
+			t.Fatalf("host %d: %v", i, herr)
+		}
+	}
+	return res
+}
+
+func TestClusterMatchesSequential(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 7)
+	want := kcore.Decompose(g).CorenessValues()
+	for _, hosts := range []int{1, 2, 4, 7} {
+		res := runCluster(t, g, hosts)
+		for u := range want {
+			if res.Coreness[u] != want[u] {
+				t.Fatalf("hosts=%d node %d: got %d want %d", hosts, u, res.Coreness[u], want[u])
+			}
+		}
+		if res.Rounds < 1 {
+			t.Fatalf("hosts=%d: rounds = %d", hosts, res.Rounds)
+		}
+	}
+}
+
+func TestClusterFamilies(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"grid":     gen.Grid(10, 10),
+		"chain":    gen.Chain(40),
+		"worst":    gen.WorstCase(25),
+		"complete": gen.Complete(15),
+		"gnm":      gen.GNM(150, 600, 3),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			want := kcore.Decompose(g).CorenessValues()
+			res := runCluster(t, g, 4)
+			for u := range want {
+				if res.Coreness[u] != want[u] {
+					t.Fatalf("node %d: got %d want %d", u, res.Coreness[u], want[u])
+				}
+			}
+		})
+	}
+}
+
+func TestClusterSingleHostShipsNothing(t *testing.T) {
+	g := gen.GNM(80, 200, 9)
+	res := runCluster(t, g, 1)
+	if res.EstimatesSent != 0 {
+		t.Fatalf("single host shipped %d estimates, want 0", res.EstimatesSent)
+	}
+	want := kcore.Decompose(g).CorenessValues()
+	for u := range want {
+		if res.Coreness[u] != want[u] {
+			t.Fatalf("node %d: got %d want %d", u, res.Coreness[u], want[u])
+		}
+	}
+}
+
+func TestClusterOverheadGrowsWithHosts(t *testing.T) {
+	// Figure 5 (right): point-to-point overhead per node increases with
+	// the number of hosts.
+	g := gen.BarabasiAlbert(300, 3, 13)
+	few := runCluster(t, g, 2)
+	many := runCluster(t, g, 8)
+	if many.EstimatesSent <= few.EstimatesSent {
+		t.Fatalf("overhead did not grow: 2 hosts %d, 8 hosts %d",
+			few.EstimatesSent, many.EstimatesSent)
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(CoordinatorConfig{Graph: nil, NumHosts: 2}); err == nil {
+		t.Fatalf("nil graph accepted")
+	}
+	if _, err := NewCoordinator(CoordinatorConfig{Graph: gen.Chain(3), NumHosts: 0}); err == nil {
+		t.Fatalf("zero hosts accepted")
+	}
+}
+
+func TestHostRejectsBadCoordinatorAddr(t *testing.T) {
+	_, err := RunHost(HostConfig{CoordinatorAddr: "127.0.0.1:1"})
+	if err == nil {
+		t.Fatalf("dial to closed port succeeded")
+	}
+	if !strings.Contains(err.Error(), "dial") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	in := config{
+		HostID:    2,
+		NumHosts:  3,
+		NumNodes:  10,
+		PeerAddrs: []string{"a:1", "b:2", "c:3"},
+		Owned:     []int{2, 5, 8},
+		Adj: map[int][]int{
+			2: {0, 5, 9},
+			5: {2},
+			8: nil,
+		},
+	}
+	out, err := decodeConfig(encodeConfig(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.HostID != in.HostID || out.NumHosts != in.NumHosts || out.NumNodes != in.NumNodes {
+		t.Fatalf("scalar fields mismatch: %+v", out)
+	}
+	for i, addr := range in.PeerAddrs {
+		if out.PeerAddrs[i] != addr {
+			t.Fatalf("peer addr %d mismatch", i)
+		}
+	}
+	for _, u := range in.Owned {
+		if len(out.Adj[u]) != len(in.Adj[u]) {
+			t.Fatalf("adjacency of %d mismatch: %v vs %v", u, out.Adj[u], in.Adj[u])
+		}
+		for i := range in.Adj[u] {
+			if out.Adj[u][i] != in.Adj[u][i] {
+				t.Fatalf("adjacency of %d mismatch at %d", u, i)
+			}
+		}
+	}
+}
+
+func TestDoneRoundTrip(t *testing.T) {
+	in := doneReport{Round: 7, Changed: 3, SentTotal: 100, AppliedTotal: 99, PairsTotal: 512}
+	out, err := decodeDone(encodeDone(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+
+	"dkcore/internal/graph"
+	"dkcore/internal/transport"
+)
+
+// CoordinatorConfig configures a coordinator.
+type CoordinatorConfig struct {
+	// Graph is the graph to decompose.
+	Graph *graph.Graph
+	// NumHosts is the number of host workers that will connect.
+	NumHosts int
+	// ListenAddr is the TCP address to listen on, e.g. "127.0.0.1:0".
+	ListenAddr string
+	// MaxRounds bounds the protocol; 0 means 8*(N+2).
+	MaxRounds int
+}
+
+// Result is the outcome of a coordinated run.
+type Result struct {
+	// Coreness is the assembled per-node coreness.
+	Coreness []int
+	// Rounds is the number of synchronous rounds driven (including the
+	// final quiet one that confirmed termination).
+	Rounds int
+	// EstimatesSent is the total number of (node, estimate) pairs shipped
+	// between hosts — the Figure-5 overhead numerator.
+	EstimatesSent int64
+}
+
+// Coordinator drives a networked one-to-many run.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	ln  net.Listener
+}
+
+// NewCoordinator validates the configuration and starts listening, so
+// callers can learn Addr() before launching hosts.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("cluster: nil graph")
+	}
+	if cfg.NumHosts < 1 {
+		return nil, fmt.Errorf("cluster: NumHosts = %d, need >= 1", cfg.NumHosts)
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 8 * (cfg.Graph.NumNodes() + 2)
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.ListenAddr, err)
+	}
+	return &Coordinator{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the coordinator's bound address for hosts to dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Run accepts NumHosts hosts, distributes partitions, drives rounds until
+// global quiescence, and assembles the result. It closes the listener on
+// return.
+func (c *Coordinator) Run() (*Result, error) {
+	defer c.ln.Close()
+	numHosts := c.cfg.NumHosts
+	g := c.cfg.Graph
+
+	conns := make([]*transport.Conn, numHosts)
+	peerAddrs := make([]string, numHosts)
+	defer func() {
+		for _, conn := range conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}()
+
+	// Enrollment: hosts are assigned IDs in connection order.
+	for i := 0; i < numHosts; i++ {
+		raw, err := c.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: accept host %d: %w", i, err)
+		}
+		conn := transport.NewConn(raw)
+		typ, payload, err := conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: hello from host %d: %w", i, err)
+		}
+		if typ != frameHello {
+			return nil, fmt.Errorf("cluster: host %d sent frame %d, want hello", i, typ)
+		}
+		addr, _, err := transport.DecodeString(payload)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: hello from host %d: %w", i, err)
+		}
+		conns[i] = conn
+		peerAddrs[i] = addr
+	}
+
+	// Partition and configure.
+	owner := moduloOwner(numHosts)
+	for id := 0; id < numHosts; id++ {
+		cfg := config{
+			HostID:    id,
+			NumHosts:  numHosts,
+			NumNodes:  g.NumNodes(),
+			PeerAddrs: peerAddrs,
+			Adj:       make(map[int][]int),
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			if owner(u) == id {
+				cfg.Owned = append(cfg.Owned, u)
+				cfg.Adj[u] = g.Neighbors(u)
+			}
+		}
+		if err := conns[id].Send(frameConfig, encodeConfig(cfg)); err != nil {
+			return nil, fmt.Errorf("cluster: config to host %d: %w", id, err)
+		}
+	}
+	for id := 0; id < numHosts; id++ {
+		typ, _, err := conns[id].Recv()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: ready from host %d: %w", id, err)
+		}
+		if typ != frameReady {
+			return nil, fmt.Errorf("cluster: host %d sent frame %d, want ready", id, typ)
+		}
+	}
+
+	// Round loop with centralized termination: quiesce when a round sees
+	// no estimate changes anywhere and every shipped batch has been
+	// applied (no traffic in flight).
+	res := &Result{}
+	var tickBuf [8]byte
+	for round := 1; ; round++ {
+		if round > c.cfg.MaxRounds {
+			return nil, fmt.Errorf("cluster: exceeded %d rounds without quiescing", c.cfg.MaxRounds)
+		}
+		n := putUvarint(tickBuf[:], uint64(round))
+		for id := 0; id < numHosts; id++ {
+			if err := conns[id].Send(frameTick, tickBuf[:n]); err != nil {
+				return nil, fmt.Errorf("cluster: tick to host %d: %w", id, err)
+			}
+		}
+		var changed int
+		var sent, applied, pairs int64
+		for id := 0; id < numHosts; id++ {
+			typ, payload, err := conns[id].Recv()
+			if err != nil {
+				return nil, fmt.Errorf("cluster: done from host %d: %w", id, err)
+			}
+			if typ != frameDone {
+				return nil, fmt.Errorf("cluster: host %d sent frame %d, want done", id, typ)
+			}
+			rep, err := decodeDone(payload)
+			if err != nil {
+				return nil, err
+			}
+			if rep.Round != round {
+				return nil, fmt.Errorf("cluster: host %d reported round %d during round %d", id, rep.Round, round)
+			}
+			changed += rep.Changed
+			sent += rep.SentTotal
+			applied += rep.AppliedTotal
+			pairs += rep.PairsTotal
+		}
+		res.Rounds = round
+		res.EstimatesSent = pairs
+		if changed == 0 && sent == applied && round > 1 {
+			break
+		}
+	}
+
+	// Collect results.
+	coreness := make([]int, g.NumNodes())
+	for id := 0; id < numHosts; id++ {
+		if err := conns[id].Send(frameStop, nil); err != nil {
+			return nil, fmt.Errorf("cluster: stop to host %d: %w", id, err)
+		}
+	}
+	for id := 0; id < numHosts; id++ {
+		typ, payload, err := conns[id].Recv()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: result from host %d: %w", id, err)
+		}
+		if typ != frameResult {
+			return nil, fmt.Errorf("cluster: host %d sent frame %d, want result", id, typ)
+		}
+		batch, err := transport.DecodeBatch(payload)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: result from host %d: %w", id, err)
+		}
+		for _, m := range batch {
+			if m.Node < 0 || m.Node >= len(coreness) {
+				return nil, fmt.Errorf("cluster: host %d reported unknown node %d", id, m.Node)
+			}
+			coreness[m.Node] = m.Core
+		}
+	}
+	res.Coreness = coreness
+	return res, nil
+}
+
+// putUvarint is a tiny helper mirroring binary.PutUvarint without the
+// import noise at the call site.
+func putUvarint(buf []byte, x uint64) int {
+	i := 0
+	for x >= 0x80 {
+		buf[i] = byte(x) | 0x80
+		x >>= 7
+		i++
+	}
+	buf[i] = byte(x)
+	return i + 1
+}

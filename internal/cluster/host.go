@@ -1,0 +1,320 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dkcore/internal/core"
+	"dkcore/internal/transport"
+)
+
+// HostConfig configures a host worker.
+type HostConfig struct {
+	// CoordinatorAddr is the coordinator's TCP address.
+	CoordinatorAddr string
+	// ListenAddr is the address for peer connections, e.g. "127.0.0.1:0".
+	ListenAddr string
+}
+
+// RunHost joins the cluster at the given coordinator, serves its partition
+// until the coordinator signals termination, and returns the host's final
+// owned estimates. Every goroutine and connection it creates is cleaned up
+// before it returns.
+func RunHost(cfg HostConfig) (map[int]int, error) {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: host listen %s: %w", cfg.ListenAddr, err)
+	}
+	defer ln.Close()
+
+	coord, err := transport.Dial(cfg.CoordinatorAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+
+	if err := coord.Send(frameHello, transport.EncodeString(nil, ln.Addr().String())); err != nil {
+		return nil, err
+	}
+	typ, payload, err := coord.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: host waiting for config: %w", err)
+	}
+	if typ != frameConfig {
+		return nil, fmt.Errorf("cluster: host got frame %d, want config", typ)
+	}
+	conf, err := decodeConfig(payload)
+	if err != nil {
+		return nil, err
+	}
+
+	h := &hostWorker{
+		conf:  conf,
+		state: core.NewHostState(conf.HostID, conf.Owned, conf.Adj, moduloOwner(conf.NumHosts)),
+		peers: make([]*transport.Conn, conf.NumHosts),
+		inbox: make(chan batchPayload, 4*conf.NumHosts),
+	}
+	if err := h.connectMesh(ln); err != nil {
+		return nil, err
+	}
+	defer h.closePeers()
+	h.startReaders()
+	defer h.stopReaders()
+
+	if err := coord.Send(frameReady, nil); err != nil {
+		return nil, err
+	}
+	return h.serve(coord)
+}
+
+// hostWorker is the running state of one host process.
+type hostWorker struct {
+	conf  config
+	state *core.HostState
+	peers []*transport.Conn // index = host ID; nil for self and non-neighbors
+
+	inbox chan batchPayload
+
+	readersWG sync.WaitGroup
+	readErrMu sync.Mutex
+	readErr   error
+
+	sentTotal    int64
+	appliedTotal int64
+	pairsTotal   int64
+	lastChanged  int // owned estimate changes in the most recent round
+}
+
+// connectMesh establishes one framed connection per neighboring host:
+// this host dials every neighbor with a larger ID and accepts connections
+// from every neighbor with a smaller ID.
+func (h *hostWorker) connectMesh(ln net.Listener) error {
+	expectIn := 0
+	for _, y := range h.state.NeighborHosts() {
+		if y < h.conf.HostID {
+			expectIn++
+		}
+	}
+	type accepted struct {
+		id   int
+		conn *transport.Conn
+		err  error
+	}
+	acceptCh := make(chan accepted, expectIn)
+	go func() {
+		for i := 0; i < expectIn; i++ {
+			raw, err := ln.Accept()
+			if err != nil {
+				acceptCh <- accepted{err: err}
+				return
+			}
+			conn := transport.NewConn(raw)
+			typ, payload, err := conn.Recv()
+			if err != nil || typ != framePeer {
+				conn.Close()
+				acceptCh <- accepted{err: fmt.Errorf("cluster: bad peer handshake: %v", err)}
+				return
+			}
+			id64, n := binary.Uvarint(payload)
+			if n <= 0 {
+				conn.Close()
+				acceptCh <- accepted{err: errors.New("cluster: bad peer id")}
+				return
+			}
+			acceptCh <- accepted{id: int(id64), conn: conn}
+		}
+	}()
+
+	var idBuf [8]byte
+	for _, y := range h.state.NeighborHosts() {
+		if y <= h.conf.HostID {
+			continue
+		}
+		conn, err := transport.Dial(h.conf.PeerAddrs[y])
+		if err != nil {
+			return fmt.Errorf("cluster: host %d dial peer %d: %w", h.conf.HostID, y, err)
+		}
+		n := putUvarint(idBuf[:], uint64(h.conf.HostID))
+		if err := conn.Send(framePeer, idBuf[:n]); err != nil {
+			conn.Close()
+			return err
+		}
+		h.peers[y] = conn
+	}
+	for i := 0; i < expectIn; i++ {
+		acc := <-acceptCh
+		if acc.err != nil {
+			return acc.err
+		}
+		if acc.id < 0 || acc.id >= len(h.peers) || acc.id == h.conf.HostID {
+			acc.conn.Close()
+			return fmt.Errorf("cluster: peer announced invalid id %d", acc.id)
+		}
+		h.peers[acc.id] = acc.conn
+	}
+	return nil
+}
+
+// startReaders launches one reader goroutine per peer connection, feeding
+// decoded batches into the inbox.
+func (h *hostWorker) startReaders() {
+	for id, conn := range h.peers {
+		if conn == nil {
+			continue
+		}
+		h.readersWG.Add(1)
+		go func(id int, conn *transport.Conn) {
+			defer h.readersWG.Done()
+			for {
+				typ, payload, err := conn.Recv()
+				if err != nil {
+					// EOF after STOP is the normal shutdown path.
+					if !errors.Is(err, io.EOF) {
+						h.setReadErr(err)
+					}
+					return
+				}
+				if typ != frameBatch {
+					h.setReadErr(fmt.Errorf("cluster: peer %d sent frame %d", id, typ))
+					return
+				}
+				batch, err := transport.DecodeBatch(payload)
+				if err != nil {
+					h.setReadErr(err)
+					return
+				}
+				h.inbox <- batchPayload{from: id, batch: batch}
+			}
+		}(id, conn)
+	}
+}
+
+func (h *hostWorker) setReadErr(err error) {
+	h.readErrMu.Lock()
+	if h.readErr == nil {
+		h.readErr = err
+	}
+	h.readErrMu.Unlock()
+}
+
+func (h *hostWorker) readError() error {
+	h.readErrMu.Lock()
+	defer h.readErrMu.Unlock()
+	return h.readErr
+}
+
+func (h *hostWorker) closePeers() {
+	for _, conn := range h.peers {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+func (h *hostWorker) stopReaders() {
+	h.closePeers()
+	h.readersWG.Wait()
+}
+
+// serve executes the coordinator-driven round loop.
+func (h *hostWorker) serve(coord *transport.Conn) (map[int]int, error) {
+	initialized := false
+	for {
+		typ, payload, err := coord.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host %d lost coordinator: %w", h.conf.HostID, err)
+		}
+		switch typ {
+		case frameTick:
+			round64, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return nil, errors.New("cluster: bad tick payload")
+			}
+			if err := h.runRound(int(round64), &initialized); err != nil {
+				return nil, err
+			}
+			if err := coord.Send(frameDone, encodeDone(doneReport{
+				Round:        int(round64),
+				Changed:      h.lastChanged,
+				SentTotal:    h.sentTotal,
+				AppliedTotal: h.appliedTotal,
+				PairsTotal:   h.pairsTotal,
+			})); err != nil {
+				return nil, err
+			}
+		case frameStop:
+			owned := h.state.Owned()
+			batch := make(core.Batch, 0, len(owned))
+			for _, u := range owned {
+				e, ok := h.state.Estimate(u)
+				if !ok {
+					return nil, fmt.Errorf("cluster: host %d missing estimate for node %d", h.conf.HostID, u)
+				}
+				batch = append(batch, core.EstimateMsg{Node: u, Core: e})
+			}
+			if err := coord.Send(frameResult, transport.EncodeBatch(batch)); err != nil {
+				return nil, err
+			}
+			out := make(map[int]int, len(owned))
+			for _, m := range batch {
+				out[m.Node] = m.Core
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("cluster: host %d got unexpected frame %d", h.conf.HostID, typ)
+		}
+	}
+}
+
+// runRound applies queued batches, cascades locally, and ships updates.
+func (h *hostWorker) runRound(round int, initialized *bool) error {
+	if err := h.readError(); err != nil {
+		return err
+	}
+	if !*initialized {
+		*initialized = true
+		h.state.InitEstimates()
+	}
+
+	// Drain whatever has arrived; later arrivals wait for the next round.
+	for {
+		select {
+		case bp := <-h.inbox:
+			h.appliedTotal++
+			h.state.Apply(bp.batch)
+		default:
+			goto drained
+		}
+	}
+drained:
+	h.state.ImproveIfDirty()
+	changed := h.state.ChangedCount()
+
+	batches := h.state.CollectPointToPoint()
+	totalPairs := 0
+	for _, y := range h.state.NeighborHosts() {
+		batch, ok := batches[y]
+		if !ok {
+			continue
+		}
+		conn := h.peers[y]
+		if conn == nil {
+			return fmt.Errorf("cluster: host %d has no connection to neighbor %d", h.conf.HostID, y)
+		}
+		if err := conn.Send(frameBatch, transport.EncodeBatch(batch)); err != nil {
+			return err
+		}
+		h.sentTotal++
+		totalPairs += len(batch)
+	}
+	h.pairsTotal += int64(totalPairs)
+	h.lastChanged = changed
+	return nil
+}

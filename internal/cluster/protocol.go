@@ -1,0 +1,159 @@
+// Package cluster deploys the one-to-many protocol over a real network:
+// a coordinator partitions the graph, ships each partition to a host
+// worker, drives synchronous δ-rounds, detects global termination with
+// the paper's centralized master/slaves approach (§3.3), and collects the
+// final coreness values. Hosts exchange estimate batches directly with
+// each other over a full mesh of framed TCP connections (Algorithm 5's
+// point-to-point policy).
+//
+// The same binary logic runs in-process (tests, examples) and as separate
+// OS processes (cmd/kcore-coord and cmd/kcore-host).
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dkcore/internal/core"
+	"dkcore/internal/transport"
+)
+
+// Frame types of the coordinator/host protocol.
+const (
+	frameHello  uint8 = iota + 1 // host → coord: peer listen address
+	frameConfig                  // coord → host: id, host count, peers, partition
+	framePeer                    // host → host: dialer's host ID
+	frameReady                   // host → coord: mesh established
+	frameTick                    // coord → host: round number
+	frameDone                    // host → coord: per-round report
+	frameStop                    // coord → host: protocol terminated
+	frameResult                  // host → coord: owned estimates
+	frameBatch                   // host → host: estimate batch
+)
+
+// config is the coordinator→host configuration payload.
+type config struct {
+	HostID    int
+	NumHosts  int
+	NumNodes  int
+	PeerAddrs []string
+	Owned     []int
+	Adj       map[int][]int
+}
+
+func encodeConfig(c config) []byte {
+	buf := make([]byte, 0, 64)
+	buf = binary.AppendUvarint(buf, uint64(c.HostID))
+	buf = binary.AppendUvarint(buf, uint64(c.NumHosts))
+	buf = binary.AppendUvarint(buf, uint64(c.NumNodes))
+	for _, addr := range c.PeerAddrs {
+		buf = transport.EncodeString(buf, addr)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.Owned)))
+	for _, u := range c.Owned {
+		buf = binary.AppendUvarint(buf, uint64(u))
+		buf = append(buf, transport.EncodeIntSlice(c.Adj[u])...)
+	}
+	return buf
+}
+
+func decodeConfig(data []byte) (config, error) {
+	var c config
+	fields := []*int{&c.HostID, &c.NumHosts, &c.NumNodes}
+	off := 0
+	for i, f := range fields {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return c, fmt.Errorf("cluster: decode config: field %d truncated", i)
+		}
+		*f = int(v)
+		off += n
+	}
+	c.PeerAddrs = make([]string, c.NumHosts)
+	for i := range c.PeerAddrs {
+		s, n, err := transport.DecodeString(data[off:])
+		if err != nil {
+			return c, fmt.Errorf("cluster: decode config: peer %d: %w", i, err)
+		}
+		c.PeerAddrs[i] = s
+		off += n
+	}
+	numOwned, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return c, fmt.Errorf("cluster: decode config: owned count truncated")
+	}
+	off += n
+	c.Adj = make(map[int][]int, numOwned)
+	c.Owned = make([]int, 0, numOwned)
+	for i := uint64(0); i < numOwned; i++ {
+		u64, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return c, fmt.Errorf("cluster: decode config: node %d truncated", i)
+		}
+		off += n
+		ns, n, err := transport.DecodeIntSlice(data[off:])
+		if err != nil {
+			return c, fmt.Errorf("cluster: decode config: adjacency of %d: %w", u64, err)
+		}
+		off += n
+		u := int(u64)
+		c.Owned = append(c.Owned, u)
+		c.Adj[u] = ns
+	}
+	if off != len(data) {
+		return c, fmt.Errorf("cluster: decode config: %d trailing bytes", len(data)-off)
+	}
+	return c, nil
+}
+
+// doneReport is the host→coordinator per-round report used for the
+// centralized termination decision.
+type doneReport struct {
+	Round        int
+	Changed      int   // owned estimates changed this round
+	SentTotal    int64 // cumulative batches shipped to peers
+	AppliedTotal int64 // cumulative batches applied from peers
+	PairsTotal   int64 // cumulative (node, estimate) pairs shipped
+}
+
+func encodeDone(r doneReport) []byte {
+	buf := make([]byte, 0, 20)
+	buf = binary.AppendUvarint(buf, uint64(r.Round))
+	buf = binary.AppendUvarint(buf, uint64(r.Changed))
+	buf = binary.AppendUvarint(buf, uint64(r.SentTotal))
+	buf = binary.AppendUvarint(buf, uint64(r.AppliedTotal))
+	buf = binary.AppendUvarint(buf, uint64(r.PairsTotal))
+	return buf
+}
+
+func decodeDone(data []byte) (doneReport, error) {
+	var r doneReport
+	vals := make([]uint64, 5)
+	off := 0
+	for i := range vals {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return r, fmt.Errorf("cluster: decode done: field %d truncated", i)
+		}
+		vals[i] = v
+		off += n
+	}
+	r.Round = int(vals[0])
+	r.Changed = int(vals[1])
+	r.SentTotal = int64(vals[2])
+	r.AppliedTotal = int64(vals[3])
+	r.PairsTotal = int64(vals[4])
+	return r, nil
+}
+
+// moduloOwner returns the paper's assignment function for the networked
+// deployment.
+func moduloOwner(numHosts int) func(int) int {
+	return func(u int) int { return u % numHosts }
+}
+
+// batchPayload couples a decoded batch with its source for the host inbox.
+type batchPayload struct {
+	from  int
+	batch core.Batch
+}

@@ -1,0 +1,62 @@
+// Package core implements the paper's distributed k-core decomposition
+// protocols: the one-to-one algorithm (Algorithms 1–2), where every graph
+// node is its own process, and the one-to-many algorithm (Algorithms 3–5),
+// where a host is responsible for a set of nodes and internally cascades
+// estimate improvements before shipping batches to neighboring hosts.
+//
+// Protocol processes plug into the round kernel in internal/sim; the
+// RunOneToOne and RunOneToMany drivers wire everything together and expose
+// the paper's figures of merit (execution time in rounds, messages per
+// node, estimates shipped between hosts, and per-round error traces).
+package core
+
+import "math"
+
+// InfEstimate is the initial "+∞" neighbor estimate of Algorithm 1.
+const InfEstimate = math.MaxInt32
+
+// EstimateMsg is the paper's ⟨u, core⟩ update: node u's current coreness
+// estimate.
+type EstimateMsg struct {
+	Node int
+	Core int
+}
+
+// Batch is the paper's ⟨S⟩ message in the one-to-many scenario: a set of
+// estimate updates shipped between hosts.
+type Batch []EstimateMsg
+
+// ComputeIndex is Algorithm 2: given the current estimates of a node's
+// neighbors and the node's own current estimate bound k, it returns the
+// largest value i <= k such that at least i neighbor estimates are >= i.
+//
+// est is indexed by neighbor position; values above k (including
+// InfEstimate) saturate at k. count is scratch space of length >= k+1; it
+// is zeroed and reused to keep the per-message cost allocation-free.
+func ComputeIndex(est []int, k int, count []int) int {
+	if k <= 0 {
+		return 0
+	}
+	count = count[:k+1]
+	for i := range count {
+		count[i] = 0
+	}
+	for _, e := range est {
+		j := e
+		if j > k {
+			j = k
+		}
+		if j > 0 {
+			count[j]++
+		}
+	}
+	// Suffix-sum so count[i] is the number of neighbors with estimate >= i.
+	for i := k; i >= 2; i-- {
+		count[i-1] += count[i]
+	}
+	i := k
+	for i > 1 && count[i] < i {
+		i--
+	}
+	return i
+}

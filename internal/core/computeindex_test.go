@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// specIndex is the obvious O(k·deg) specification: the largest i <= k such
+// that at least i estimates are >= i.
+func specIndex(est []int, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	for i := k; i >= 1; i-- {
+		cnt := 0
+		for _, e := range est {
+			if e >= i {
+				cnt++
+			}
+		}
+		if cnt >= i {
+			return i
+		}
+	}
+	return 1
+}
+
+func callComputeIndex(est []int, k int) int {
+	return ComputeIndex(est, k, make([]int, k+1))
+}
+
+func TestComputeIndexExamples(t *testing.T) {
+	tests := []struct {
+		name string
+		est  []int
+		k    int
+		want int
+	}{
+		{"all infinite", []int{InfEstimate, InfEstimate, InfEstimate}, 3, 3},
+		{"paper fig2 node2 after trigger", []int{1, 3, 3}, 3, 2},
+		{"single low neighbor", []int{1}, 5, 1},
+		{"zero bound", []int{4, 4}, 0, 0},
+		{"bound below values", []int{9, 9, 9}, 2, 2},
+		{"exactly threshold", []int{2, 2}, 2, 2},
+		{"just under threshold", []int{2, 1}, 2, 1},
+		{"empty neighbors", nil, 0, 0},
+		{"mixed", []int{5, 1, 3, 2, 4}, 5, 3},
+		{"zeros ignored", []int{0, 0, 3, 3, 3}, 3, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := callComputeIndex(tt.est, tt.k); got != tt.want {
+				t.Fatalf("ComputeIndex(%v, %d) = %d, want %d", tt.est, tt.k, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestComputeIndexMatchesSpecProperty(t *testing.T) {
+	check := func(raw []uint8, kRaw uint8) bool {
+		k := int(kRaw) % 20
+		est := make([]int, len(raw))
+		for i, r := range raw {
+			est[i] = int(r) % 25
+		}
+		return callComputeIndex(est, k) == specIndex(est, k)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeIndexNeverExceedsBound(t *testing.T) {
+	check := func(raw []uint8, kRaw uint8) bool {
+		k := int(kRaw) % 30
+		est := make([]int, len(raw))
+		for i, r := range raw {
+			est[i] = int(r)
+		}
+		got := callComputeIndex(est, k)
+		return got <= k && got >= 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeIndexScratchReuse(t *testing.T) {
+	// The same (dirty) scratch buffer must not change results.
+	scratch := make([]int, 32)
+	for i := range scratch {
+		scratch[i] = 999
+	}
+	est := []int{5, 1, 3, 2, 4}
+	if got := ComputeIndex(est, 5, scratch); got != 3 {
+		t.Fatalf("dirty scratch: got %d, want 3", got)
+	}
+	if got := ComputeIndex(est, 5, scratch); got != 3 {
+		t.Fatalf("second reuse: got %d, want 3", got)
+	}
+}

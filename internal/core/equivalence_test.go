@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"dkcore/internal/gen"
+	"dkcore/internal/sim"
+)
+
+// TestOneToManyWithOneHostPerNodeEqualsOneToOne validates the paper's §1
+// observation that the one-to-one scenario is the degenerate case of
+// one-to-many ("each host storing only one node and its edges"): with
+// |H| = N, modulo assignment and point-to-point batches, the protocol
+// performs exactly the one-to-one run — same execution time and same
+// per-round dynamics under the same seed.
+func TestOneToManyWithOneHostPerNodeEqualsOneToOne(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, mode := range []sim.DeliveryMode{sim.DeliverNextRound, sim.DeliverSameRound} {
+			g := gen.GNM(120, 480, 7)
+			one, err := RunOneToOne(g, WithSeed(seed), WithDelivery(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			many, err := RunOneToMany(g, ModuloAssignment{H: g.NumNodes()},
+				WithSeed(seed), WithDelivery(mode), WithDissemination(PointToPoint))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := range one.Coreness {
+				if one.Coreness[u] != many.Coreness[u] {
+					t.Fatalf("seed %d mode %v: coreness differs at node %d", seed, mode, u)
+				}
+			}
+			if one.ExecutionTime != many.ExecutionTime {
+				t.Fatalf("seed %d mode %v: one-to-one t=%d, one-host-per-node t=%d",
+					seed, mode, one.ExecutionTime, many.ExecutionTime)
+			}
+			// Without the send optimization, every shipped batch in the
+			// degenerate case carries exactly one estimate, so message
+			// counts coincide too.
+			if one.TotalMessages != many.TotalMessages {
+				t.Fatalf("seed %d mode %v: messages %d vs %d",
+					seed, mode, one.TotalMessages, many.TotalMessages)
+			}
+			if many.EstimatesSent != many.TotalMessages {
+				t.Fatalf("degenerate batches should be singletons: %d pairs in %d messages",
+					many.EstimatesSent, many.TotalMessages)
+			}
+		}
+	}
+}
+
+// TestOneToManyRoundsEquivalentToOneToOne checks the paper's §5.2
+// statement: "the number of rounds needed to complete the protocol was
+// equivalent to that of the one-to-one version" — grouping nodes onto
+// fewer hosts does not slow convergence (the internal cascade can only
+// accelerate it).
+func TestOneToManyRoundsEquivalentToOneToOne(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 9)
+	base, err := RunOneToOne(g, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hosts := range []int{2, 8, 64} {
+		res, err := RunOneToMany(g, ModuloAssignment{H: hosts},
+			WithSeed(4), WithDissemination(PointToPoint))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExecutionTime > base.ExecutionTime+2 {
+			t.Fatalf("hosts=%d: %d rounds vs one-to-one %d — not equivalent",
+				hosts, res.ExecutionTime, base.ExecutionTime)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import "sort"
+
+// HostState is the transport-agnostic protocol state machine of a
+// one-to-many host (Algorithms 3–5). It is shared by the simulator
+// adapter in this package and the networked host in internal/cluster:
+// callers feed it incoming batches and ask it for outgoing ones; the state
+// machine neither knows nor cares how batches travel.
+type HostState struct {
+	selfID int
+	owned  []int         // V(x), sorted
+	adj    map[int][]int // global adjacency of owned nodes
+
+	est     map[int]int  // V(x) ∪ neighborV(x) → freshest estimate
+	changed map[int]bool // owned nodes changed since last collection
+	dirty   bool         // est changed since last Improve
+
+	neighborHosts []int
+	borderTo      map[int][]int // host → owned nodes with a neighbor there
+
+	count []int
+	ests  []int
+}
+
+// NewHostState builds the state machine for host selfID owning the given
+// nodes. adj maps every owned node to its full (global) adjacency list;
+// owner maps any node ID to its responsible host.
+func NewHostState(selfID int, owned []int, adj map[int][]int, owner func(node int) int) *HostState {
+	s := &HostState{
+		selfID:   selfID,
+		owned:    append([]int(nil), owned...),
+		adj:      adj,
+		est:      make(map[int]int),
+		changed:  make(map[int]bool),
+		borderTo: make(map[int][]int),
+	}
+	sort.Ints(s.owned)
+	maxDeg := 0
+	seenHost := make(map[int]bool)
+	for _, u := range s.owned {
+		ns := adj[u]
+		if len(ns) > maxDeg {
+			maxDeg = len(ns)
+		}
+		seenBorder := make(map[int]bool)
+		for _, v := range ns {
+			hv := owner(v)
+			if hv == selfID {
+				continue
+			}
+			seenHost[hv] = true
+			if !seenBorder[hv] {
+				seenBorder[hv] = true
+				s.borderTo[hv] = append(s.borderTo[hv], u)
+			}
+		}
+	}
+	for hv := range seenHost {
+		s.neighborHosts = append(s.neighborHosts, hv)
+	}
+	sort.Ints(s.neighborHosts)
+	s.count = make([]int, maxDeg+1)
+	s.ests = make([]int, 0, maxDeg)
+	return s
+}
+
+// InitEstimates sets est[u] = d(u) for owned nodes and +∞ for external
+// neighbors, runs the local cascade, and marks every owned node changed so
+// the first collection ships all initial estimates (Algorithm 3's
+// initialization).
+func (s *HostState) InitEstimates() {
+	for _, u := range s.owned {
+		s.est[u] = len(s.adj[u])
+	}
+	for _, u := range s.owned {
+		for _, v := range s.adj[u] {
+			if _, ok := s.est[v]; !ok {
+				s.est[v] = InfEstimate
+			}
+		}
+	}
+	s.Improve()
+	for _, u := range s.owned {
+		s.changed[u] = true
+	}
+}
+
+// Apply lowers known estimates from an incoming batch. It reports whether
+// any entry improved.
+func (s *HostState) Apply(batch Batch) bool {
+	improved := false
+	for _, m := range batch {
+		if cur, ok := s.est[m.Node]; ok && m.Core < cur {
+			s.est[m.Node] = m.Core
+			s.dirty = true
+			improved = true
+		}
+	}
+	return improved
+}
+
+// Improve is Algorithm 4: cascade ComputeIndex over the owned nodes until
+// none improves.
+func (s *HostState) Improve() {
+	again := true
+	for again {
+		again = false
+		for _, u := range s.owned {
+			ku := s.est[u]
+			if ku == 0 {
+				continue
+			}
+			s.ests = s.ests[:0]
+			for _, v := range s.adj[u] {
+				s.ests = append(s.ests, s.est[v])
+			}
+			if k := ComputeIndex(s.ests, ku, s.count); k < ku {
+				s.est[u] = k
+				s.changed[u] = true
+				again = true
+			}
+		}
+	}
+	s.dirty = false
+}
+
+// ImproveIfDirty runs Improve only when an Apply lowered something since
+// the last cascade.
+func (s *HostState) ImproveIfDirty() {
+	if s.dirty {
+		s.Improve()
+	}
+}
+
+// HasChanges reports whether any owned estimate awaits shipping.
+func (s *HostState) HasChanges() bool { return len(s.changed) > 0 }
+
+// ChangedCount returns the number of owned estimates changed since the
+// last collection.
+func (s *HostState) ChangedCount() int { return len(s.changed) }
+
+// CollectBroadcast returns one batch with every changed owned estimate and
+// clears the changed set (the §3.2.1 broadcast policy). It returns nil
+// when nothing changed.
+func (s *HostState) CollectBroadcast() Batch {
+	if len(s.changed) == 0 {
+		return nil
+	}
+	batch := make(Batch, 0, len(s.changed))
+	for _, u := range s.owned {
+		if s.changed[u] {
+			batch = append(batch, EstimateMsg{Node: u, Core: s.est[u]})
+		}
+	}
+	s.clearChanged()
+	return batch
+}
+
+// CollectPointToPoint returns, per neighboring host, the batch of changed
+// border estimates relevant to it (Algorithm 5), then clears the changed
+// set. Hosts with no relevant changes are absent from the map.
+func (s *HostState) CollectPointToPoint() map[int]Batch {
+	if len(s.changed) == 0 {
+		return nil
+	}
+	out := make(map[int]Batch)
+	for _, y := range s.neighborHosts {
+		var batch Batch
+		for _, u := range s.borderTo[y] {
+			if s.changed[u] {
+				batch = append(batch, EstimateMsg{Node: u, Core: s.est[u]})
+			}
+		}
+		if len(batch) > 0 {
+			out[y] = batch
+		}
+	}
+	s.clearChanged()
+	return out
+}
+
+func (s *HostState) clearChanged() {
+	for u := range s.changed {
+		delete(s.changed, u)
+	}
+}
+
+// Estimate returns the current estimate for node u if this host tracks it
+// (owned or neighboring).
+func (s *HostState) Estimate(u int) (int, bool) {
+	e, ok := s.est[u]
+	return e, ok
+}
+
+// Owned returns the host's node set (sorted, shared slice — do not
+// modify).
+func (s *HostState) Owned() []int { return s.owned }
+
+// NeighborHosts returns the hosts owning at least one neighbor of this
+// host's nodes (sorted, shared slice — do not modify).
+func (s *HostState) NeighborHosts() []int { return s.neighborHosts }

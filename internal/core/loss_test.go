@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"dkcore/internal/gen"
+	"dkcore/internal/kcore"
+)
+
+// TestLossBreaksLivenessButNotSafety shows why the paper assumes reliable
+// channels (§2): with messages dropped and no retransmission, the
+// protocol can quiesce at wrong (over-)estimates — but never below the
+// true coreness.
+func TestLossBreaksLivenessButNotSafety(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 7)
+	truth := kcore.Decompose(g).CorenessValues()
+
+	sawWrong := false
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := RunOneToOne(g, WithSeed(seed), WithLoss(0.4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u, k := range res.Coreness {
+			if k < truth[u] {
+				t.Fatalf("seed %d: safety violated at node %d: %d < %d", seed, u, k, truth[u])
+			}
+			if k > truth[u] {
+				sawWrong = true
+			}
+		}
+	}
+	if !sawWrong {
+		t.Fatalf("40%% loss never produced a wrong result across 5 seeds; loss injection ineffective?")
+	}
+}
+
+// TestRetransmissionRestoresExactnessUnderLoss shows the extension: with
+// periodic rebroadcasts, lost updates are eventually replaced and the
+// protocol converges to the exact decomposition despite heavy loss.
+func TestRetransmissionRestoresExactnessUnderLoss(t *testing.T) {
+	g := gen.GNM(200, 800, 11)
+	truth := kcore.Decompose(g).CorenessValues()
+	res, err := RunOneToOne(g,
+		WithSeed(3),
+		WithLoss(0.3),
+		WithRetransmitEvery(2),
+		WithMaxRounds(400),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, k := range res.Coreness {
+		if k != truth[u] {
+			t.Fatalf("node %d: got %d want %d despite retransmission", u, k, truth[u])
+		}
+	}
+}
+
+// TestRetransmissionWithSendOptimization checks the two extensions
+// compose: the §3.1.2 filter may suppress retransmissions that provably
+// cannot help, and the result stays exact.
+func TestRetransmissionWithSendOptimization(t *testing.T) {
+	g := gen.GNM(150, 600, 13)
+	truth := kcore.Decompose(g).CorenessValues()
+	res, err := RunOneToOne(g,
+		WithSeed(5),
+		WithLoss(0.25),
+		WithRetransmitEvery(3),
+		WithSendOptimization(true),
+		WithMaxRounds(400),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, k := range res.Coreness {
+		if k != truth[u] {
+			t.Fatalf("node %d: got %d want %d", u, k, truth[u])
+		}
+	}
+}
+
+// TestLossIsCountedAndDeterministic checks the engine accounting and
+// that the same seed reproduces the same losses.
+func TestLossIsCountedAndDeterministic(t *testing.T) {
+	g := gen.GNM(100, 400, 17)
+	run := func() *Result {
+		res, err := RunOneToOne(g, WithSeed(9), WithLoss(0.2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalMessages != b.TotalMessages || a.ExecutionTime != b.ExecutionTime {
+		t.Fatalf("lossy runs with same seed diverged: %+v vs %+v", a, b)
+	}
+	for u := range a.Coreness {
+		if a.Coreness[u] != b.Coreness[u] {
+			t.Fatalf("coreness diverged at node %d", u)
+		}
+	}
+}
+
+// TestZeroLossMatchesDefault ensures WithLoss(0) is a no-op.
+func TestZeroLossMatchesDefault(t *testing.T) {
+	g := gen.GNM(120, 500, 19)
+	plain, err := RunOneToOne(g, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossZero, err := RunOneToOne(g, WithSeed(21), WithLoss(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalMessages != lossZero.TotalMessages || plain.ExecutionTime != lossZero.ExecutionTime {
+		t.Fatalf("WithLoss(0) changed the run: %+v vs %+v", plain, lossZero)
+	}
+}
+
+// TestRetransmitUsesFullBudgetDeterministically: the fixed budget runs
+// to completion without a budget error even though the system never
+// quiesces.
+func TestRetransmitRunsFixedBudget(t *testing.T) {
+	g := gen.Chain(30)
+	res, err := RunOneToOne(g, WithRetransmitEvery(1), WithMaxRounds(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := kcore.Decompose(g).CorenessValues()
+	for u, k := range res.Coreness {
+		if k != truth[u] {
+			t.Fatalf("node %d: got %d want %d", u, k, truth[u])
+		}
+	}
+}

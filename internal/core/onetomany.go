@@ -1,0 +1,104 @@
+package core
+
+import (
+	"dkcore/internal/graph"
+	"dkcore/internal/sim"
+)
+
+// Dissemination selects how a host ships estimate updates (§3.2.1).
+type Dissemination int
+
+const (
+	// Broadcast models a broadcast medium: one batch per round carrying
+	// every estimate changed since the previous round, heard by all
+	// neighboring hosts. Each changed estimate counts once toward the
+	// overhead metric.
+	Broadcast Dissemination = iota + 1
+	// PointToPoint is Algorithm 5: for every neighboring host, a batch
+	// containing only the changed estimates of nodes with a neighbor on
+	// that host. An estimate shipped to d hosts counts d times toward the
+	// overhead metric.
+	PointToPoint
+)
+
+// oneToManyHost adapts the HostState protocol machine to the simulation
+// kernel: one simulated process per host.
+type oneToManyHost struct {
+	state *HostState
+	mode  Dissemination
+
+	// estimatesSent counts shipped (node, estimate) pairs: the overhead
+	// numerator of Figure 5.
+	estimatesSent int64
+}
+
+var _ sim.Process[Batch] = (*oneToManyHost)(nil)
+
+// newOneToManyHost builds the host with ID id under the given assignment.
+func newOneToManyHost(g *graph.Graph, id int, assign Assignment, mode Dissemination) *oneToManyHost {
+	var owned []int
+	adj := make(map[int][]int)
+	for u := 0; u < g.NumNodes(); u++ {
+		if assign.Host(u) == id {
+			owned = append(owned, u)
+			adj[u] = g.Neighbors(u)
+		}
+	}
+	return &oneToManyHost{
+		state: NewHostState(id, owned, adj, assign.Host),
+		mode:  mode,
+	}
+}
+
+// Init sets up the estimates and ships the initial batch (Algorithm 3).
+func (h *oneToManyHost) Init(ctx *sim.Context[Batch]) {
+	h.state.InitEstimates()
+	h.ship(ctx)
+}
+
+// Deliver applies a batch of remote estimates.
+func (h *oneToManyHost) Deliver(_ *sim.Context[Batch], _ int, batch Batch) {
+	h.state.Apply(batch)
+}
+
+// Tick re-runs the local cascade if needed and ships changed estimates.
+func (h *oneToManyHost) Tick(ctx *sim.Context[Batch]) {
+	h.state.ImproveIfDirty()
+	h.ship(ctx)
+}
+
+func (h *oneToManyHost) ship(ctx *sim.Context[Batch]) {
+	switch h.mode {
+	case Broadcast:
+		neighbors := h.state.NeighborHosts()
+		if len(neighbors) == 0 {
+			h.state.CollectBroadcast() // still clear flags
+			return
+		}
+		batch := h.state.CollectBroadcast()
+		if len(batch) == 0 {
+			return
+		}
+		// One medium-level broadcast: every neighboring host hears the
+		// same message; each estimate counts once (Figure 5, left).
+		h.estimatesSent += int64(len(batch))
+		for _, y := range neighbors {
+			ctx.Send(y, batch)
+		}
+	case PointToPoint:
+		batches := h.state.CollectPointToPoint()
+		// Iterate hosts in sorted order so runs are bit-for-bit
+		// reproducible under a fixed seed.
+		for _, y := range h.state.NeighborHosts() {
+			if batch, ok := batches[y]; ok {
+				h.estimatesSent += int64(len(batch))
+				ctx.Send(y, batch)
+			}
+		}
+	}
+}
+
+// Estimate returns the host's current estimate for node u, if tracked.
+func (h *oneToManyHost) Estimate(u int) (int, bool) {
+	return h.state.Estimate(u)
+}

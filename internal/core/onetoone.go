@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+
+	"dkcore/internal/graph"
+	"dkcore/internal/sim"
+)
+
+// oneToOneNode is Algorithm 1: the per-node protocol for the scenario
+// where each graph node is its own host.
+//
+// State follows the paper exactly: core is the local coreness estimate
+// (initialized to the degree), est holds the most recent estimate received
+// from each neighbor (initialized to +∞), and changed marks whether core
+// was lowered since the last periodic send.
+type oneToOneNode struct {
+	id        int
+	neighbors []int // sorted adjacency, aliases the graph's storage
+	core      int
+	est       []int // est[i] is the last estimate received from neighbors[i]
+	changed   bool
+	sendOpt   bool // §3.1.2: send to v only when core < est[v]
+	// retransmit > 0 rebroadcasts the current estimate every that many
+	// rounds even when unchanged, the loss-tolerance extension.
+	retransmit int
+	count      []int // scratch for computeIndex
+}
+
+var _ sim.Process[EstimateMsg] = (*oneToOneNode)(nil)
+
+func newOneToOneNode(g *graph.Graph, id int, sendOpt bool) *oneToOneNode {
+	ns := g.Neighbors(id)
+	est := make([]int, len(ns))
+	for i := range est {
+		est[i] = InfEstimate
+	}
+	deg := len(ns)
+	return &oneToOneNode{
+		id:        id,
+		neighbors: ns,
+		core:      deg,
+		est:       est,
+		sendOpt:   sendOpt,
+		count:     make([]int, deg+1),
+	}
+}
+
+// Init broadcasts ⟨u, d(u)⟩ to every neighbor.
+func (n *oneToOneNode) Init(ctx *sim.Context[EstimateMsg]) {
+	msg := EstimateMsg{Node: n.id, Core: n.core}
+	for _, v := range n.neighbors {
+		ctx.Send(v, msg)
+	}
+}
+
+// Deliver handles a ⟨v, k⟩ message: store the improved neighbor estimate
+// and recompute the local one.
+func (n *oneToOneNode) Deliver(_ *sim.Context[EstimateMsg], from int, msg EstimateMsg) {
+	i := n.neighborIndex(from)
+	if i < 0 {
+		return // not a neighbor; ignore stray traffic
+	}
+	if msg.Core >= n.est[i] {
+		return
+	}
+	n.est[i] = msg.Core
+	if t := ComputeIndex(n.est, n.core, n.count); t < n.core {
+		n.core = t
+		n.changed = true
+	}
+}
+
+// Tick is the periodic (every δ) block: if the estimate changed since the
+// last round — or a retransmission round came due — send the current
+// value to the neighbors.
+func (n *oneToOneNode) Tick(ctx *sim.Context[EstimateMsg]) {
+	refresh := n.retransmit > 0 && ctx.Round()%n.retransmit == 0
+	if !n.changed && !refresh {
+		return
+	}
+	msg := EstimateMsg{Node: n.id, Core: n.core}
+	for i, v := range n.neighbors {
+		if n.sendOpt && n.core >= n.est[i] {
+			// The new estimate cannot lower v's index; skip the message.
+			continue
+		}
+		ctx.Send(v, msg)
+	}
+	n.changed = false
+}
+
+// Core returns the node's current coreness estimate.
+func (n *oneToOneNode) Core() int { return n.core }
+
+func (n *oneToOneNode) neighborIndex(v int) int {
+	i := sort.SearchInts(n.neighbors, v)
+	if i < len(n.neighbors) && n.neighbors[i] == v {
+		return i
+	}
+	return -1
+}

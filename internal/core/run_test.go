@@ -1,0 +1,363 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dkcore/internal/gen"
+	"dkcore/internal/graph"
+	"dkcore/internal/kcore"
+	"dkcore/internal/sim"
+)
+
+// paperFig2 is the worked example of §3.1.1 (see kcore tests).
+func paperFig2() *graph.Graph {
+	return graph.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}, {4, 5},
+	})
+}
+
+func corenessEqual(t *testing.T, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch: %d vs %d", len(got), len(want))
+	}
+	for u := range want {
+		if got[u] != want[u] {
+			t.Fatalf("node %d: got coreness %d, want %d", u, got[u], want[u])
+		}
+	}
+}
+
+func TestOneToOnePaperFig2(t *testing.T) {
+	res, err := RunOneToOne(paperFig2(), WithDelivery(sim.DeliverNextRound))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corenessEqual(t, res.Coreness, []int{1, 2, 2, 2, 2, 1})
+}
+
+func TestOneToOneMatchesSequentialAcrossFamilies(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnm":       gen.GNM(200, 800, 3),
+		"ba":        gen.BarabasiAlbert(300, 3, 4),
+		"grid":      gen.Grid(12, 15),
+		"chain":     gen.Chain(50),
+		"star":      gen.Star(40),
+		"complete":  gen.Complete(20),
+		"caveman":   gen.Caveman(5, 6),
+		"worstcase": gen.WorstCase(30),
+		"powerlaw":  gen.PowerLaw(gen.PowerLawConfig{N: 250, Exponent: 2.4, MinDeg: 1, MaxDeg: 30}, 5),
+		"isolated":  graph.FromEdges(10, [][2]int{{0, 1}}),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			want := kcore.Decompose(g).CorenessValues()
+			for _, mode := range []sim.DeliveryMode{sim.DeliverNextRound, sim.DeliverSameRound} {
+				res, err := RunOneToOne(g, WithDelivery(mode), WithSeed(7))
+				if err != nil {
+					t.Fatal(err)
+				}
+				corenessEqual(t, res.Coreness, want)
+			}
+		})
+	}
+}
+
+func TestOneToOneSendOptimizationPreservesResult(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 4, 9)
+	want := kcore.Decompose(g).CorenessValues()
+	plain, err := RunOneToOne(g, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := RunOneToOne(g, WithSeed(3), WithSendOptimization(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corenessEqual(t, plain.Coreness, want)
+	corenessEqual(t, opt.Coreness, want)
+	if opt.TotalMessages >= plain.TotalMessages {
+		t.Fatalf("optimization did not reduce messages: %d >= %d", opt.TotalMessages, plain.TotalMessages)
+	}
+	// The paper reports roughly 50% savings; allow a generous band.
+	ratio := float64(opt.TotalMessages) / float64(plain.TotalMessages)
+	if ratio > 0.95 {
+		t.Fatalf("optimization saved only %.1f%%", (1-ratio)*100)
+	}
+}
+
+func TestOneToOneRandomGraphsProperty(t *testing.T) {
+	check := func(seed int64, nRaw, density uint8) bool {
+		n := int(nRaw)%40 + 2
+		m := (int(density) * n * (n - 1) / 2) / 400
+		g := gen.GNM(n, m, seed)
+		want := kcore.Decompose(g).CorenessValues()
+		res, err := RunOneToOne(g, WithSeed(seed), WithDelivery(sim.DeliverSameRound))
+		if err != nil {
+			return false
+		}
+		for u := range want {
+			if res.Coreness[u] != want[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorstCaseTakesExactlyNMinusOneRounds(t *testing.T) {
+	// §4.2: the Figure-3 family needs exactly N-1 rounds under strict
+	// synchrony, in the paper's footnote-1 counting that includes the
+	// final ineffective delivery round (T+1 = RoundsToQuiescence). The
+	// last estimate change happens in round N-2.
+	for _, n := range []int{8, 12, 20, 40, 80} {
+		g := gen.WorstCase(n)
+		res, err := RunOneToOne(g, WithDelivery(sim.DeliverNextRound))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RoundsToQuiescence != n-1 {
+			t.Fatalf("n=%d: rounds to quiescence %d, want %d", n, res.RoundsToQuiescence, n-1)
+		}
+		if res.ExecutionTime != n-2 {
+			t.Fatalf("n=%d: execution time %d, want %d", n, res.ExecutionTime, n-2)
+		}
+	}
+}
+
+func TestChainTakesCeilHalfNRounds(t *testing.T) {
+	// §4.2: "a linear chain of size N requires ⌈N/2⌉ rounds to converge."
+	for _, n := range []int{2, 3, 10, 11, 50, 51} {
+		g := gen.Chain(n)
+		res, err := RunOneToOne(g, WithDelivery(sim.DeliverNextRound))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (n + 1) / 2
+		if res.ExecutionTime != want {
+			t.Fatalf("chain(%d): execution time %d, want %d", n, res.ExecutionTime, want)
+		}
+	}
+}
+
+func TestExecutionTimeWithinTheoremBounds(t *testing.T) {
+	// Theorem 4: t <= 1 + Σ(d(u) - k(u)). Corollary 1: t <= N - K + 1.
+	graphs := map[string]*graph.Graph{
+		"gnm":   gen.GNM(150, 500, 11),
+		"ba":    gen.BarabasiAlbert(150, 3, 12),
+		"worst": gen.WorstCase(40),
+		"grid":  gen.Grid(10, 10),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			d := kcore.Decompose(g)
+			res, err := RunOneToOne(g, WithDelivery(sim.DeliverNextRound))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumErr := 1
+			for u := 0; u < g.NumNodes(); u++ {
+				sumErr += g.Degree(u) - d.Coreness(u)
+			}
+			if res.ExecutionTime > sumErr {
+				t.Fatalf("execution time %d exceeds Theorem 4 bound %d", res.ExecutionTime, sumErr)
+			}
+			minDeg := g.MinDegree()
+			kCount := 0
+			for u := 0; u < g.NumNodes(); u++ {
+				if g.Degree(u) == minDeg {
+					kCount++
+				}
+			}
+			bound := g.NumNodes() - kCount + 1
+			if res.ExecutionTime > bound {
+				t.Fatalf("execution time %d exceeds Corollary 1 bound %d", res.ExecutionTime, bound)
+			}
+		})
+	}
+}
+
+func TestMessageComplexityBound(t *testing.T) {
+	// Corollary 2: without the send optimization, total messages are at
+	// most Σd²(v) - 2M.
+	for _, g := range []*graph.Graph{
+		gen.GNM(100, 400, 5),
+		gen.BarabasiAlbert(120, 4, 6),
+		gen.WorstCase(30),
+	} {
+		res, err := RunOneToOne(g, WithDelivery(sim.DeliverNextRound))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := g.SumSquaredDegrees() - 2*int64(g.NumEdges())
+		if res.TotalMessages > bound {
+			t.Fatalf("messages %d exceed Corollary 2 bound %d", res.TotalMessages, bound)
+		}
+	}
+}
+
+func TestSafetyInvariantViaSnapshots(t *testing.T) {
+	// Theorem 2 (safety): estimates never drop below the true coreness;
+	// by construction they are also non-increasing round over round.
+	g := gen.BarabasiAlbert(200, 3, 15)
+	truth := kcore.Decompose(g).CorenessValues()
+	prev := make([]int, g.NumNodes())
+	for i := range prev {
+		prev[i] = InfEstimate
+	}
+	violated := false
+	_, err := RunOneToOne(g,
+		WithSeed(2),
+		WithSnapshot(func(round int, est []int) {
+			for u, e := range est {
+				if e < truth[u] || e > prev[u] {
+					violated = true
+				}
+				prev[u] = e
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatalf("safety or monotonicity violated")
+	}
+}
+
+func TestErrorTracesConvergeToZero(t *testing.T) {
+	g := gen.GNM(150, 600, 21)
+	truth := kcore.Decompose(g).CorenessValues()
+	res, err := RunOneToOne(g, WithGroundTruth(truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AvgErrorTrace) == 0 {
+		t.Fatalf("no error trace recorded")
+	}
+	last := len(res.AvgErrorTrace) - 1
+	if res.AvgErrorTrace[last] != 0 || res.MaxErrorTrace[last] != 0 {
+		t.Fatalf("final error nonzero: avg %v max %v", res.AvgErrorTrace[last], res.MaxErrorTrace[last])
+	}
+	for i := 1; i < len(res.AvgErrorTrace); i++ {
+		if res.AvgErrorTrace[i] > res.AvgErrorTrace[i-1]+1e-9 {
+			t.Fatalf("average error increased at round %d", i+1)
+		}
+	}
+}
+
+func TestOneToManyMatchesSequential(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 31)
+	want := kcore.Decompose(g).CorenessValues()
+	for _, hosts := range []int{1, 2, 4, 8, 32, 300} {
+		for _, mode := range []Dissemination{Broadcast, PointToPoint} {
+			res, err := RunOneToMany(g, ModuloAssignment{H: hosts},
+				WithDissemination(mode), WithSeed(5))
+			if err != nil {
+				t.Fatalf("hosts=%d mode=%v: %v", hosts, mode, err)
+			}
+			corenessEqual(t, res.Coreness, want)
+		}
+	}
+}
+
+func TestOneToManyAssignmentPolicies(t *testing.T) {
+	g := gen.GNM(200, 900, 17)
+	want := kcore.Decompose(g).CorenessValues()
+	assigns := map[string]Assignment{
+		"modulo": ModuloAssignment{H: 7},
+		"block":  BlockAssignment{N: 200, H: 7},
+		"random": NewRandomAssignment(200, 7, 99),
+	}
+	for name, a := range assigns {
+		t.Run(name, func(t *testing.T) {
+			res, err := RunOneToMany(g, a, WithDissemination(PointToPoint))
+			if err != nil {
+				t.Fatal(err)
+			}
+			corenessEqual(t, res.Coreness, want)
+		})
+	}
+}
+
+func TestOneToManySingleHostSendsNothing(t *testing.T) {
+	g := gen.GNM(100, 300, 23)
+	res, err := RunOneToMany(g, ModuloAssignment{H: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMessages != 0 || res.EstimatesSent != 0 {
+		t.Fatalf("single host sent %d messages / %d estimates, want 0",
+			res.TotalMessages, res.EstimatesSent)
+	}
+	want := kcore.Decompose(g).CorenessValues()
+	corenessEqual(t, res.Coreness, want)
+}
+
+func TestOneToManyBroadcastCheaperThanPointToPoint(t *testing.T) {
+	// Figure 5: with a broadcast medium the per-node overhead is far
+	// lower than with point-to-point dissemination.
+	g := gen.BarabasiAlbert(400, 4, 41)
+	bc, err := RunOneToMany(g, ModuloAssignment{H: 16}, WithDissemination(Broadcast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2p, err := RunOneToMany(g, ModuloAssignment{H: 16}, WithDissemination(PointToPoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.EstimatesSent >= p2p.EstimatesSent {
+		t.Fatalf("broadcast overhead %d >= point-to-point %d", bc.EstimatesSent, p2p.EstimatesSent)
+	}
+}
+
+func TestOneToManyRandomProperty(t *testing.T) {
+	check := func(seed int64, nRaw, hostsRaw, density uint8) bool {
+		n := int(nRaw)%50 + 2
+		hosts := int(hostsRaw)%8 + 1
+		m := (int(density) * n * (n - 1) / 2) / 400
+		g := gen.GNM(n, m, seed)
+		want := kcore.Decompose(g).CorenessValues()
+		res, err := RunOneToMany(g, ModuloAssignment{H: hosts},
+			WithSeed(seed), WithDissemination(PointToPoint))
+		if err != nil {
+			return false
+		}
+		for u := range want {
+			if res.Coreness[u] != want[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsZeroHosts(t *testing.T) {
+	g := gen.Chain(5)
+	if _, err := RunOneToMany(g, ModuloAssignment{H: 0}); err == nil {
+		t.Fatalf("zero hosts accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := gen.GNM(150, 600, 2)
+	a, err := RunOneToOne(g, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOneToOne(g, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecutionTime != b.ExecutionTime || a.TotalMessages != b.TotalMessages {
+		t.Fatalf("same seed, different outcome: %d/%d vs %d/%d",
+			a.ExecutionTime, a.TotalMessages, b.ExecutionTime, b.TotalMessages)
+	}
+}

@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"testing"
+
+	"dkcore/internal/graph"
+	"dkcore/internal/kcore"
+)
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("registry has %d datasets, want 9 (Table 1)", len(all))
+	}
+	seen := map[string]bool{}
+	for i, d := range all {
+		if d.Index != i+1 {
+			t.Fatalf("dataset %q has index %d at position %d", d.Key, d.Index, i)
+		}
+		if d.Key == "" || d.Name == "" || d.Analogue == "" || d.Build == nil {
+			t.Fatalf("dataset %d incomplete: %+v", i, d)
+		}
+		if seen[d.Key] {
+			t.Fatalf("duplicate key %q", d.Key)
+		}
+		seen[d.Key] = true
+		if d.Paper.Nodes == 0 || d.Paper.TAvg == 0 {
+			t.Fatalf("dataset %q missing paper stats", d.Key)
+		}
+	}
+}
+
+func TestByKey(t *testing.T) {
+	d, err := ByKey("berkstan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "web-BerkStan" {
+		t.Fatalf("got %q", d.Name)
+	}
+	if _, err := ByKey("nope"); err == nil {
+		t.Fatalf("unknown key accepted")
+	}
+}
+
+func TestBuildersDeterministicAndConnectedEnough(t *testing.T) {
+	for _, d := range All() {
+		d := d
+		t.Run(d.Key, func(t *testing.T) {
+			g1 := d.Build(0.08, 1)
+			g2 := d.Build(0.08, 1)
+			if !g1.Equal(g2) {
+				t.Fatalf("%s: not deterministic", d.Key)
+			}
+			if g1.NumNodes() < 20 || g1.NumEdges() < 20 {
+				t.Fatalf("%s: degenerate graph %d/%d", d.Key, g1.NumNodes(), g1.NumEdges())
+			}
+			// The largest component must dominate so protocol rounds are
+			// meaningful.
+			comp := graph.LargestComponent(g1)
+			if len(comp) < g1.NumNodes()/2 {
+				t.Fatalf("%s: largest component %d of %d nodes", d.Key, len(comp), g1.NumNodes())
+			}
+		})
+	}
+}
+
+func TestAnaloguesMatchStructuralShape(t *testing.T) {
+	// Spot-check the properties each analogue exists to reproduce, at a
+	// small scale.
+	build := func(key string) (*graph.Graph, *kcore.Decomposition) {
+		d, err := ByKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := d.Build(0.15, 7)
+		return g, kcore.Decompose(g)
+	}
+
+	t.Run("roadnet has tiny coreness and large diameter", func(t *testing.T) {
+		g, dec := build("roadnet")
+		if dec.MaxCoreness() != 3 {
+			t.Fatalf("roadnet max coreness = %d, want 3", dec.MaxCoreness())
+		}
+		if d := graph.EstimateDiameter(g, 4); d < 20 {
+			t.Fatalf("roadnet diameter = %d, want large", d)
+		}
+	})
+	t.Run("berkstan combines deep pages with a dense core", func(t *testing.T) {
+		g, dec := build("berkstan")
+		if dec.MaxCoreness() < 15 {
+			t.Fatalf("berkstan max coreness = %d, want >= 15", dec.MaxCoreness())
+		}
+		if d := graph.EstimateDiameter(g, 4); d < 20 {
+			t.Fatalf("berkstan diameter = %d, want large", d)
+		}
+	})
+	t.Run("wikitalk has huge hubs and low average coreness", func(t *testing.T) {
+		g, dec := build("wikitalk")
+		if float64(g.MaxDegree()) < 0.01*float64(g.NumNodes()) {
+			t.Fatalf("wikitalk max degree %d not hub-like for %d nodes", g.MaxDegree(), g.NumNodes())
+		}
+		if dec.AvgCoreness() > 4 {
+			t.Fatalf("wikitalk avg coreness = %v, want small", dec.AvgCoreness())
+		}
+	})
+	t.Run("astroph has a high-coreness nucleus", func(t *testing.T) {
+		_, dec := build("astroph")
+		if dec.MaxCoreness() < 8 {
+			t.Fatalf("astroph max coreness = %d, want >= 8", dec.MaxCoreness())
+		}
+	})
+	t.Run("gnutella stays shallow", func(t *testing.T) {
+		_, dec := build("gnutella")
+		if dec.MaxCoreness() > 8 {
+			t.Fatalf("gnutella max coreness = %d, want small", dec.MaxCoreness())
+		}
+	})
+	t.Run("slashdot has hubs and a dense core", func(t *testing.T) {
+		g, dec := build("slashdot")
+		if float64(g.MaxDegree()) < 20*g.AvgDegree() {
+			t.Fatalf("slashdot max degree %d vs avg %.1f not skewed", g.MaxDegree(), g.AvgDegree())
+		}
+		if dec.MaxCoreness() < 10 {
+			t.Fatalf("slashdot max coreness = %d, want >= 10", dec.MaxCoreness())
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package gen
+
+import (
+	"math"
+
+	"dkcore/internal/graph"
+)
+
+// CollaborationConfig parameterizes Collaboration.
+type CollaborationConfig struct {
+	N            int     // number of authors (nodes)
+	Papers       int     // number of papers (cliques)
+	MinSize      int     // smallest author list (>= 2)
+	MaxSize      int     // largest author list
+	SizeExponent float64 // power-law exponent of author-list sizes (> 1)
+}
+
+// Collaboration returns a co-authorship-style graph: each "paper" turns
+// its author list into a clique. The lead author is chosen preferentially
+// by past participation (a Yule process, so author activity follows a
+// power law without any single node dominating), the remaining authors
+// uniformly (keeping the graph largely connected), and the list size
+// follows a truncated power law — occasional large collaborations are
+// exactly what drives the high maximum coreness of the paper's
+// CA-AstroPh dataset (a paper with s authors plants an (s-1)-core).
+func Collaboration(cfg CollaborationConfig, seed int64) *graph.Graph {
+	check(cfg.N >= 2, "Collaboration: N = %d < 2", cfg.N)
+	check(cfg.Papers >= 1, "Collaboration: Papers = %d < 1", cfg.Papers)
+	check(cfg.MinSize >= 2, "Collaboration: MinSize = %d < 2", cfg.MinSize)
+	check(cfg.MaxSize >= cfg.MinSize && cfg.MaxSize <= cfg.N,
+		"Collaboration: MaxSize = %d out of range [%d, %d]", cfg.MaxSize, cfg.MinSize, cfg.N)
+	check(cfg.SizeExponent > 1, "Collaboration: SizeExponent = %v <= 1", cfg.SizeExponent)
+
+	rng := newRNG(seed)
+
+	// Precompute the size distribution's cumulative weights.
+	sizes := cfg.MaxSize - cfg.MinSize + 1
+	cum := make([]float64, sizes)
+	total := 0.0
+	for i := 0; i < sizes; i++ {
+		total += math.Pow(float64(cfg.MinSize+i), -cfg.SizeExponent)
+		cum[i] = total
+	}
+	drawSize := func() int {
+		r := rng.Float64() * total
+		for i, c := range cum {
+			if r <= c {
+				return cfg.MinSize + i
+			}
+		}
+		return cfg.MaxSize
+	}
+
+	// Every author starts with one unit of activity; each authored paper
+	// adds one more, so lead selection is preferential (rich get richer).
+	activity := make([]int, 0, cfg.N+2*cfg.Papers)
+	for u := 0; u < cfg.N; u++ {
+		activity = append(activity, u)
+	}
+
+	b := graph.NewBuilder(cfg.N)
+	authors := make([]int, 0, cfg.MaxSize)
+	for p := 0; p < cfg.Papers; p++ {
+		size := drawSize()
+		authors = authors[:0]
+		authors = append(authors, activity[rng.Intn(len(activity))])
+		for len(authors) < size {
+			a := rng.Intn(cfg.N)
+			if !containsInt(authors, a) {
+				authors = append(authors, a)
+			}
+		}
+		for i := 0; i < len(authors); i++ {
+			for j := i + 1; j < len(authors); j++ {
+				b.AddEdge(authors[i], authors[j])
+			}
+		}
+		// Lead and first co-author gain future prominence.
+		activity = append(activity, authors[0], authors[1])
+	}
+	return b.Build()
+}

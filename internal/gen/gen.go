@@ -1,0 +1,108 @@
+// Package gen provides deterministic, seeded random-graph generators used
+// as synthetic stand-ins for the paper's SNAP datasets, plus the structured
+// families (chains, grids, the Figure-3 worst case) used by the theory
+// sections.
+//
+// Every generator is a pure function of its parameters and seed: the same
+// inputs always produce the identical graph. Invalid parameters indicate a
+// programming error and panic with a descriptive message, mirroring the
+// convention of math/rand.Intn.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dkcore/internal/graph"
+)
+
+// newRNG returns the deterministic random source used by all generators.
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// check panics with a formatted message when cond is false.
+func check(cond bool, format string, args ...any) {
+	if !cond {
+		panic("gen: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// GNM returns an Erdős–Rényi G(n, m) graph: m distinct undirected edges
+// chosen uniformly at random among the n(n-1)/2 possible pairs. It panics
+// if m exceeds the number of available pairs.
+func GNM(n, m int, seed int64) *graph.Graph {
+	check(n >= 0, "GNM: n = %d < 0", n)
+	maxEdges := n * (n - 1) / 2
+	check(m >= 0 && m <= maxEdges, "GNM: m = %d out of range [0, %d]", m, maxEdges)
+	rng := newRNG(seed)
+	b := graph.NewBuilder(n)
+	seen := make(map[[2]int]bool, m)
+	for len(seen) < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// GNP returns an Erdős–Rényi G(n, p) graph: every pair is an edge
+// independently with probability p. It runs in O(n + m) expected time using
+// geometric skipping.
+func GNP(n int, p float64, seed int64) *graph.Graph {
+	check(n >= 0, "GNP: n = %d < 0", n)
+	check(p >= 0 && p <= 1, "GNP: p = %v out of range [0, 1]", p)
+	b := graph.NewBuilder(n)
+	if p == 0 || n < 2 {
+		return b.Build()
+	}
+	rng := newRNG(seed)
+	if p == 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+		return b.Build()
+	}
+	// Batagelj–Brandes skipping over the implicit pair enumeration.
+	lq := logOneMinus(p)
+	v, w := 1, -1
+	for v < n {
+		w += 1 + geometricSkip(rng, lq)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdge(v, w)
+		}
+	}
+	return b.Build()
+}
+
+// logOneMinus returns ln(1-p) computed safely for p in (0, 1).
+func logOneMinus(p float64) float64 {
+	return math.Log1p(-p)
+}
+
+// geometricSkip draws the number of non-edges to skip.
+func geometricSkip(rng *rand.Rand, lq float64) int {
+	r := rng.Float64()
+	if r == 0 {
+		r = 0.5
+	}
+	return int(math.Log(r) / lq)
+}

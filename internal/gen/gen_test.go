@@ -1,0 +1,317 @@
+package gen
+
+import (
+	"testing"
+
+	"dkcore/internal/graph"
+)
+
+func TestGNMCounts(t *testing.T) {
+	g := GNM(50, 200, 1)
+	if g.NumNodes() != 50 || g.NumEdges() != 200 {
+		t.Fatalf("got %d nodes %d edges, want 50/200", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestGNMDeterministic(t *testing.T) {
+	a := GNM(40, 100, 42)
+	b := GNM(40, 100, 42)
+	if !a.Equal(b) {
+		t.Fatalf("same seed produced different graphs")
+	}
+	c := GNM(40, 100, 43)
+	if a.Equal(c) {
+		t.Fatalf("different seeds produced identical graphs (unlikely)")
+	}
+}
+
+func TestGNMFullAndEmpty(t *testing.T) {
+	if g := GNM(5, 10, 1); g.NumEdges() != 10 {
+		t.Fatalf("complete G(5,10): got %d edges", g.NumEdges())
+	}
+	if g := GNM(5, 0, 1); g.NumEdges() != 0 {
+		t.Fatalf("empty GNM: got %d edges", g.NumEdges())
+	}
+}
+
+func TestGNPEdgeCountPlausible(t *testing.T) {
+	n, p := 300, 0.05
+	g := GNP(n, p, 7)
+	want := p * float64(n*(n-1)/2)
+	got := float64(g.NumEdges())
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("GNP edges = %v, want within 20%% of %v", got, want)
+	}
+	if g := GNP(100, 0, 1); g.NumEdges() != 0 {
+		t.Fatalf("GNP(p=0) has %d edges", g.NumEdges())
+	}
+	if g := GNP(10, 1, 1); g.NumEdges() != 45 {
+		t.Fatalf("GNP(p=1) has %d edges, want 45", g.NumEdges())
+	}
+}
+
+func TestGNPDeterministic(t *testing.T) {
+	if !GNP(100, 0.1, 5).Equal(GNP(100, 0.1, 5)) {
+		t.Fatalf("same seed produced different graphs")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	n, attach := 500, 3
+	g := BarabasiAlbert(n, attach, 9)
+	if g.NumNodes() != n {
+		t.Fatalf("got %d nodes, want %d", g.NumNodes(), n)
+	}
+	// Every non-seed node contributes exactly `attach` edges (dedup may
+	// remove a handful when the same pair is drawn twice, but AddEdge set
+	// semantics make collisions impossible within one node's batch).
+	wantEdges := attach*(attach+1)/2 + (n-attach-1)*attach
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("got %d edges, want %d", g.NumEdges(), wantEdges)
+	}
+	if g.MinDegree() < attach {
+		t.Fatalf("min degree %d < attach %d", g.MinDegree(), attach)
+	}
+	// Preferential attachment must produce a hub noticeably above average.
+	if g.MaxDegree() < 3*attach {
+		t.Fatalf("max degree %d suspiciously small for BA", g.MaxDegree())
+	}
+	if !BarabasiAlbert(100, 2, 4).Equal(BarabasiAlbert(100, 2, 4)) {
+		t.Fatalf("BA not deterministic")
+	}
+}
+
+func TestPowerLawDegreeBounds(t *testing.T) {
+	cfg := PowerLawConfig{N: 400, Exponent: 2.3, MinDeg: 1, MaxDeg: 50}
+	g := PowerLaw(cfg, 3)
+	if g.NumNodes() != cfg.N {
+		t.Fatalf("got %d nodes, want %d", g.NumNodes(), cfg.N)
+	}
+	if g.MaxDegree() > cfg.MaxDeg {
+		t.Fatalf("max degree %d exceeds configured cap %d", g.MaxDegree(), cfg.MaxDeg)
+	}
+	if !PowerLaw(cfg, 3).Equal(g) {
+		t.Fatalf("PowerLaw not deterministic")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	cfg := RMATConfig{Scale: 8, EdgeFactor: 8, A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+	g := RMAT(cfg, 12)
+	if g.NumNodes() != 256 {
+		t.Fatalf("got %d nodes, want 256", g.NumNodes())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 8*256 {
+		t.Fatalf("edge count %d implausible", g.NumEdges())
+	}
+	// Skew: max degree well above average for canonical parameters.
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Fatalf("R-MAT degree distribution not skewed: max %d avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+	if !RMAT(cfg, 12).Equal(g) {
+		t.Fatalf("RMAT not deterministic")
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := Chain(10)
+	if g.NumEdges() != 9 {
+		t.Fatalf("chain(10): %d edges, want 9", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(9) != 1 || g.Degree(5) != 2 {
+		t.Fatalf("chain degrees wrong")
+	}
+	if Chain(1).NumEdges() != 0 {
+		t.Fatalf("chain(1) should have no edges")
+	}
+}
+
+func TestRingStarComplete(t *testing.T) {
+	if g := Ring(6); g.NumEdges() != 6 || g.MinDegree() != 2 || g.MaxDegree() != 2 {
+		t.Fatalf("ring(6) malformed")
+	}
+	if g := Star(7); g.Degree(0) != 6 || g.NumEdges() != 6 {
+		t.Fatalf("star(7) malformed")
+	}
+	if g := Complete(6); g.NumEdges() != 15 || g.MinDegree() != 5 {
+		t.Fatalf("K6 malformed")
+	}
+}
+
+func TestGridAndTorus(t *testing.T) {
+	g := Grid(4, 5)
+	if g.NumNodes() != 20 {
+		t.Fatalf("grid nodes = %d, want 20", g.NumNodes())
+	}
+	// Edge count: rows*(cols-1) + cols*(rows-1) = 4*4 + 5*3 = 31.
+	if g.NumEdges() != 31 {
+		t.Fatalf("grid edges = %d, want 31", g.NumEdges())
+	}
+	if g.Degree(0) != 2 {
+		t.Fatalf("grid corner degree = %d, want 2", g.Degree(0))
+	}
+	tor := Torus(4, 5)
+	if tor.MinDegree() != 4 || tor.MaxDegree() != 4 {
+		t.Fatalf("torus not 4-regular: min %d max %d", tor.MinDegree(), tor.MaxDegree())
+	}
+}
+
+func TestCaveman(t *testing.T) {
+	g := Caveman(4, 5)
+	if g.NumNodes() != 20 {
+		t.Fatalf("caveman nodes = %d, want 20", g.NumNodes())
+	}
+	// 4 cliques of C(5,2)=10 edges plus 4 ring connectors.
+	if g.NumEdges() != 44 {
+		t.Fatalf("caveman edges = %d, want 44", g.NumEdges())
+	}
+	labels, count := graph.ConnectedComponents(g)
+	_ = labels
+	if count != 1 {
+		t.Fatalf("caveman not connected: %d components", count)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(100, 4, 0, 1)
+	if g.MinDegree() != 4 || g.MaxDegree() != 4 {
+		t.Fatalf("WS beta=0 should be 4-regular, got min %d max %d", g.MinDegree(), g.MaxDegree())
+	}
+	g2 := WattsStrogatz(100, 4, 0.3, 1)
+	if g2.NumNodes() != 100 {
+		t.Fatalf("WS nodes = %d", g2.NumNodes())
+	}
+	if g2.Equal(g) {
+		t.Fatalf("rewiring had no effect")
+	}
+	if !WattsStrogatz(100, 4, 0.3, 1).Equal(g2) {
+		t.Fatalf("WS not deterministic")
+	}
+}
+
+func TestWorstCaseStructure(t *testing.T) {
+	for _, n := range []int{5, 8, 12, 31} {
+		g := WorstCase(n)
+		if g.NumNodes() != n {
+			t.Fatalf("n=%d: got %d nodes", n, g.NumNodes())
+		}
+		hub, skip := n-1, n-4
+		if g.Degree(hub) != n-2 {
+			t.Fatalf("n=%d: hub degree = %d, want %d", n, g.Degree(hub), n-2)
+		}
+		if g.Degree(0) != 2 {
+			t.Fatalf("n=%d: trigger degree = %d, want 2", n, g.Degree(0))
+		}
+		if g.HasEdge(hub, skip) {
+			t.Fatalf("n=%d: hub must not touch node N-3", n)
+		}
+		for v := 1; v < n-1; v++ {
+			if v == skip {
+				continue
+			}
+			if g.Degree(v) != 3 {
+				t.Fatalf("n=%d: node %d degree = %d, want 3", n, v, g.Degree(v))
+			}
+		}
+		if g.Degree(skip) != 3 {
+			t.Fatalf("n=%d: node N-3 degree = %d, want 3", n, g.Degree(skip))
+		}
+	}
+}
+
+func TestDeepWeb(t *testing.T) {
+	cfg := DeepWebConfig{
+		CoreNodes: 50, CoreDegree: 12,
+		MidNodes: 200, MidAttach: 2,
+		Filaments: 10, FilamentLen: 40,
+	}
+	g := DeepWeb(cfg, 5)
+	wantNodes := 50 + 200 + 400
+	if g.NumNodes() != wantNodes {
+		t.Fatalf("got %d nodes, want %d", g.NumNodes(), wantNodes)
+	}
+	labels, count := graph.ConnectedComponents(g)
+	_ = labels
+	if count != 1 {
+		t.Fatalf("deep web should be connected, got %d components", count)
+	}
+	// Filaments force a large diameter.
+	if d := graph.EstimateDiameter(g, 4); d < cfg.FilamentLen {
+		t.Fatalf("diameter %d < filament length %d", d, cfg.FilamentLen)
+	}
+	if !DeepWeb(cfg, 5).Equal(g) {
+		t.Fatalf("DeepWeb not deterministic")
+	}
+}
+
+func TestStarBurst(t *testing.T) {
+	cfg := StarBurstConfig{Hubs: 3, LeavesPerHub: 500, CoreNodes: 30, CoreDegree: 8}
+	g := StarBurst(cfg, 5)
+	if g.NumNodes() != 3+30+1500 {
+		t.Fatalf("got %d nodes", g.NumNodes())
+	}
+	if g.MaxDegree() < 500 {
+		t.Fatalf("hub degree %d < 500", g.MaxDegree())
+	}
+	labels, count := graph.ConnectedComponents(g)
+	_ = labels
+	if count != 1 {
+		t.Fatalf("star burst should be connected, got %d components", count)
+	}
+	if !StarBurst(cfg, 5).Equal(g) {
+		t.Fatalf("StarBurst not deterministic")
+	}
+}
+
+func TestGeneratorPanicsOnBadParams(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"GNM too many edges", func() { GNM(3, 10, 1) }},
+		{"GNP bad p", func() { GNP(3, 1.5, 1) }},
+		{"BA n too small", func() { BarabasiAlbert(2, 3, 1) }},
+		{"PowerLaw bad exponent", func() { PowerLaw(PowerLawConfig{N: 10, Exponent: 0.5, MinDeg: 1}, 1) }},
+		{"RMAT bad probs", func() { RMAT(RMATConfig{Scale: 4, EdgeFactor: 2, A: 0.9, B: 0.9, C: 0.1, D: 0.1}, 1) }},
+		{"WorstCase too small", func() { WorstCase(4) }},
+		{"Chain zero", func() { Chain(0) }},
+		{"WS odd k", func() { WattsStrogatz(10, 3, 0.1, 1) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}
+
+func TestCollaboration(t *testing.T) {
+	cfg := CollaborationConfig{
+		N: 600, Papers: 800, MinSize: 2, MaxSize: 30,
+		SizeExponent: 2.0,
+	}
+	g := Collaboration(cfg, 3)
+	if g.NumNodes() != 600 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatalf("no edges")
+	}
+	// Prolific lead authors should produce a degree tail above the mean
+	// (the Yule process needs many papers per author to fatten it; the
+	// dataset-scale configs reach 4x+, this small config stays modest).
+	if float64(g.MaxDegree()) < 2*g.AvgDegree() {
+		t.Fatalf("degree tail too flat: max %d avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+	if !Collaboration(cfg, 3).Equal(g) {
+		t.Fatalf("Collaboration not deterministic")
+	}
+	comp := graph.LargestComponent(g)
+	if len(comp) < g.NumNodes()/2 {
+		t.Fatalf("largest component %d of %d", len(comp), g.NumNodes())
+	}
+}

@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"dkcore/internal/graph"
+)
+
+// BarabasiAlbert returns a preferential-attachment graph: growth starts
+// from a clique of attach+1 seed nodes, and each subsequent node attaches
+// to `attach` distinct existing nodes chosen with probability proportional
+// to their current degree. The result has heavy-tailed degrees and a dense
+// nucleus, the structural signature of the paper's collaboration and social
+// graphs (CA-AstroPh, CA-CondMat, soc-Slashdot).
+func BarabasiAlbert(n, attach int, seed int64) *graph.Graph {
+	check(attach >= 1, "BarabasiAlbert: attach = %d < 1", attach)
+	check(n >= attach+1, "BarabasiAlbert: n = %d < attach+1 = %d", n, attach+1)
+	rng := newRNG(seed)
+	b := graph.NewBuilder(n)
+
+	// targets holds one entry per half-edge; sampling uniformly from it
+	// implements degree-proportional selection.
+	targets := make([]int, 0, 2*attach*n)
+	for u := 0; u <= attach; u++ {
+		for v := u + 1; v <= attach; v++ {
+			b.AddEdge(u, v)
+			targets = append(targets, u, v)
+		}
+	}
+	chosen := make([]int, 0, attach)
+	for u := attach + 1; u < n; u++ {
+		chosen = chosen[:0]
+		for len(chosen) < attach {
+			v := targets[rng.Intn(len(targets))]
+			if !containsInt(chosen, v) {
+				chosen = append(chosen, v)
+			}
+		}
+		for _, v := range chosen {
+			b.AddEdge(u, v)
+			targets = append(targets, u, v)
+		}
+	}
+	return b.Build()
+}
+
+// containsInt reports whether xs contains x; used for the small candidate
+// sets drawn during preferential attachment, where a linear scan beats a
+// map and keeps iteration deterministic.
+func containsInt(xs []int, x int) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// PowerLawConfig parameterizes PowerLaw.
+type PowerLawConfig struct {
+	N        int     // number of nodes
+	Exponent float64 // power-law exponent gamma (> 1); typical social graphs use 2-3
+	MinDeg   int     // minimum target degree (>= 1)
+	MaxDeg   int     // maximum target degree; 0 means sqrt(N) capped
+}
+
+// PowerLaw returns a configuration-model graph whose degree sequence is
+// drawn i.i.d. from a truncated discrete power law P(d) ∝ d^(-gamma).
+// Stubs are matched uniformly at random; self-loops and multi-edges are
+// discarded, so realized degrees can fall slightly below their targets.
+// This family reproduces the skewed-degree / low-average-coreness profile
+// of graphs such as wiki-Talk.
+func PowerLaw(cfg PowerLawConfig, seed int64) *graph.Graph {
+	check(cfg.N >= 2, "PowerLaw: N = %d < 2", cfg.N)
+	check(cfg.Exponent > 1, "PowerLaw: Exponent = %v <= 1", cfg.Exponent)
+	check(cfg.MinDeg >= 1, "PowerLaw: MinDeg = %d < 1", cfg.MinDeg)
+	maxDeg := cfg.MaxDeg
+	if maxDeg == 0 {
+		maxDeg = int(math.Sqrt(float64(cfg.N)))
+	}
+	check(maxDeg >= cfg.MinDeg, "PowerLaw: MaxDeg = %d < MinDeg = %d", maxDeg, cfg.MinDeg)
+
+	rng := newRNG(seed)
+	degrees := powerLawDegrees(rng, cfg.N, cfg.Exponent, cfg.MinDeg, maxDeg)
+	return configurationModel(rng, degrees)
+}
+
+// powerLawDegrees draws n degrees from the truncated power law via inverse
+// CDF sampling on the discrete distribution.
+func powerLawDegrees(rng *rand.Rand, n int, gamma float64, minDeg, maxDeg int) []int {
+	weights := make([]float64, maxDeg-minDeg+1)
+	total := 0.0
+	for d := minDeg; d <= maxDeg; d++ {
+		w := math.Pow(float64(d), -gamma)
+		weights[d-minDeg] = w
+		total += w
+	}
+	degrees := make([]int, n)
+	for i := range degrees {
+		r := rng.Float64() * total
+		acc := 0.0
+		deg := maxDeg
+		for d := minDeg; d <= maxDeg; d++ {
+			acc += weights[d-minDeg]
+			if r <= acc {
+				deg = d
+				break
+			}
+		}
+		degrees[i] = deg
+	}
+	// An odd stub total cannot be matched; bump one node.
+	sum := 0
+	for _, d := range degrees {
+		sum += d
+	}
+	if sum%2 == 1 {
+		degrees[0]++
+	}
+	return degrees
+}
+
+// configurationModel matches half-edge stubs uniformly at random, dropping
+// self-loops and duplicate edges.
+func configurationModel(rng *rand.Rand, degrees []int) *graph.Graph {
+	var stubs []int
+	for u, d := range degrees {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, u)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	b := graph.NewBuilder(len(degrees))
+	for i := 0; i+1 < len(stubs); i += 2 {
+		if stubs[i] != stubs[i+1] {
+			b.AddEdge(stubs[i], stubs[i+1])
+		}
+	}
+	return b.Build()
+}
+
+// RMATConfig parameterizes RMAT. Probabilities must be positive and sum
+// to 1; the canonical Graph500 values are A=0.57, B=0.19, C=0.19, D=0.05.
+type RMATConfig struct {
+	Scale      int     // number of nodes = 2^Scale
+	EdgeFactor int     // edges ≈ EdgeFactor * 2^Scale
+	A, B, C, D float64 // quadrant probabilities
+}
+
+// RMAT returns a recursive-matrix (R-MAT) graph, the standard synthetic
+// model for skewed web/communication graphs. Duplicate edges and
+// self-loops are dropped, so the realized edge count is slightly below
+// EdgeFactor * 2^Scale.
+func RMAT(cfg RMATConfig, seed int64) *graph.Graph {
+	check(cfg.Scale >= 1 && cfg.Scale <= 30, "RMAT: Scale = %d out of range [1, 30]", cfg.Scale)
+	check(cfg.EdgeFactor >= 1, "RMAT: EdgeFactor = %d < 1", cfg.EdgeFactor)
+	sum := cfg.A + cfg.B + cfg.C + cfg.D
+	check(cfg.A > 0 && cfg.B > 0 && cfg.C > 0 && cfg.D > 0 && math.Abs(sum-1) < 1e-9,
+		"RMAT: quadrant probabilities must be positive and sum to 1, got %v", sum)
+
+	rng := newRNG(seed)
+	n := 1 << cfg.Scale
+	m := cfg.EdgeFactor * n
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := n >> 1; bit >= 1; bit >>= 1 {
+			r := rng.Float64()
+			switch {
+			case r < cfg.A:
+				// top-left: no bits set
+			case r < cfg.A+cfg.B:
+				v |= bit
+			case r < cfg.A+cfg.B+cfg.C:
+				u |= bit
+			default:
+				u |= bit
+				v |= bit
+			}
+		}
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}

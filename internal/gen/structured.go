@@ -1,0 +1,128 @@
+package gen
+
+import "dkcore/internal/graph"
+
+// Chain returns the path graph 0-1-...-(n-1). The paper (§4.2) notes a
+// chain of N nodes needs ⌈N/2⌉ rounds to converge.
+func Chain(n int) *graph.Graph {
+	check(n >= 1, "Chain: n = %d < 1", n)
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Ring returns the cycle graph on n >= 3 nodes.
+func Ring(n int) *graph.Graph {
+	check(n >= 3, "Ring: n = %d < 3", n)
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Star returns a star with node 0 as hub and n-1 leaves.
+func Star(n int) *graph.Graph {
+	check(n >= 2, "Star: n = %d < 2", n)
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n; every node has coreness n-1.
+func Complete(n int) *graph.Graph {
+	check(n >= 1, "Complete: n = %d < 1", n)
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols 4-neighbor lattice without wraparound. Its
+// diameter is rows+cols-2 and its coreness is uniformly 2 (for rows,cols
+// >= 2), which reproduces the huge-diameter / tiny-coreness profile of the
+// paper's roadNet-TX dataset.
+func Grid(rows, cols int) *graph.Graph {
+	check(rows >= 1 && cols >= 1, "Grid: %dx%d invalid", rows, cols)
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the rows×cols lattice with wraparound; it is 4-regular, so
+// every node has coreness 4.
+func Torus(rows, cols int) *graph.Graph {
+	check(rows >= 3 && cols >= 3, "Torus: %dx%d invalid (need >= 3x3)", rows, cols)
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.Build()
+}
+
+// Caveman returns `cliques` cliques of `size` nodes each, arranged in a
+// ring where consecutive cliques share one connecting edge. It has well
+// separated dense regions (coreness size-1) joined by weak links.
+func Caveman(cliques, size int) *graph.Graph {
+	check(cliques >= 1, "Caveman: cliques = %d < 1", cliques)
+	check(size >= 2, "Caveman: size = %d < 2", size)
+	b := graph.NewBuilder(cliques * size)
+	for c := 0; c < cliques; c++ {
+		base := c * size
+		for u := 0; u < size; u++ {
+			for v := u + 1; v < size; v++ {
+				b.AddEdge(base+u, base+v)
+			}
+		}
+		if cliques > 1 {
+			// Connect this clique's node 0 to the next clique's node 1.
+			next := ((c + 1) % cliques) * size
+			b.AddEdge(base, next+1)
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where each node
+// connects to its k nearest neighbors (k even), with each edge's far
+// endpoint rewired with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed int64) *graph.Graph {
+	check(n >= 3, "WattsStrogatz: n = %d < 3", n)
+	check(k >= 2 && k%2 == 0 && k < n, "WattsStrogatz: k = %d invalid (need even, 2 <= k < n)", k)
+	check(beta >= 0 && beta <= 1, "WattsStrogatz: beta = %v out of range", beta)
+	rng := newRNG(seed)
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			if beta > 0 && rng.Float64() < beta {
+				// Rewire to a uniform random node; the Builder drops the
+				// occasional self-loop or duplicate this may create.
+				v = rng.Intn(n)
+			}
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}

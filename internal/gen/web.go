@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"dkcore/internal/graph"
+)
+
+// DeepWebConfig parameterizes DeepWeb.
+type DeepWebConfig struct {
+	CoreNodes   int // size of the dense nucleus (GNM)
+	CoreDegree  int // average degree inside the nucleus
+	MidNodes    int // preferential-attachment mid-layer size
+	MidAttach   int // attachments per mid-layer node
+	Filaments   int // number of long attached paths
+	FilamentLen int // nodes per filament
+}
+
+// DeepWeb returns a web-crawl-like graph: a dense nucleus (high maximum
+// coreness), a preferential-attachment mid layer, and long filaments of
+// degree-2 pages hanging off random mid-layer nodes. The filaments give
+// the graph a large diameter while the nucleus keeps maximum coreness
+// high — the combination that makes the paper's web-BerkStan graph its
+// slowest case (deep pages delay the 1-core long after the dense cores
+// have converged; see the paper's Table 2).
+func DeepWeb(cfg DeepWebConfig, seed int64) *graph.Graph {
+	check(cfg.CoreNodes >= 2, "DeepWeb: CoreNodes = %d < 2", cfg.CoreNodes)
+	check(cfg.CoreDegree >= 1 && cfg.CoreDegree < cfg.CoreNodes,
+		"DeepWeb: CoreDegree = %d out of range [1, CoreNodes)", cfg.CoreDegree)
+	check(cfg.MidNodes >= 0 && cfg.MidAttach >= 1, "DeepWeb: invalid mid layer (%d nodes, attach %d)", cfg.MidNodes, cfg.MidAttach)
+	check(cfg.Filaments >= 0 && cfg.FilamentLen >= 1, "DeepWeb: invalid filaments (%d x %d)", cfg.Filaments, cfg.FilamentLen)
+
+	rng := newRNG(seed)
+	n := cfg.CoreNodes + cfg.MidNodes + cfg.Filaments*cfg.FilamentLen
+	b := graph.NewBuilder(n)
+
+	// Dense nucleus: G(coreNodes, coreNodes*coreDegree/2).
+	coreEdges := cfg.CoreNodes * cfg.CoreDegree / 2
+	maxCoreEdges := cfg.CoreNodes * (cfg.CoreNodes - 1) / 2
+	if coreEdges > maxCoreEdges {
+		coreEdges = maxCoreEdges
+	}
+	targets := make([]int, 0, 2*coreEdges+2*cfg.MidAttach*cfg.MidNodes)
+	seen := make(map[[2]int]bool, coreEdges)
+	for len(seen) < coreEdges {
+		u, v := rng.Intn(cfg.CoreNodes), rng.Intn(cfg.CoreNodes)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+		targets = append(targets, u, v)
+	}
+
+	// Mid layer: preferential attachment onto nucleus + earlier mid nodes,
+	// approximated by uniform choice over a half-edge target list.
+	if len(targets) == 0 {
+		targets = append(targets, 0)
+	}
+	midStart := cfg.CoreNodes
+	chosen := make([]int, 0, cfg.MidAttach)
+	for u := midStart; u < midStart+cfg.MidNodes; u++ {
+		chosen = chosen[:0]
+		attach := cfg.MidAttach
+		if attach > u {
+			attach = u
+		}
+		for len(chosen) < attach {
+			v := targets[rng.Intn(len(targets))]
+			if !containsInt(chosen, v) {
+				chosen = append(chosen, v)
+			}
+		}
+		for _, v := range chosen {
+			b.AddEdge(u, v)
+			targets = append(targets, u, v)
+		}
+	}
+
+	// Filaments: long paths rooted at random existing nodes.
+	filStart := midStart + cfg.MidNodes
+	attachable := filStart // any nucleus or mid node
+	for f := 0; f < cfg.Filaments; f++ {
+		root := rng.Intn(attachable)
+		prev := root
+		for i := 0; i < cfg.FilamentLen; i++ {
+			u := filStart + f*cfg.FilamentLen + i
+			b.AddEdge(prev, u)
+			prev = u
+		}
+	}
+	return b.Build()
+}
+
+// StarBurstConfig parameterizes StarBurst.
+type StarBurstConfig struct {
+	Hubs         int // number of high-degree hubs
+	LeavesPerHub int // spokes per hub
+	CoreNodes    int // small dense nucleus interconnecting hub owners
+	CoreDegree   int // average degree in the nucleus
+	// ChainDepth stretches spokes into short chains: spoke i of a hub is
+	// a path of 1 + (i mod ChainDepth) nodes, modelling reply threads.
+	// 0 or 1 keeps plain degree-1 leaves.
+	ChainDepth int
+}
+
+// StarBurst returns a communication-network-like graph (the wiki-Talk
+// analogue): a few enormous hubs with leaf spokes (optionally short
+// chains), plus a small dense nucleus. Maximum degree is huge while
+// average coreness stays near 1, reproducing wiki-Talk's
+// d_max ≈ 100029 / k_avg ≈ 1.96 profile.
+func StarBurst(cfg StarBurstConfig, seed int64) *graph.Graph {
+	check(cfg.Hubs >= 1, "StarBurst: Hubs = %d < 1", cfg.Hubs)
+	check(cfg.LeavesPerHub >= 1, "StarBurst: LeavesPerHub = %d < 1", cfg.LeavesPerHub)
+	check(cfg.CoreNodes >= 0, "StarBurst: CoreNodes = %d < 0", cfg.CoreNodes)
+	check(cfg.CoreNodes == 0 || cfg.CoreDegree < cfg.CoreNodes,
+		"StarBurst: CoreDegree = %d >= CoreNodes = %d", cfg.CoreDegree, cfg.CoreNodes)
+	check(cfg.ChainDepth >= 0, "StarBurst: ChainDepth = %d < 0", cfg.ChainDepth)
+
+	depth := cfg.ChainDepth
+	if depth < 1 {
+		depth = 1
+	}
+	// Nodes per hub: spoke i holds 1 + (i mod depth) nodes.
+	perHub := 0
+	for i := 0; i < cfg.LeavesPerHub; i++ {
+		perHub += 1 + i%depth
+	}
+	rng := newRNG(seed)
+	n := cfg.Hubs + cfg.CoreNodes + cfg.Hubs*perHub
+	b := graph.NewBuilder(n)
+
+	// Hubs are pairwise connected (there are few of them).
+	for h := 0; h < cfg.Hubs; h++ {
+		for h2 := h + 1; h2 < cfg.Hubs; h2++ {
+			b.AddEdge(h, h2)
+		}
+	}
+	// Nucleus after the hubs; each nucleus node also touches one hub so
+	// the graph stays connected.
+	coreStart := cfg.Hubs
+	coreEdges := cfg.CoreNodes * cfg.CoreDegree / 2
+	seen := make(map[[2]int]bool, coreEdges)
+	for len(seen) < coreEdges {
+		u, v := rng.Intn(cfg.CoreNodes), rng.Intn(cfg.CoreNodes)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(coreStart+u, coreStart+v)
+	}
+	for u := 0; u < cfg.CoreNodes; u++ {
+		b.AddEdge(coreStart+u, rng.Intn(cfg.Hubs))
+	}
+	// Spokes: chains of 1 + (i mod depth) nodes rooted at the hub.
+	next := coreStart + cfg.CoreNodes
+	for h := 0; h < cfg.Hubs; h++ {
+		for i := 0; i < cfg.LeavesPerHub; i++ {
+			prev := h
+			for d := 0; d <= i%depth; d++ {
+				b.AddEdge(prev, next)
+				prev = next
+				next++
+			}
+		}
+	}
+	return b.Build()
+}

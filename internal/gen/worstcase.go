@@ -1,0 +1,33 @@
+package gen
+
+import "dkcore/internal/graph"
+
+// WorstCase returns the paper's Figure-3 family: the graph on n >= 5 nodes
+// for which the one-to-one protocol needs exactly n-1 synchronous rounds.
+//
+// Using the paper's 1-based numbering (node i here is i-1):
+//
+//   - node N is connected to all nodes except node N-3;
+//   - each node i = 1..N-2 is connected to its successor i+1;
+//   - node N-3 is also connected to node N-1.
+//
+// Node 1 has degree 2, the hub N has degree N-2, every other node has
+// degree 3. Node 1 acts as a trigger whose estimate change ripples along
+// the chain one node per round.
+func WorstCase(n int) *graph.Graph {
+	check(n >= 5, "WorstCase: n = %d < 5", n)
+	b := graph.NewBuilder(n)
+	hub := n - 1   // paper's node N
+	skip := n - 4  // paper's node N-3
+	extra := n - 2 // paper's node N-1
+	for v := 0; v < hub; v++ {
+		if v != skip {
+			b.AddEdge(hub, v)
+		}
+	}
+	for i := 0; i+1 <= n-2; i++ { // paper's chain 1..N-1
+		b.AddEdge(i, i+1)
+	}
+	b.AddEdge(skip, extra)
+	return b.Build()
+}

@@ -1,0 +1,157 @@
+// Package graph provides a compact, immutable, undirected simple-graph
+// representation in compressed sparse row (CSR) form, together with a
+// mutable Builder, traversal utilities, and text/binary serialization.
+//
+// Nodes are identified by dense integers in [0, NumNodes()). All graphs are
+// undirected and simple: self-loops and duplicate edges are removed by the
+// Builder. Each undirected edge {u, v} is stored twice, once in each
+// endpoint's adjacency list, matching the paper's convention of treating an
+// undirected link as two directed arcs.
+package graph
+
+// Graph is an immutable undirected graph in CSR form.
+//
+// The zero value is an empty graph with no nodes. Use a Builder to
+// construct non-trivial graphs.
+type Graph struct {
+	offsets []int // len NumNodes()+1; adjacency of u is adj[offsets[u]:offsets[u+1]]
+	adj     []int // concatenated, sorted neighbor lists
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.adj) / 2 }
+
+// NumArcs returns the number of directed arcs (2 per undirected edge).
+func (g *Graph) NumArcs() int { return len(g.adj) }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return g.offsets[u+1] - g.offsets[u] }
+
+// Neighbors returns the sorted adjacency list of node u.
+//
+// The returned slice aliases the graph's internal storage and must not be
+// modified.
+func (g *Graph) Neighbors(u int) []int { return g.adj[g.offsets[u]:g.offsets[u+1]] }
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.NumNodes() || v >= g.NumNodes() {
+		return false
+	}
+	ns := g.Neighbors(u)
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ns) && ns[lo] == v
+}
+
+// MaxDegree returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	maxDeg := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// MinDegree returns the minimum degree, or 0 for an empty graph.
+func (g *Graph) MinDegree() int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	minDeg := g.Degree(0)
+	for u := 1; u < n; u++ {
+		if d := g.Degree(u); d < minDeg {
+			minDeg = d
+		}
+	}
+	return minDeg
+}
+
+// AvgDegree returns the average degree, or 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	return float64(len(g.adj)) / float64(g.NumNodes())
+}
+
+// Degrees returns a freshly allocated slice of all node degrees.
+func (g *Graph) Degrees() []int {
+	ds := make([]int, g.NumNodes())
+	for u := range ds {
+		ds[u] = g.Degree(u)
+	}
+	return ds
+}
+
+// Edges calls fn once for every undirected edge {u, v} with u < v.
+// Iteration stops early if fn returns false.
+func (g *Graph) Edges(fn func(u, v int) bool) {
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				if !fn(u, v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	clone := &Graph{
+		offsets: make([]int, len(g.offsets)),
+		adj:     make([]int, len(g.adj)),
+	}
+	copy(clone.offsets, g.offsets)
+	copy(clone.adj, g.adj)
+	return clone
+}
+
+// Equal reports whether g and h have identical node sets and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.NumNodes() != h.NumNodes() || len(g.adj) != len(h.adj) {
+		return false
+	}
+	for i, off := range g.offsets {
+		if h.offsets[i] != off {
+			return false
+		}
+	}
+	for i, v := range g.adj {
+		if h.adj[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// SumSquaredDegrees returns Σ d²(v) over all nodes, the quantity appearing
+// in the paper's message-complexity bound (Corollary 2).
+func (g *Graph) SumSquaredDegrees() int64 {
+	var sum int64
+	for u := 0; u < g.NumNodes(); u++ {
+		d := int64(g.Degree(u))
+		sum += d * d
+	}
+	return sum
+}

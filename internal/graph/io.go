@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// binaryMagic identifies the dkcore binary graph format, version 1.
+const binaryMagic = "DKG1"
+
+// ErrBadFormat is returned when parsing malformed graph input.
+var ErrBadFormat = errors.New("graph: bad format")
+
+// ReadEdgeList parses a whitespace-separated edge list, one edge per line.
+// Lines starting with '#' or '%' and blank lines are ignored (SNAP datasets
+// use '#' comments). Node identifiers may be arbitrary non-negative 64-bit
+// integers; they are remapped to dense IDs in first-appearance order.
+//
+// It returns the graph and origID, where origID[u] is the identifier that
+// dense node u had in the input.
+func ReadEdgeList(r io.Reader) (g *Graph, origID []int64, err error) {
+	toDense := make(map[int64]int)
+	b := NewBuilder(0)
+	dense := func(raw int64) int {
+		if id, ok := toDense[raw]; ok {
+			return id
+		}
+		id := len(origID)
+		toDense[raw] = id
+		origID = append(origID, raw)
+		return id
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("%w: line %d: want at least 2 fields, got %d", ErrBadFormat, lineNo, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("%w: line %d: negative node id", ErrBadFormat, lineNo)
+		}
+		b.AddEdge(dense(u), dense(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: read edge list: %w", err)
+	}
+	b.EnsureNodes(len(origID))
+	return b.Build(), origID, nil
+}
+
+// WriteEdgeList writes g as a plain edge list with dense node IDs, one
+// "u v" line per undirected edge (u < v), preceded by a comment header.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes: %d edges: %d\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return fmt.Errorf("graph: write edge list: %w", err)
+	}
+	var writeErr error
+	g.Edges(func(u, v int) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		return fmt.Errorf("graph: write edge list: %w", writeErr)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: write edge list: %w", err)
+	}
+	return nil
+}
+
+// WriteBinary writes g in the compact dkcore binary format: a 4-byte magic,
+// the node count, and per-node delta-encoded sorted adjacency (uvarints).
+// The format stores both directions of each edge, trading size for a
+// zero-allocation structural load path.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("graph: write binary: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(g.NumNodes())); err != nil {
+		return fmt.Errorf("graph: write binary: %w", err)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		ns := g.Neighbors(u)
+		if err := writeUvarint(uint64(len(ns))); err != nil {
+			return fmt.Errorf("graph: write binary: %w", err)
+		}
+		prev := 0
+		for _, v := range ns {
+			if err := writeUvarint(uint64(v - prev)); err != nil {
+				return fmt.Errorf("graph: write binary: %w", err)
+			}
+			prev = v
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: write binary: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary reads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: read binary: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	n64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read binary: %w", err)
+	}
+	const maxNodes = 1 << 31
+	if n64 > maxNodes {
+		return nil, fmt.Errorf("%w: node count %d too large", ErrBadFormat, n64)
+	}
+	n := int(n64)
+	offsets := make([]int, n+1)
+	var adj []int
+	for u := 0; u < n; u++ {
+		deg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: read binary: node %d: %w", u, err)
+		}
+		if deg > uint64(maxNodes) {
+			return nil, fmt.Errorf("%w: node %d degree %d too large", ErrBadFormat, u, deg)
+		}
+		offsets[u+1] = offsets[u] + int(deg)
+		prev := 0
+		for i := uint64(0); i < deg; i++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("graph: read binary: node %d: %w", u, err)
+			}
+			v := prev + int(delta)
+			if v >= n {
+				return nil, fmt.Errorf("%w: node %d has neighbor %d >= %d", ErrBadFormat, u, v, n)
+			}
+			adj = append(adj, v)
+			prev = v
+		}
+	}
+	g := &Graph{offsets: offsets, adj: adj}
+	if g.NumArcs()%2 != 0 {
+		return nil, fmt.Errorf("%w: odd arc count %d", ErrBadFormat, g.NumArcs())
+	}
+	return g, nil
+}

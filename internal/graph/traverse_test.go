@@ -1,0 +1,137 @@
+package graph
+
+import "testing"
+
+func TestBFSPath(t *testing.T) {
+	g := pathGraph(5)
+	dist := BFS(g, 0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+	dist = BFS(g, 2)
+	for i, want := range []int{2, 1, 0, 1, 2} {
+		if dist[i] != want {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	// nodes 2 and 3 isolated
+	g := b.Build()
+	dist := BFS(g, 0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatalf("unreachable nodes should have dist -1, got %v", dist)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	// 5 and 6 isolated
+	g := b.Build()
+	labels, count := ConnectedComponents(g)
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("nodes 0..2 should share a component: %v", labels)
+	}
+	if labels[3] != labels[4] {
+		t.Fatalf("nodes 3,4 should share a component: %v", labels)
+	}
+	if labels[5] == labels[6] || labels[5] == labels[0] {
+		t.Fatalf("isolated nodes mislabeled: %v", labels)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	b := NewBuilder(10)
+	// component A: 0-1-2-3 (4 nodes); component B: 4-5 (2 nodes); rest isolated.
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	comp := LargestComponent(g)
+	if len(comp) != 4 {
+		t.Fatalf("largest component size = %d, want 4", len(comp))
+	}
+	for i, want := range []int{0, 1, 2, 3} {
+		if comp[i] != want {
+			t.Fatalf("comp[%d] = %d, want %d", i, comp[i], want)
+		}
+	}
+	if got := LargestComponent(&Graph{}); got != nil {
+		t.Fatalf("LargestComponent(empty) = %v, want nil", got)
+	}
+}
+
+func TestEstimateDiameterPath(t *testing.T) {
+	// Double sweep is exact on trees; a path of n nodes has diameter n-1.
+	for _, n := range []int{2, 5, 17, 100} {
+		g := pathGraph(n)
+		if got := EstimateDiameter(g, 4); got != n-1 {
+			t.Fatalf("path(%d): diameter estimate = %d, want %d", n, got, n-1)
+		}
+	}
+}
+
+func TestEstimateDiameterCompleteGraph(t *testing.T) {
+	n := 8
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	if got := EstimateDiameter(b.Build(), 4); got != 1 {
+		t.Fatalf("complete graph diameter estimate = %d, want 1", got)
+	}
+}
+
+func TestEstimateDiameterIgnoresSmallComponents(t *testing.T) {
+	b := NewBuilder(12)
+	// Large component: path of 8 (diameter 7). Small: path of 3.
+	for i := 0; i+1 < 8; i++ {
+		b.AddEdge(i, i+1)
+	}
+	b.AddEdge(8, 9)
+	b.AddEdge(9, 10)
+	g := b.Build()
+	if got := EstimateDiameter(g, 4); got != 7 {
+		t.Fatalf("diameter estimate = %d, want 7 (largest component)", got)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// Cycle of 6; induce on {0,1,2,3}: path 0-1-2-3.
+	b := NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(i, (i+1)%6)
+	}
+	g := b.Build()
+	sub, orig := InducedSubgraph(g, []int{0, 1, 2, 3})
+	if sub.NumNodes() != 4 || sub.NumEdges() != 3 {
+		t.Fatalf("induced: %d nodes %d edges, want 4/3", sub.NumNodes(), sub.NumEdges())
+	}
+	for i, want := range []int{0, 1, 2, 3} {
+		if orig[i] != want {
+			t.Fatalf("origID[%d] = %d, want %d", i, orig[i], want)
+		}
+	}
+	// Duplicates collapse.
+	sub2, orig2 := InducedSubgraph(g, []int{5, 5, 4})
+	if sub2.NumNodes() != 2 || sub2.NumEdges() != 1 {
+		t.Fatalf("induced dup: %d nodes %d edges, want 2/1", sub2.NumNodes(), sub2.NumEdges())
+	}
+	if orig2[0] != 5 || orig2[1] != 4 {
+		t.Fatalf("origID = %v, want [5 4]", orig2)
+	}
+}

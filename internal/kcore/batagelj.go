@@ -1,0 +1,71 @@
+package kcore
+
+import "dkcore/internal/graph"
+
+// Decompose computes the k-core decomposition of g with the
+// Batagelj–Zaversnik bucket algorithm in O(n + m) time: nodes are kept
+// bucket-sorted by current degree and peeled in increasing-degree order,
+// decrementing the effective degree of higher neighbors as they go.
+func Decompose(g *graph.Graph) *Decomposition {
+	n := g.NumNodes()
+	deg := make([]int, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(u)
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+
+	// Bucket sort nodes by degree: bin[d] is the start index in vert of
+	// the block of nodes with current degree d.
+	bin := make([]int, maxDeg+2)
+	for _, d := range deg {
+		bin[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		count := bin[d]
+		bin[d] = start
+		start += count
+	}
+	bin[maxDeg+1] = start
+
+	vert := make([]int, n) // nodes sorted by current degree
+	pos := make([]int, n)  // position of each node in vert
+	for u := 0; u < n; u++ {
+		pos[u] = bin[deg[u]]
+		vert[pos[u]] = u
+		bin[deg[u]]++
+	}
+	// Restore bin to block starts.
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		u := vert[i]
+		order = append(order, u)
+		for _, v := range g.Neighbors(u) {
+			if deg[v] <= deg[u] {
+				continue
+			}
+			// Move v to the front of its current-degree block, then
+			// shrink that block by one, decreasing v's degree.
+			dv := deg[v]
+			pv := pos[v]
+			pw := bin[dv]
+			w := vert[pw]
+			if v != w {
+				vert[pv], vert[pw] = w, v
+				pos[v], pos[w] = pw, pv
+			}
+			bin[dv]++
+			deg[v]--
+		}
+	}
+	// After peeling, deg[u] holds the coreness of u.
+	return &Decomposition{coreness: deg, order: order}
+}

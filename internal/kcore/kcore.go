@@ -1,0 +1,134 @@
+// Package kcore implements centralized k-core decomposition: the
+// Batagelj–Zaversnik O(m) bucket algorithm (the paper's reference [3]) used
+// as ground truth and baseline, a naive peeling reference used to
+// cross-check it, and helpers for inspecting the resulting decomposition.
+package kcore
+
+import (
+	"fmt"
+
+	"dkcore/internal/graph"
+)
+
+// Decomposition is the result of a k-core decomposition of a graph.
+type Decomposition struct {
+	coreness []int
+	order    []int // peel (degeneracy) order
+}
+
+// Coreness returns the coreness (shell index) of node u.
+func (d *Decomposition) Coreness(u int) int { return d.coreness[u] }
+
+// CorenessValues returns a copy of the per-node coreness array.
+func (d *Decomposition) CorenessValues() []int {
+	out := make([]int, len(d.coreness))
+	copy(out, d.coreness)
+	return out
+}
+
+// NumNodes returns the number of nodes in the decomposed graph.
+func (d *Decomposition) NumNodes() int { return len(d.coreness) }
+
+// MaxCoreness returns the degeneracy of the graph (the largest k with a
+// non-empty k-core), or 0 for an empty graph.
+func (d *Decomposition) MaxCoreness() int {
+	maxK := 0
+	for _, k := range d.coreness {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	return maxK
+}
+
+// AvgCoreness returns the mean coreness over all nodes, or 0 for an empty
+// graph.
+func (d *Decomposition) AvgCoreness() float64 {
+	if len(d.coreness) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, k := range d.coreness {
+		sum += k
+	}
+	return float64(sum) / float64(len(d.coreness))
+}
+
+// ShellSizes returns a histogram h where h[k] is the number of nodes with
+// coreness exactly k. Its length is MaxCoreness()+1.
+func (d *Decomposition) ShellSizes() []int {
+	h := make([]int, d.MaxCoreness()+1)
+	for _, k := range d.coreness {
+		h[k]++
+	}
+	return h
+}
+
+// Shell returns the nodes with coreness exactly k, in increasing order.
+func (d *Decomposition) Shell(k int) []int {
+	var nodes []int
+	for u, ku := range d.coreness {
+		if ku == k {
+			nodes = append(nodes, u)
+		}
+	}
+	return nodes
+}
+
+// CoreNodes returns the nodes of the k-core (coreness >= k), in increasing
+// order.
+func (d *Decomposition) CoreNodes(k int) []int {
+	var nodes []int
+	for u, ku := range d.coreness {
+		if ku >= k {
+			nodes = append(nodes, u)
+		}
+	}
+	return nodes
+}
+
+// KCore extracts the k-core of g as an induced subgraph, together with the
+// mapping from subgraph node IDs to original IDs. The decomposition must
+// have been computed on g.
+func (d *Decomposition) KCore(g *graph.Graph, k int) (sub *graph.Graph, origID []int) {
+	return graph.InducedSubgraph(g, d.CoreNodes(k))
+}
+
+// PeelOrder returns the order in which nodes were removed by the bucket
+// algorithm. It is a degeneracy ordering: every node is followed by at
+// most MaxCoreness() of its neighbors, and coreness is non-decreasing
+// along the order.
+func (d *Decomposition) PeelOrder() []int {
+	out := make([]int, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// VerifyLocality checks the paper's Theorem 1 on a claimed coreness
+// assignment: for every node u with coreness k, (i) at least k neighbors
+// have coreness >= k, and (ii) at most k neighbors have coreness >= k+1.
+// It returns a descriptive error for the first violated node, or nil.
+func VerifyLocality(g *graph.Graph, coreness []int) error {
+	if len(coreness) != g.NumNodes() {
+		return fmt.Errorf("kcore: coreness has %d entries for %d nodes", len(coreness), g.NumNodes())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		k := coreness[u]
+		atLeastK, atLeastK1 := 0, 0
+		for _, v := range g.Neighbors(u) {
+			if coreness[v] >= k {
+				atLeastK++
+			}
+			if coreness[v] >= k+1 {
+				atLeastK1++
+			}
+		}
+		if atLeastK < k {
+			return fmt.Errorf("kcore: node %d: coreness %d but only %d neighbors with coreness >= %d", u, k, atLeastK, k)
+		}
+		if atLeastK1 > k {
+			return fmt.Errorf("kcore: node %d: coreness %d but %d neighbors with coreness >= %d", u, k, atLeastK1, k+1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package kcore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dkcore/internal/gen"
+	"dkcore/internal/graph"
+)
+
+// paperFig2 returns the 6-node example the paper walks through in §3.1.1:
+// edges 1-2, 2-3, 2-4, 3-4, 3-5, 4-5, 5-6 (1-based). Nodes 2..5 have
+// degree 3 and coreness 2; nodes 1 and 6 have coreness 1.
+func paperFig2() *graph.Graph {
+	return graph.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}, {4, 5},
+	})
+}
+
+func TestDecomposePaperFig2(t *testing.T) {
+	d := Decompose(paperFig2())
+	want := []int{1, 2, 2, 2, 2, 1}
+	for u, w := range want {
+		if d.Coreness(u) != w {
+			t.Fatalf("node %d: coreness %d, want %d", u, d.Coreness(u), w)
+		}
+	}
+	if d.MaxCoreness() != 2 {
+		t.Fatalf("max coreness = %d, want 2", d.MaxCoreness())
+	}
+}
+
+func TestDecomposeKnownFamilies(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want func(u int) int
+	}{
+		{"complete K7", gen.Complete(7), func(int) int { return 6 }},
+		{"ring", gen.Ring(10), func(int) int { return 2 }},
+		{"chain", gen.Chain(10), func(int) int { return 1 }},
+		{"star", gen.Star(10), func(int) int { return 1 }},
+		{"torus (4-regular)", gen.Torus(5, 5), func(int) int { return 4 }},
+		{"worst case (all 2)", gen.WorstCase(12), func(int) int { return 2 }},
+		{"single node", gen.Chain(1), func(int) int { return 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := Decompose(tt.g)
+			for u := 0; u < tt.g.NumNodes(); u++ {
+				if got := d.Coreness(u); got != tt.want(u) {
+					t.Fatalf("node %d: coreness %d, want %d", u, got, tt.want(u))
+				}
+			}
+		})
+	}
+}
+
+func TestDecomposeGridIsTwo(t *testing.T) {
+	d := Decompose(gen.Grid(6, 9))
+	for u := 0; u < 54; u++ {
+		if d.Coreness(u) != 2 {
+			t.Fatalf("grid node %d coreness = %d, want 2", u, d.Coreness(u))
+		}
+	}
+}
+
+func TestDecomposeCaveman(t *testing.T) {
+	// Cliques of 5 with single connecting edges: clique nodes keep
+	// coreness 4 (the connectors cannot raise it).
+	d := Decompose(gen.Caveman(4, 5))
+	for u := 0; u < 20; u++ {
+		if d.Coreness(u) != 4 {
+			t.Fatalf("caveman node %d coreness = %d, want 4", u, d.Coreness(u))
+		}
+	}
+}
+
+func TestDecomposeIsolatedNodes(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	d := Decompose(b.Build())
+	for u := 2; u < 5; u++ {
+		if d.Coreness(u) != 0 {
+			t.Fatalf("isolated node %d coreness = %d, want 0", u, d.Coreness(u))
+		}
+	}
+	if d.Coreness(0) != 1 || d.Coreness(1) != 1 {
+		t.Fatalf("edge endpoints should have coreness 1")
+	}
+}
+
+func TestDecomposeEmptyGraph(t *testing.T) {
+	d := Decompose(graph.NewBuilder(0).Build())
+	if d.NumNodes() != 0 || d.MaxCoreness() != 0 || d.AvgCoreness() != 0 {
+		t.Fatalf("empty graph decomposition malformed")
+	}
+}
+
+func TestNaiveMatchesBucketProperty(t *testing.T) {
+	check := func(seed int64, nRaw, density uint8) bool {
+		n := int(nRaw)%40 + 2
+		m := (int(density) * n * (n - 1) / 2) / 512
+		g := gen.GNM(n, m, seed)
+		a := Decompose(g)
+		b := DecomposeNaive(g)
+		for u := 0; u < n; u++ {
+			if a.Coreness(u) != b.Coreness(u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalityTheoremProperty(t *testing.T) {
+	check := func(seed int64, nRaw, density uint8) bool {
+		n := int(nRaw)%60 + 2
+		m := (int(density) * n * (n - 1) / 2) / 512
+		g := gen.GNM(n, m, seed)
+		d := Decompose(g)
+		return VerifyLocality(g, d.coreness) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyLocalityRejectsWrongAssignment(t *testing.T) {
+	g := paperFig2()
+	good := Decompose(g).CorenessValues()
+	if err := VerifyLocality(g, good); err != nil {
+		t.Fatalf("correct assignment rejected: %v", err)
+	}
+	bad := append([]int(nil), good...)
+	bad[1] = 3 // node with degree 3 cannot have coreness 3 here
+	if err := VerifyLocality(g, bad); err == nil {
+		t.Fatalf("wrong assignment accepted")
+	}
+	under := append([]int(nil), good...)
+	under[1] = 1 // underestimate: node 1 then has 4 neighbors with coreness >= 2? no, violates (ii)
+	if err := VerifyLocality(g, under); err == nil {
+		t.Fatalf("underestimate accepted")
+	}
+	if err := VerifyLocality(g, []int{1}); err == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+}
+
+func TestShellAndCoreExtraction(t *testing.T) {
+	g := paperFig2()
+	d := Decompose(g)
+	sizes := d.ShellSizes()
+	if len(sizes) != 3 || sizes[1] != 2 || sizes[2] != 4 {
+		t.Fatalf("shell sizes = %v, want [0 2 4]", sizes)
+	}
+	shell1 := d.Shell(1)
+	if len(shell1) != 2 || shell1[0] != 0 || shell1[1] != 5 {
+		t.Fatalf("1-shell = %v, want [0 5]", shell1)
+	}
+	coreNodes := d.CoreNodes(2)
+	if len(coreNodes) != 4 {
+		t.Fatalf("2-core has %d nodes, want 4", len(coreNodes))
+	}
+	sub, orig := d.KCore(g, 2)
+	if sub.NumNodes() != 4 {
+		t.Fatalf("2-core subgraph has %d nodes, want 4", sub.NumNodes())
+	}
+	if sub.MinDegree() < 2 {
+		t.Fatalf("2-core subgraph min degree = %d, want >= 2", sub.MinDegree())
+	}
+	if len(orig) != 4 || orig[0] != 1 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+}
+
+func TestCoresAreConcentric(t *testing.T) {
+	// By definition cores are nested: (k+1)-core ⊆ k-core (paper Fig. 1).
+	g := gen.BarabasiAlbert(300, 4, 8)
+	d := Decompose(g)
+	for k := 1; k <= d.MaxCoreness(); k++ {
+		inner := d.CoreNodes(k)
+		outer := make(map[int]bool)
+		for _, u := range d.CoreNodes(k - 1) {
+			outer[u] = true
+		}
+		for _, u := range inner {
+			if !outer[u] {
+				t.Fatalf("node %d in %d-core but not %d-core", u, k, k-1)
+			}
+		}
+	}
+}
+
+func TestKCoreSubgraphMinDegreeProperty(t *testing.T) {
+	// Every k-core, as an induced subgraph, must have min degree >= k
+	// (Definition 1).
+	g := gen.GNM(120, 700, 77)
+	d := Decompose(g)
+	for k := 1; k <= d.MaxCoreness(); k++ {
+		sub, _ := d.KCore(g, k)
+		if sub.NumNodes() > 0 && sub.MinDegree() < k {
+			t.Fatalf("%d-core has min degree %d", k, sub.MinDegree())
+		}
+	}
+}
+
+func TestPeelOrderIsDegeneracyOrder(t *testing.T) {
+	g := gen.GNM(150, 900, 13)
+	d := Decompose(g)
+	order := d.PeelOrder()
+	if len(order) != g.NumNodes() {
+		t.Fatalf("order length %d != %d", len(order), g.NumNodes())
+	}
+	seen := make([]bool, g.NumNodes())
+	posInOrder := make([]int, g.NumNodes())
+	for i, u := range order {
+		if seen[u] {
+			t.Fatalf("node %d appears twice in peel order", u)
+		}
+		seen[u] = true
+		posInOrder[u] = i
+	}
+	// Degeneracy property: each node has at most MaxCoreness() neighbors
+	// later in the order.
+	degeneracy := d.MaxCoreness()
+	for u := 0; u < g.NumNodes(); u++ {
+		later := 0
+		for _, v := range g.Neighbors(u) {
+			if posInOrder[v] > posInOrder[u] {
+				later++
+			}
+		}
+		if later > degeneracy {
+			t.Fatalf("node %d has %d later neighbors > degeneracy %d", u, later, degeneracy)
+		}
+	}
+}
+
+func TestDecomposeLargeSmokeAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		n := 80 + rng.Intn(120)
+		m := rng.Intn(n * 3)
+		g := gen.GNM(n, m, int64(trial))
+		a, b := Decompose(g), DecomposeNaive(g)
+		for u := 0; u < n; u++ {
+			if a.Coreness(u) != b.Coreness(u) {
+				t.Fatalf("trial %d node %d: bucket %d naive %d", trial, u, a.Coreness(u), b.Coreness(u))
+			}
+		}
+	}
+}

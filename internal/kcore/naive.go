@@ -1,0 +1,43 @@
+package kcore
+
+import "dkcore/internal/graph"
+
+// DecomposeNaive computes the k-core decomposition by repeatedly peeling a
+// minimum-degree node, in O(n² + m) time. It exists purely as an
+// independent reference implementation for cross-checking Decompose; use
+// Decompose in production code.
+func DecomposeNaive(g *graph.Graph) *Decomposition {
+	n := g.NumNodes()
+	deg := make([]int, n)
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(u)
+	}
+	removed := make([]bool, n)
+	coreness := make([]int, n)
+	order := make([]int, 0, n)
+	k := 0
+	for round := 0; round < n; round++ {
+		// Find a remaining node of minimum current degree.
+		u, best := -1, 0
+		for v := 0; v < n; v++ {
+			if removed[v] {
+				continue
+			}
+			if u == -1 || deg[v] < best {
+				u, best = v, deg[v]
+			}
+		}
+		if best > k {
+			k = best
+		}
+		coreness[u] = k
+		removed[u] = true
+		order = append(order, u)
+		for _, v := range g.Neighbors(u) {
+			if !removed[v] {
+				deg[v]--
+			}
+		}
+	}
+	return &Decomposition{coreness: coreness, order: order}
+}

@@ -1,0 +1,287 @@
+package live
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dkcore/internal/aggregate"
+	"dkcore/internal/core"
+	"dkcore/internal/graph"
+)
+
+// roundNode is the per-node state of the synchronous δ-round modes. Nodes
+// are advanced in parallel by a worker pool between barriers; inboxes for
+// the next round are guarded by a mutex because any neighbor may append
+// concurrently.
+type roundNode struct {
+	id            int
+	neighbors     []int
+	est           []int
+	count         []int
+	core          int
+	changed       bool // estimate changed in the current round
+	sentOrChanged bool // activity marker for the epidemic detector
+
+	mu   sync.Mutex
+	next []message // inbox for the following round
+	cur  []message // inbox being processed this round
+}
+
+func (n *roundNode) push(m message) {
+	n.mu.Lock()
+	n.next = append(n.next, m)
+	n.mu.Unlock()
+}
+
+// roundRuntime drives the synchronous modes.
+type roundRuntime struct {
+	nodes    []*roundNode
+	workers  int
+	messages int64
+	sendOpt  bool
+}
+
+func newRoundRuntime(g *graph.Graph, o options) *roundRuntime {
+	n := g.NumNodes()
+	rt := &roundRuntime{
+		nodes:   make([]*roundNode, n),
+		workers: o.workers,
+		sendOpt: o.sendOpt,
+	}
+	if rt.workers <= 0 {
+		rt.workers = runtime.GOMAXPROCS(0)
+	}
+	for u := 0; u < n; u++ {
+		ns := g.Neighbors(u)
+		est := make([]int, len(ns))
+		for i := range est {
+			est[i] = core.InfEstimate
+		}
+		rt.nodes[u] = &roundNode{
+			id:        u,
+			neighbors: ns,
+			est:       est,
+			count:     make([]int, len(ns)+1),
+			core:      len(ns),
+		}
+	}
+	return rt
+}
+
+// parallel runs fn over every node index using the worker pool and waits
+// for completion (the barrier).
+func (rt *roundRuntime) parallel(fn func(u int)) {
+	n := len(rt.nodes)
+	if n == 0 {
+		return
+	}
+	workers := rt.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for u := lo; u < hi; u++ {
+				fn(u)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// broadcast sends node u's current estimate to its neighbors, respecting
+// the send optimization.
+func (rt *roundRuntime) send(nd *roundNode, counter *int64Counter) {
+	m := message{from: nd.id, core: nd.core}
+	for i, v := range nd.neighbors {
+		if rt.sendOpt && nd.core >= nd.est[i] {
+			continue
+		}
+		rt.nodes[v].push(m)
+		counter.add(1)
+	}
+}
+
+// int64Counter is a sharded message counter safe for the worker pool.
+type int64Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *int64Counter) add(k int64) {
+	c.mu.Lock()
+	c.n += k
+	c.mu.Unlock()
+}
+
+// step advances one synchronous round: swap inboxes, deliver, tick.
+// It reports whether any node was active (received, changed or sent).
+func (rt *roundRuntime) step(counter *int64Counter) bool {
+	activity := make([]bool, rt.workers)
+	n := len(rt.nodes)
+	workers := rt.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for u := lo; u < hi; u++ {
+				nd := rt.nodes[u]
+				nd.mu.Lock()
+				nd.cur, nd.next = nd.next, nd.cur[:0]
+				nd.mu.Unlock()
+				nd.sentOrChanged = false
+				if len(nd.cur) > 0 {
+					activity[w] = true
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Deliver and tick. Deliveries only read remote state via the
+	// messages already captured in cur, so nodes can proceed in parallel;
+	// sends append to next-round inboxes under the inbox mutex.
+	rt.parallel(func(u int) {
+		nd := rt.nodes[u]
+		for _, m := range nd.cur {
+			nd.deliverRound(m)
+		}
+		if nd.changed {
+			nd.changed = false
+			nd.sentOrChanged = true
+			rt.send(nd, counter)
+		}
+	})
+	any := false
+	for _, a := range activity {
+		any = any || a
+	}
+	if !any {
+		for _, nd := range rt.nodes {
+			if nd.sentOrChanged {
+				any = true
+				break
+			}
+		}
+	}
+	return any
+}
+
+func (n *roundNode) deliverRound(m message) {
+	i := searchInts(n.neighbors, m.from)
+	if i < 0 || m.core >= n.est[i] {
+		return
+	}
+	n.est[i] = m.core
+	if t := core.ComputeIndex(n.est, n.core, n.count); t < n.core {
+		n.core = t
+		n.changed = true
+	}
+}
+
+func searchInts(xs []int, x int) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if xs[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(xs) && xs[lo] == x {
+		return lo
+	}
+	return -1
+}
+
+// DecomposeRounds runs the synchronous protocol for at most `rounds`
+// δ-rounds (including the initial broadcast round) and returns the current
+// estimates — the paper's fixed-round termination option, which yields an
+// approximate decomposition when the budget is below the convergence time.
+func DecomposeRounds(g *graph.Graph, rounds int, opts ...Option) (*Result, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("live: rounds = %d, need >= 1", rounds)
+	}
+	o := buildOptions(opts)
+	rt := newRoundRuntime(g, o)
+	var counter int64Counter
+
+	// Round 1: initial broadcast.
+	rt.parallel(func(u int) { rt.send(rt.nodes[u], &counter) })
+	executed := 1
+	for r := 2; r <= rounds; r++ {
+		if !rt.step(&counter) {
+			break // quiescent: no pending messages, no changes
+		}
+		executed = r
+	}
+	return rt.result(executed, &counter), nil
+}
+
+// DecomposeEpidemic runs the synchronous protocol with the decentralized
+// epidemic termination detector (§3.3): each round, nodes gossip the most
+// recent round in which anyone was active; the system halts once every
+// node's view is at least `quiet` rounds stale. With quiet chosen
+// comfortably above the gossip convergence time (a few dozen rounds on
+// connected graphs), the returned coreness is exact.
+func DecomposeEpidemic(g *graph.Graph, quiet int, opts ...Option) (*Result, error) {
+	if quiet < 1 {
+		return nil, fmt.Errorf("live: quiet window = %d, need >= 1", quiet)
+	}
+	o := buildOptions(opts)
+	rt := newRoundRuntime(g, o)
+	det := aggregate.NewDetector(g, quiet, o.seed)
+	var counter int64Counter
+
+	rt.parallel(func(u int) { rt.send(rt.nodes[u], &counter) })
+	executed := 1
+	maxRounds := 64 * (g.NumNodes() + quiet + 2)
+	for r := 2; ; r++ {
+		if r > maxRounds {
+			return nil, fmt.Errorf("live: epidemic run exceeded %d rounds", maxRounds)
+		}
+		active := rt.step(&counter)
+		if active {
+			executed = r
+		}
+		if det.Step(r, func(u int) bool { return rt.nodes[u].sentOrChanged }) {
+			break
+		}
+	}
+	return rt.result(executed, &counter), nil
+}
+
+func (rt *roundRuntime) result(rounds int, counter *int64Counter) *Result {
+	coreness := make([]int, len(rt.nodes))
+	for u, nd := range rt.nodes {
+		coreness[u] = nd.core
+	}
+	return &Result{Coreness: coreness, Messages: counter.n, Rounds: rounds}
+}

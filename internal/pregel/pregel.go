@@ -1,0 +1,290 @@
+// Package pregel is a vertex-centric bulk-synchronous-parallel framework
+// in the style of Pregel (Malewicz et al., PODC/SIGMOD 2009-2010) — the
+// deployment target the paper's conclusions (§6) name for the one-to-many
+// algorithm: "the computation is divided in logical units ... divided
+// among a collection of computational processes, termed workers".
+//
+// Computation proceeds in supersteps. In superstep s every active vertex
+// runs its Compute function, reading messages sent to it in superstep
+// s-1 and sending messages that arrive in superstep s+1. A vertex votes
+// to halt when it has nothing to do and is reactivated by an incoming
+// message; the computation ends when every vertex is halted and no
+// messages are in flight. Vertices are partitioned over a worker pool and
+// computed in parallel within each superstep.
+package pregel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dkcore/internal/graph"
+)
+
+// ErrMaxSupersteps is returned when the program fails to converge within
+// the configured budget.
+var ErrMaxSupersteps = errors.New("pregel: superstep budget exhausted")
+
+// Compute is one vertex program step: it may inspect and mutate its
+// state, read this superstep's incoming messages, send messages, and
+// vote to halt.
+type Compute[V, M any] func(ctx *Context[V, M], state *V, msgs []M)
+
+// Combiner merges two messages addressed to the same vertex, reducing
+// memory and delivery work for programs that only need an aggregate
+// (e.g. min/max/sum). Combining must be commutative and associative.
+type Combiner[M any] func(a, b M) M
+
+// Context is a vertex's window onto the framework during Compute. It is
+// only valid for the duration of the call.
+type Context[V, M any] struct {
+	eng    *Engine[V, M]
+	worker *worker[V, M]
+	vertex int
+	halted bool
+}
+
+// Vertex returns the vertex ID this context is bound to.
+func (c *Context[V, M]) Vertex() int { return c.vertex }
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context[V, M]) Superstep() int { return c.eng.superstep }
+
+// Degree returns the vertex's degree in the topology.
+func (c *Context[V, M]) Degree() int { return c.eng.g.Degree(c.vertex) }
+
+// Neighbors returns the vertex's sorted adjacency (shared storage; do
+// not modify).
+func (c *Context[V, M]) Neighbors() []int { return c.eng.g.Neighbors(c.vertex) }
+
+// NumVertices returns the total vertex count.
+func (c *Context[V, M]) NumVertices() int { return c.eng.g.NumNodes() }
+
+// Send delivers msg to vertex dst in the next superstep.
+func (c *Context[V, M]) Send(dst int, msg M) {
+	c.worker.send(dst, msg)
+}
+
+// SendToNeighbors delivers msg to every neighbor in the next superstep.
+func (c *Context[V, M]) SendToNeighbors(msg M) {
+	for _, v := range c.eng.g.Neighbors(c.vertex) {
+		c.worker.send(v, msg)
+	}
+}
+
+// VoteToHalt deactivates the vertex; an incoming message reactivates it.
+func (c *Context[V, M]) VoteToHalt() { c.halted = true }
+
+// Option configures an Engine.
+type Option[V, M any] func(*Engine[V, M])
+
+// WithWorkers bounds the worker parallelism (default GOMAXPROCS).
+func WithWorkers[V, M any](n int) Option[V, M] {
+	return func(e *Engine[V, M]) { e.workers = n }
+}
+
+// WithCombiner installs a message combiner.
+func WithCombiner[V, M any](c Combiner[M]) Option[V, M] {
+	return func(e *Engine[V, M]) { e.combiner = c }
+}
+
+// Engine executes a vertex program over a graph topology.
+type Engine[V, M any] struct {
+	g        *graph.Graph
+	compute  Compute[V, M]
+	state    []V
+	active   []bool
+	combiner Combiner[M]
+	workers  int
+
+	// Per-superstep message state: in[v] are messages readable by v this
+	// superstep; workers accumulate next-superstep messages locally and
+	// merge them at the barrier.
+	in [][]M
+
+	superstep int
+	sentTotal int64
+}
+
+// worker owns a shard of vertices and a private outbox, merged at the
+// end of each superstep to avoid cross-worker locking on the hot path.
+type worker[V, M any] struct {
+	eng  *Engine[V, M]
+	out  map[int][]M
+	sent int64
+	err  error
+}
+
+func (w *worker[V, M]) send(dst int, msg M) {
+	if dst < 0 || dst >= w.eng.g.NumNodes() {
+		// A vertex program addressing a nonexistent vertex is a bug in
+		// the program; report it through Run rather than panicking on a
+		// worker goroutine.
+		if w.err == nil {
+			w.err = fmt.Errorf("pregel: send to invalid vertex %d", dst)
+		}
+		return
+	}
+	if w.eng.combiner != nil {
+		if cur, ok := w.out[dst]; ok && len(cur) == 1 {
+			// Combined in place: no additional message crosses the wire.
+			cur[0] = w.eng.combiner(cur[0], msg)
+			return
+		}
+	}
+	w.sent++
+	w.out[dst] = append(w.out[dst], msg)
+}
+
+// NewEngine builds an engine over topology g with initial vertex states
+// produced by initState (nil state means the zero value of V).
+func NewEngine[V, M any](g *graph.Graph, compute Compute[V, M], initState func(v int) V, opts ...Option[V, M]) *Engine[V, M] {
+	n := g.NumNodes()
+	e := &Engine[V, M]{
+		g:       g,
+		compute: compute,
+		state:   make([]V, n),
+		active:  make([]bool, n),
+		in:      make([][]M, n),
+		workers: runtime.GOMAXPROCS(0),
+	}
+	for i := range e.active {
+		e.active[i] = true
+	}
+	if initState != nil {
+		for v := 0; v < n; v++ {
+			e.state[v] = initState(v)
+		}
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	return e
+}
+
+// Result summarizes a completed Pregel run.
+type Result struct {
+	// Supersteps is the number of supersteps executed.
+	Supersteps int
+	// Messages is the total number of messages sent (after combining).
+	Messages int64
+}
+
+// Run executes supersteps until global quiescence (all vertices halted,
+// no pending messages) or until maxSupersteps, returning ErrMaxSupersteps
+// in the latter case. A vertex program sending to a nonexistent vertex
+// aborts the run with an error.
+func (e *Engine[V, M]) Run(maxSupersteps int) (Result, error) {
+	for e.superstep = 0; e.superstep < maxSupersteps; e.superstep++ {
+		more, err := e.runSuperstep()
+		if err != nil {
+			return Result{Supersteps: e.superstep, Messages: e.sentTotal}, err
+		}
+		if !more {
+			return Result{Supersteps: e.superstep, Messages: e.sentTotal}, nil
+		}
+	}
+	// One final check: the last superstep may have quiesced the system.
+	if !e.anyWork() {
+		return Result{Supersteps: e.superstep, Messages: e.sentTotal}, nil
+	}
+	return Result{Supersteps: e.superstep, Messages: e.sentTotal},
+		fmt.Errorf("%w (%d)", ErrMaxSupersteps, maxSupersteps)
+}
+
+// anyWork reports whether any vertex is active or has pending messages.
+func (e *Engine[V, M]) anyWork() bool {
+	for v := range e.active {
+		if e.active[v] || len(e.in[v]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runSuperstep executes one superstep; it reports whether any work
+// remains afterwards.
+func (e *Engine[V, M]) runSuperstep() (bool, error) {
+	n := e.g.NumNodes()
+	if n == 0 {
+		return false, nil
+	}
+	if !e.anyWork() {
+		return false, nil
+	}
+
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	ws := make([]*worker[V, M], workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for i := 0; i < workers; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		w := &worker[V, M]{eng: e, out: make(map[int][]M)}
+		ws[i] = w
+		wg.Add(1)
+		go func(w *worker[V, M], lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				msgs := e.in[v]
+				if len(msgs) > 0 {
+					e.active[v] = true
+				}
+				if !e.active[v] {
+					continue
+				}
+				ctx := Context[V, M]{eng: e, worker: w, vertex: v}
+				e.compute(&ctx, &e.state[v], msgs)
+				e.in[v] = nil
+				if ctx.halted {
+					e.active[v] = false
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Barrier: merge worker outboxes into next-superstep inboxes.
+	work := false
+	for _, w := range ws {
+		if w == nil {
+			continue
+		}
+		if w.err != nil {
+			return false, w.err
+		}
+		e.sentTotal += w.sent
+		for dst, msgs := range w.out {
+			if e.combiner != nil && len(e.in[dst]) == 1 && len(msgs) == 1 {
+				e.in[dst][0] = e.combiner(e.in[dst][0], msgs[0])
+			} else {
+				e.in[dst] = append(e.in[dst], msgs...)
+			}
+			work = true
+		}
+	}
+	if !work {
+		for v := range e.active {
+			if e.active[v] {
+				work = true
+				break
+			}
+		}
+	}
+	return work, nil
+}
+
+// State returns the final state of vertex v; call after Run.
+func (e *Engine[V, M]) State(v int) V { return e.state[v] }

@@ -1,0 +1,243 @@
+package pregel
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dkcore/internal/gen"
+	"dkcore/internal/graph"
+	"dkcore/internal/kcore"
+)
+
+func TestKCoreMatchesSequentialAcrossFamilies(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnm":      gen.GNM(250, 1000, 3),
+		"ba":       gen.BarabasiAlbert(300, 3, 4),
+		"grid":     gen.Grid(12, 12),
+		"chain":    gen.Chain(60),
+		"complete": gen.Complete(20),
+		"worst":    gen.WorstCase(32),
+		"star":     gen.Star(50),
+		"isolated": graph.FromEdges(8, [][2]int{{0, 1}}),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			want := kcore.Decompose(g).CorenessValues()
+			got, res, err := KCore(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := range want {
+				if got[u] != want[u] {
+					t.Fatalf("node %d: got %d want %d", u, got[u], want[u])
+				}
+			}
+			if res.Supersteps < 1 {
+				t.Fatalf("supersteps = %d", res.Supersteps)
+			}
+		})
+	}
+}
+
+func TestKCoreRandomProperty(t *testing.T) {
+	check := func(seed int64, nRaw, density uint8) bool {
+		n := int(nRaw)%40 + 2
+		m := (int(density) * n * (n - 1) / 2) / 400
+		g := gen.GNM(n, m, seed)
+		want := kcore.Decompose(g).CorenessValues()
+		got, _, err := KCore(g)
+		if err != nil {
+			return false
+		}
+		for u := range want {
+			if got[u] != want[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKCoreWorkerCountsAgree(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 4, 9)
+	want := kcore.Decompose(g).CorenessValues()
+	for _, workers := range []int{1, 2, 8, 32} {
+		got, _, err := KCore(g, WithWorkers[kcoreState, kcoreMsg](workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range want {
+			if got[u] != want[u] {
+				t.Fatalf("workers=%d node %d: got %d want %d", workers, u, got[u], want[u])
+			}
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := graph.NewBuilder(9)
+	// Components: {0,1,2}, {3,4}, {5}, {6,7,8}.
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(6, 7)
+	b.AddEdge(7, 8)
+	g := b.Build()
+	labels, _, err := ConnectedComponents(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 3, 3, 5, 6, 6, 6}
+	for u, w := range want {
+		if labels[u] != w {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestConnectedComponentsMatchesBFSProperty(t *testing.T) {
+	check := func(seed int64, nRaw, density uint8) bool {
+		n := int(nRaw)%50 + 1
+		m := (int(density) * n) / 64
+		maxM := n * (n - 1) / 2
+		if m > maxM {
+			m = maxM
+		}
+		g := gen.GNM(n, m, seed)
+		gotLabels, _, err := ConnectedComponents(g)
+		if err != nil {
+			return false
+		}
+		wantLabels, _ := graph.ConnectedComponents(g)
+		// Same partition: two nodes share a pregel label iff they share a
+		// BFS component.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if (gotLabels[u] == gotLabels[v]) != (wantLabels[u] == wantLabels[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pingProg bounces a counter between vertices 0 and 1 forever — used to
+// test the superstep budget.
+func pingProg(ctx *Context[struct{}, int], _ *struct{}, msgs []int) {
+	if ctx.Superstep() == 0 {
+		if ctx.Vertex() == 0 {
+			ctx.Send(1, 1)
+		}
+		ctx.VoteToHalt()
+		return
+	}
+	for range msgs {
+		ctx.Send(1-ctx.Vertex(), 1)
+	}
+	ctx.VoteToHalt()
+}
+
+func TestMaxSuperstepsExceeded(t *testing.T) {
+	g := gen.Chain(2)
+	eng := NewEngine(g, pingProg, nil)
+	_, err := eng.Run(10)
+	if !errors.Is(err, ErrMaxSupersteps) {
+		t.Fatalf("err = %v, want ErrMaxSupersteps", err)
+	}
+}
+
+func TestVoteToHaltAndReactivation(t *testing.T) {
+	// Vertex 2 halts immediately in superstep 0 and must be reactivated
+	// by a message from vertex 0 relayed via vertex 1 in superstep 2.
+	g := gen.Chain(3)
+	type state struct{ wokenAt int }
+	compute := func(ctx *Context[state, int], s *state, msgs []int) {
+		switch {
+		case ctx.Superstep() == 0:
+			s.wokenAt = -1
+			if ctx.Vertex() == 0 {
+				ctx.Send(1, 7)
+			}
+		case len(msgs) > 0:
+			if s.wokenAt == -1 {
+				s.wokenAt = ctx.Superstep()
+			}
+			if ctx.Vertex() == 1 {
+				ctx.Send(2, msgs[0])
+			}
+		}
+		ctx.VoteToHalt()
+	}
+	eng := NewEngine(g, compute, nil)
+	if _, err := eng.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if eng.State(1).wokenAt != 1 {
+		t.Fatalf("vertex 1 woken at %d, want 1", eng.State(1).wokenAt)
+	}
+	if eng.State(2).wokenAt != 2 {
+		t.Fatalf("vertex 2 woken at %d, want 2", eng.State(2).wokenAt)
+	}
+}
+
+func TestCombinerReducesMessages(t *testing.T) {
+	// Every vertex sends its ID to vertex 0; with a min-combiner the
+	// per-worker outboxes collapse to at most one message each.
+	g := gen.Complete(40)
+	compute := func(ctx *Context[struct{}, int], _ *struct{}, msgs []int) {
+		if ctx.Superstep() == 0 && ctx.Vertex() != 0 {
+			ctx.Send(0, ctx.Vertex())
+		}
+		ctx.VoteToHalt()
+	}
+	plain := NewEngine(g, compute, nil, WithWorkers[struct{}, int](2))
+	resPlain, err := plain.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb := NewEngine(g, compute, nil,
+		WithWorkers[struct{}, int](2),
+		WithCombiner[struct{}, int](func(a, b int) int {
+			if a < b {
+				return a
+			}
+			return b
+		}))
+	resComb, err := comb.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resComb.Messages >= resPlain.Messages {
+		t.Fatalf("combiner did not reduce messages: %d >= %d", resComb.Messages, resPlain.Messages)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	coreness, res, err := KCore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coreness) != 0 || res.Messages != 0 {
+		t.Fatalf("empty graph: %v %+v", coreness, res)
+	}
+}
+
+func TestSendToInvalidVertexReportsError(t *testing.T) {
+	g := gen.Chain(2)
+	compute := func(ctx *Context[struct{}, int], _ *struct{}, _ []int) {
+		ctx.Send(99, 1)
+	}
+	eng := NewEngine(g, compute, nil, WithWorkers[struct{}, int](1))
+	if _, err := eng.Run(2); err == nil {
+		t.Fatalf("invalid destination accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package pregel
+
+import (
+	"fmt"
+	"sort"
+
+	"dkcore/internal/core"
+	"dkcore/internal/graph"
+)
+
+// kcoreState is the vertex state of the k-core program: the mirror of
+// Algorithm 1's per-node variables in vertex-program form.
+type kcoreState struct {
+	coreEst int
+	est     []int // aligned with the vertex's sorted adjacency
+	count   []int // ComputeIndex scratch
+}
+
+// kcoreMsg is the ⟨u, core⟩ update.
+type kcoreMsg struct {
+	from int
+	core int
+}
+
+// KCore runs the paper's protocol as a Pregel vertex program and returns
+// the exact coreness of every node. Superstep 0 broadcasts degrees;
+// afterwards a vertex is woken only by neighbor updates, lowers its
+// estimate with ComputeIndex, re-broadcasts on change, and votes to halt
+// — the one-to-many scenario realized on the framework the paper's
+// conclusions propose.
+func KCore(g *graph.Graph, opts ...Option[kcoreState, kcoreMsg]) ([]int, Result, error) {
+	compute := func(ctx *Context[kcoreState, kcoreMsg], s *kcoreState, msgs []kcoreMsg) {
+		if ctx.Superstep() == 0 {
+			deg := ctx.Degree()
+			s.coreEst = deg
+			s.est = make([]int, deg)
+			for i := range s.est {
+				s.est[i] = core.InfEstimate
+			}
+			s.count = make([]int, deg+1)
+			if deg > 0 {
+				ctx.SendToNeighbors(kcoreMsg{from: ctx.Vertex(), core: deg})
+			}
+			ctx.VoteToHalt()
+			return
+		}
+		ns := ctx.Neighbors()
+		changed := false
+		for _, m := range msgs {
+			i := sort.SearchInts(ns, m.from)
+			if i >= len(ns) || ns[i] != m.from || m.core >= s.est[i] {
+				continue
+			}
+			s.est[i] = m.core
+			if t := core.ComputeIndex(s.est, s.coreEst, s.count); t < s.coreEst {
+				s.coreEst = t
+				changed = true
+			}
+		}
+		if changed {
+			ctx.SendToNeighbors(kcoreMsg{from: ctx.Vertex(), core: s.coreEst})
+		}
+		ctx.VoteToHalt()
+	}
+
+	eng := NewEngine(g, compute, nil, opts...)
+	res, err := eng.Run(8 * (g.NumNodes() + 2))
+	if err != nil {
+		return nil, res, fmt.Errorf("pregel: k-core: %w", err)
+	}
+	coreness := make([]int, g.NumNodes())
+	for v := range coreness {
+		coreness[v] = eng.State(v).coreEst
+	}
+	return coreness, res, nil
+}
+
+// ccState is the connected-components label.
+type ccState struct {
+	label int
+}
+
+// ConnectedComponents runs hash-min label propagation: every vertex
+// adopts the smallest vertex ID seen in its component. It demonstrates
+// the framework on a second classic program and uses a min-combiner.
+func ConnectedComponents(g *graph.Graph, opts ...Option[ccState, int]) ([]int, Result, error) {
+	compute := func(ctx *Context[ccState, int], s *ccState, msgs []int) {
+		if ctx.Superstep() == 0 {
+			s.label = ctx.Vertex()
+			ctx.SendToNeighbors(s.label)
+			ctx.VoteToHalt()
+			return
+		}
+		minSeen := s.label
+		for _, m := range msgs {
+			if m < minSeen {
+				minSeen = m
+			}
+		}
+		if minSeen < s.label {
+			s.label = minSeen
+			ctx.SendToNeighbors(minSeen)
+		}
+		ctx.VoteToHalt()
+	}
+
+	all := append([]Option[ccState, int]{
+		WithCombiner[ccState, int](func(a, b int) int {
+			if a < b {
+				return a
+			}
+			return b
+		}),
+	}, opts...)
+	eng := NewEngine(g, compute, nil, all...)
+	res, err := eng.Run(4 * (g.NumNodes() + 2))
+	if err != nil {
+		return nil, res, fmt.Errorf("pregel: connected components: %w", err)
+	}
+	labels := make([]int, g.NumNodes())
+	for v := range labels {
+		labels[v] = eng.State(v).label
+	}
+	return labels, res, nil
+}

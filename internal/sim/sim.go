@@ -1,0 +1,332 @@
+// Package sim provides a deterministic round-based message-passing
+// simulation kernel, standing in for the PeerSim simulator the paper uses
+// for its evaluation (§5).
+//
+// Time advances in rounds (the paper's δ intervals). A set of processes —
+// graph nodes in the one-to-one scenario, hosts in the one-to-many
+// scenario — exchange messages of a caller-chosen type M. Two delivery
+// disciplines are supported:
+//
+//   - DeliverNextRound: strict synchronous rounds. Messages sent in round
+//     r are visible in round r+1. This matches the model of the paper's
+//     §4 complexity analysis and makes runs on a fixed seed fully
+//     reproducible round-for-round.
+//
+//   - DeliverSameRound: cycle-driven semantics, as in PeerSim's
+//     cycle-based engine. Processes execute once per round in a random
+//     permutation; a message sent to a process that has not yet executed
+//     in this round is already visible to it in the same round. The
+//     permutation is the only source of randomness, reproducing the
+//     paper's methodology where "experiments differ in the (random) order
+//     with which operations performed at different nodes are considered".
+//
+// The kernel counts execution time exactly as the paper does: the number
+// of rounds in which at least one process sends a message (the final
+// round, whose messages trigger no further change, is included).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// DeliveryMode selects when sent messages become visible.
+type DeliveryMode int
+
+const (
+	// DeliverNextRound delivers messages at the beginning of the round
+	// after they were sent (strict synchrony).
+	DeliverNextRound DeliveryMode = iota + 1
+	// DeliverSameRound delivers messages immediately into the recipient's
+	// inbox; recipients later in the current round's permutation observe
+	// them within the same round (PeerSim cycle-driven semantics).
+	DeliverSameRound
+)
+
+// ErrMaxRounds is returned by Run when the protocol has not quiesced
+// within the configured round budget.
+var ErrMaxRounds = errors.New("sim: round budget exhausted before quiescence")
+
+// Process is the behaviour of one simulated participant.
+type Process[M any] interface {
+	// Init runs once, in round 1, before any delivery. Initial broadcasts
+	// (the paper's "send ⟨u, d(u)⟩ to all neighbors") happen here.
+	Init(ctx *Context[M])
+	// Deliver is invoked once per received message.
+	Deliver(ctx *Context[M], from int, msg M)
+	// Tick runs once per round after the process's deliveries for that
+	// round; the paper's "repeat every δ time units" block.
+	Tick(ctx *Context[M])
+}
+
+// Context is the API surface through which a process interacts with the
+// kernel. A Context is bound to a single process and must not be retained
+// after the callback returns.
+type Context[M any] struct {
+	eng  *Engine[M]
+	self int
+}
+
+// Self returns the process ID this context is bound to.
+func (c *Context[M]) Self() int { return c.self }
+
+// Round returns the current round number (1-based).
+func (c *Context[M]) Round() int { return c.eng.round }
+
+// Send enqueues msg for delivery to process `to` under the engine's
+// delivery discipline.
+func (c *Context[M]) Send(to int, msg M) {
+	c.eng.send(c.self, to, msg)
+}
+
+type envelope[M any] struct {
+	from int
+	msg  M
+}
+
+// Engine executes a set of processes until quiescence.
+type Engine[M any] struct {
+	procs    []Process[M]
+	contexts []Context[M]
+	rng      *rand.Rand
+	mode     DeliveryMode
+
+	inbox     [][]envelope[M] // per destination (same-round mode)
+	nextInbox [][]envelope[M] // messages for the following round (next-round mode)
+
+	round         int
+	sentThisRound int64
+	sentPerProc   []int64
+	totalSent     int64
+	execTime      int
+	lossRate      float64
+	lost          int64
+
+	observer func(round int)
+	perm     []int
+}
+
+// Option configures an Engine.
+type Option func(*config)
+
+type config struct {
+	seed     int64
+	mode     DeliveryMode
+	observer func(round int)
+	lossRate float64
+}
+
+// WithSeed sets the seed for the kernel's permutation randomness.
+// The default seed is 1.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithDelivery selects the delivery discipline. The default is
+// DeliverNextRound.
+func WithDelivery(mode DeliveryMode) Option {
+	return func(c *config) { c.mode = mode }
+}
+
+// WithRoundObserver registers fn to run at the end of every round
+// (including round 1, the initial broadcast round). Observers typically
+// snapshot protocol state for error traces.
+func WithRoundObserver(fn func(round int)) Option {
+	return func(c *config) { c.observer = fn }
+}
+
+// WithLoss makes every message delivery fail independently with the
+// given probability (drawn from the engine's seeded randomness). The
+// paper assumes reliable channels; loss injection exercises protocol
+// extensions that must tolerate unreliable ones. Lost messages still
+// count as sent.
+func WithLoss(rate float64) Option {
+	return func(c *config) { c.lossRate = rate }
+}
+
+// NewEngine creates an engine over the given processes. Process i has ID i.
+func NewEngine[M any](procs []Process[M], opts ...Option) *Engine[M] {
+	cfg := config{seed: 1, mode: DeliverNextRound}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	e := &Engine[M]{
+		procs:       procs,
+		rng:         rand.New(rand.NewSource(cfg.seed)),
+		mode:        cfg.mode,
+		inbox:       make([][]envelope[M], len(procs)),
+		nextInbox:   make([][]envelope[M], len(procs)),
+		sentPerProc: make([]int64, len(procs)),
+		observer:    cfg.observer,
+		lossRate:    cfg.lossRate,
+		perm:        make([]int, len(procs)),
+	}
+	e.contexts = make([]Context[M], len(procs))
+	for i := range e.contexts {
+		e.contexts[i] = Context[M]{eng: e, self: i}
+	}
+	for i := range e.perm {
+		e.perm[i] = i
+	}
+	return e
+}
+
+func (e *Engine[M]) send(from, to int, msg M) {
+	if to < 0 || to >= len(e.procs) {
+		panic(fmt.Sprintf("sim: process %d sent to invalid process %d", from, to))
+	}
+	e.sentThisRound++
+	e.sentPerProc[from]++
+	e.totalSent++
+	if e.lossRate > 0 && e.rng.Float64() < e.lossRate {
+		e.lost++
+		return
+	}
+	env := envelope[M]{from: from, msg: msg}
+	if e.mode == DeliverSameRound {
+		e.inbox[to] = append(e.inbox[to], env)
+	} else {
+		e.nextInbox[to] = append(e.nextInbox[to], env)
+	}
+}
+
+// shuffledProcs returns a fresh random permutation of process IDs.
+func (e *Engine[M]) shuffledProcs() []int {
+	e.rng.Shuffle(len(e.perm), func(i, j int) { e.perm[i], e.perm[j] = e.perm[j], e.perm[i] })
+	return e.perm
+}
+
+// Run executes the protocol until no messages are pending and a full round
+// passes without sends, or until maxRounds is exceeded (returning
+// ErrMaxRounds). It reports the execution time in the paper's counting.
+func (e *Engine[M]) Run(maxRounds int) (Result, error) {
+	if e.loop(maxRounds, true) {
+		return e.result(), fmt.Errorf("%w (maxRounds = %d)", ErrMaxRounds, maxRounds)
+	}
+	return e.result(), nil
+}
+
+// RunFixed executes exactly `rounds` rounds and never returns a budget
+// error: the caller chose the budget. It is the engine mode for
+// protocols that keep retransmitting — under message loss, for example —
+// and therefore never quiesce on their own. Unlike Run it does not stop
+// on an empty message pool: with loss injection a round can drop every
+// in-flight message while the protocol still intends to retransmit.
+func (e *Engine[M]) RunFixed(rounds int) Result {
+	e.loop(rounds, false)
+	return e.result()
+}
+
+// loop drives initialization plus rounds 2..budget; it reports whether
+// messages were still pending when the budget ran out.
+func (e *Engine[M]) loop(budget int, stopOnQuiescence bool) (pendingAtBudget bool) {
+	// Round 1: initialization broadcasts. In same-round mode Init sends
+	// land in the inbox directly but are not consumed until round 2,
+	// preserving the paper's "round 1 is the initial broadcast"
+	// convention.
+	e.round = 1
+	e.sentThisRound = 0
+	for _, i := range e.shuffledProcs() {
+		e.procs[i].Init(&e.contexts[i])
+	}
+	if e.sentThisRound > 0 {
+		e.execTime = 1
+	}
+	if e.observer != nil {
+		e.observer(1)
+	}
+
+	for e.round = 2; e.round <= budget; e.round++ {
+		if !e.anyPending() {
+			if stopOnQuiescence {
+				return false
+			}
+			// Keep stepping: Tick handlers may still produce messages
+			// (e.g. periodic retransmission) even with nothing in flight.
+		}
+		e.sentThisRound = 0
+		if e.mode == DeliverSameRound {
+			e.runCycleDriven()
+		} else {
+			e.runSynchronous()
+		}
+		if e.sentThisRound > 0 {
+			e.execTime = e.round
+		}
+		if e.observer != nil {
+			e.observer(e.round)
+		}
+	}
+	return e.anyPending()
+}
+
+// runSynchronous delivers last round's messages, then ticks every process.
+func (e *Engine[M]) runSynchronous() {
+	pending := e.nextInbox
+	e.nextInbox = make([][]envelope[M], len(e.procs))
+	for _, i := range e.shuffledProcs() {
+		for _, env := range pending[i] {
+			e.procs[i].Deliver(&e.contexts[i], env.from, env.msg)
+		}
+	}
+	for _, i := range e.shuffledProcs() {
+		e.procs[i].Tick(&e.contexts[i])
+	}
+}
+
+// runCycleDriven executes each process once, in random order, draining its
+// inbox and ticking; its sends are immediately visible to processes later
+// in the permutation.
+func (e *Engine[M]) runCycleDriven() {
+	for _, i := range e.shuffledProcs() {
+		msgs := e.inbox[i]
+		e.inbox[i] = nil
+		for _, env := range msgs {
+			e.procs[i].Deliver(&e.contexts[i], env.from, env.msg)
+		}
+		e.procs[i].Tick(&e.contexts[i])
+	}
+}
+
+func (e *Engine[M]) anyPending() bool {
+	boxes := e.nextInbox
+	if e.mode == DeliverSameRound {
+		boxes = e.inbox
+	}
+	for _, box := range boxes {
+		if len(box) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// ExecutionTime is the number of rounds in which at least one process
+	// sent a message (the paper's figure of merit).
+	ExecutionTime int
+	// RoundsSimulated is the total number of rounds stepped, including
+	// trailing quiet rounds.
+	RoundsSimulated int
+	// TotalMessages is the number of point-to-point messages sent.
+	TotalMessages int64
+	// MessagesLost is the number of sent messages dropped by loss
+	// injection (see WithLoss).
+	MessagesLost int64
+	// MessagesPerProc is the number of messages sent by each process.
+	MessagesPerProc []int64
+}
+
+func (e *Engine[M]) result() Result {
+	per := make([]int64, len(e.sentPerProc))
+	copy(per, e.sentPerProc)
+	return Result{
+		ExecutionTime:   e.execTime,
+		RoundsSimulated: e.round - 1,
+		TotalMessages:   e.totalSent,
+		MessagesLost:    e.lost,
+		MessagesPerProc: per,
+	}
+}

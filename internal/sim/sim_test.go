@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// echoProc sends its ID to a fixed peer at Init and decrements a hop
+// counter on each received message, forwarding until it reaches zero.
+type echoProc struct {
+	peer     int
+	hops     int
+	received []int
+}
+
+func (p *echoProc) Init(ctx *Context[int]) {
+	if p.hops > 0 {
+		ctx.Send(p.peer, p.hops)
+	}
+}
+
+func (p *echoProc) Deliver(ctx *Context[int], from int, msg int) {
+	p.received = append(p.received, msg)
+	if msg > 1 {
+		ctx.Send(from, msg-1)
+	}
+}
+
+func (p *echoProc) Tick(*Context[int]) {}
+
+func TestPingPongTerminates(t *testing.T) {
+	for _, mode := range []DeliveryMode{DeliverNextRound, DeliverSameRound} {
+		procs := []Process[int]{
+			&echoProc{peer: 1, hops: 4},
+			&echoProc{peer: 0, hops: 0},
+		}
+		e := NewEngine(procs, WithDelivery(mode))
+		res, err := e.Run(100)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		// 4 messages total: 4->1, replies 3, 2, 1.
+		if res.TotalMessages != 4 {
+			t.Fatalf("mode %v: total messages = %d, want 4", mode, res.TotalMessages)
+		}
+		if res.MessagesPerProc[0]+res.MessagesPerProc[1] != 4 {
+			t.Fatalf("mode %v: per-proc sum mismatch", mode)
+		}
+	}
+}
+
+func TestExecutionTimeCountsSendingRounds(t *testing.T) {
+	// In next-round mode the ping-pong sends one message per round for 4
+	// rounds: Init (round 1) plus three replies (rounds 2, 3, 4).
+	procs := []Process[int]{
+		&echoProc{peer: 1, hops: 4},
+		&echoProc{peer: 0, hops: 0},
+	}
+	e := NewEngine(procs, WithDelivery(DeliverNextRound))
+	res, err := e.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecutionTime != 4 {
+		t.Fatalf("execution time = %d, want 4", res.ExecutionTime)
+	}
+}
+
+func TestQuiescentSystemStopsImmediately(t *testing.T) {
+	procs := []Process[int]{&echoProc{peer: 0, hops: 0}}
+	res, err := NewEngine(procs).Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecutionTime != 0 || res.TotalMessages != 0 {
+		t.Fatalf("quiet system: exec %d msgs %d, want 0/0", res.ExecutionTime, res.TotalMessages)
+	}
+}
+
+// floodProc sends a message every tick, forever.
+type floodProc struct{ peer int }
+
+func (p *floodProc) Init(ctx *Context[int])          { ctx.Send(p.peer, 0) }
+func (p *floodProc) Deliver(*Context[int], int, int) {}
+func (p *floodProc) Tick(ctx *Context[int])          { ctx.Send(p.peer, 0) }
+
+func TestMaxRoundsExceeded(t *testing.T) {
+	procs := []Process[int]{&floodProc{peer: 1}, &floodProc{peer: 0}}
+	_, err := NewEngine(procs).Run(5)
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestObserverCalledEveryRound(t *testing.T) {
+	procs := []Process[int]{
+		&echoProc{peer: 1, hops: 3},
+		&echoProc{peer: 0, hops: 0},
+	}
+	var rounds []int
+	e := NewEngine(procs, WithRoundObserver(func(r int) { rounds = append(rounds, r) }))
+	if _, err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) == 0 || rounds[0] != 1 {
+		t.Fatalf("observer rounds = %v, want starting at 1", rounds)
+	}
+	for i := 1; i < len(rounds); i++ {
+		if rounds[i] != rounds[i-1]+1 {
+			t.Fatalf("observer rounds not consecutive: %v", rounds)
+		}
+	}
+}
+
+func TestSendToInvalidProcessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic for invalid destination")
+		}
+	}()
+	procs := []Process[int]{&echoProc{peer: 7, hops: 1}}
+	_, _ = NewEngine(procs).Run(10)
+}
+
+// orderProbe records the round in which it received its first message.
+type orderProbe struct {
+	firstRound int
+	forward    int // forward first message to this peer, if >= 0
+}
+
+func (p *orderProbe) Init(*Context[int]) {}
+func (p *orderProbe) Deliver(ctx *Context[int], from int, msg int) {
+	if p.firstRound == 0 {
+		p.firstRound = ctx.Round()
+		if p.forward >= 0 {
+			ctx.Send(p.forward, msg)
+		}
+	}
+}
+func (p *orderProbe) Tick(*Context[int]) {}
+
+// kicker sends one message to proc 1 at Init.
+type kicker struct{}
+
+func (kicker) Init(ctx *Context[int])          { ctx.Send(1, 42) }
+func (kicker) Deliver(*Context[int], int, int) {}
+func (kicker) Tick(*Context[int])              {}
+
+func TestSameRoundDeliveryCanShortcutChains(t *testing.T) {
+	// Chain 0 -> 1 -> 2. In next-round mode node 2 always hears the
+	// message in round 3. In same-round mode it hears it in round 2 or 3
+	// depending on the permutation; across many seeds both must occur.
+	next := func(mode DeliveryMode, seed int64) int {
+		p1 := &orderProbe{forward: 2}
+		p2 := &orderProbe{forward: -1}
+		procs := []Process[int]{kicker{}, p1, p2}
+		e := NewEngine(procs, WithDelivery(mode), WithSeed(seed))
+		if _, err := e.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		return p2.firstRound
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		if got := next(DeliverNextRound, seed); got != 3 {
+			t.Fatalf("next-round seed %d: node 2 first heard in round %d, want 3", seed, got)
+		}
+	}
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 32; seed++ {
+		seen[next(DeliverSameRound, seed)] = true
+	}
+	if !seen[2] || !seen[3] {
+		t.Fatalf("same-round delivery rounds seen = %v, want both 2 and 3 across seeds", seen)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func(seed int64) Result {
+		procs := []Process[int]{
+			&echoProc{peer: 1, hops: 5},
+			&echoProc{peer: 0, hops: 2},
+		}
+		e := NewEngine(procs, WithDelivery(DeliverSameRound), WithSeed(seed))
+		res, err := e.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(7), run(7)
+	if a.ExecutionTime != b.ExecutionTime || a.TotalMessages != b.TotalMessages {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunFixedStopsAtBudget(t *testing.T) {
+	// Flooding processes never quiesce; RunFixed must stop at the budget
+	// without an error and report every round as a sending round.
+	procs := []Process[int]{&floodProc{peer: 1}, &floodProc{peer: 0}}
+	res := NewEngine(procs).RunFixed(12)
+	if res.ExecutionTime != 12 {
+		t.Fatalf("execution time = %d, want 12", res.ExecutionTime)
+	}
+	if res.RoundsSimulated != 12 {
+		t.Fatalf("rounds simulated = %d, want 12", res.RoundsSimulated)
+	}
+}
+
+func TestRunFixedContinuesThroughQuietRounds(t *testing.T) {
+	// A process that sends only every 3rd round produces quiet rounds
+	// with nothing in flight; RunFixed must keep ticking through them.
+	procs := []Process[int]{&sparseSender{peer: 1, every: 3}, &echoProc{peer: 0, hops: 0}}
+	res := NewEngine(procs).RunFixed(10)
+	// Sends occur at rounds 3, 6, 9 (Init sends nothing).
+	if res.TotalMessages != 3 {
+		t.Fatalf("total messages = %d, want 3", res.TotalMessages)
+	}
+	if res.ExecutionTime != 9 {
+		t.Fatalf("execution time = %d, want 9", res.ExecutionTime)
+	}
+}
+
+// sparseSender sends one message every `every` rounds from Tick.
+type sparseSender struct {
+	peer  int
+	every int
+}
+
+func (s *sparseSender) Init(*Context[int])              {}
+func (s *sparseSender) Deliver(*Context[int], int, int) {}
+func (s *sparseSender) Tick(ctx *Context[int]) {
+	if ctx.Round()%s.every == 0 {
+		// Value 1 keeps the echoProc partner from replying.
+		ctx.Send(s.peer, 1)
+	}
+}
+
+func TestLossDropsMessages(t *testing.T) {
+	// With certain loss, nothing is ever delivered: the ping-pong dies
+	// after the initial send.
+	procs := []Process[int]{
+		&echoProc{peer: 1, hops: 4},
+		&echoProc{peer: 0, hops: 0},
+	}
+	e := NewEngine(procs, WithLoss(1.0))
+	res, err := e.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMessages != 1 || res.MessagesLost != 1 {
+		t.Fatalf("sent %d lost %d, want 1/1", res.TotalMessages, res.MessagesLost)
+	}
+	p1, ok := procs[1].(*echoProc)
+	if !ok {
+		t.Fatal("bad cast")
+	}
+	if len(p1.received) != 0 {
+		t.Fatalf("process received %d messages under total loss", len(p1.received))
+	}
+}
+
+func TestPartialLossIsSeeded(t *testing.T) {
+	run := func() Result {
+		procs := []Process[int]{
+			&echoProc{peer: 1, hops: 30},
+			&echoProc{peer: 0, hops: 0},
+		}
+		e := NewEngine(procs, WithSeed(5), WithLoss(0.5))
+		res, err := e.Run(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MessagesLost != b.MessagesLost || a.TotalMessages != b.TotalMessages {
+		t.Fatalf("lossy runs with same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.MessagesLost == 0 {
+		t.Fatalf("50%% loss dropped nothing")
+	}
+}

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dkcore/internal/core"
+)
+
+// EncodeBatch serializes an estimate batch: a uvarint count followed by
+// pairs of (node-id delta, estimate), all uvarints. Node IDs are sorted
+// ascending before delta-encoding; the order of a batch is not semantic.
+func EncodeBatch(batch core.Batch) []byte {
+	sorted := make(core.Batch, len(batch))
+	copy(sorted, batch)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+
+	buf := make([]byte, 0, 2+5*len(sorted))
+	buf = binary.AppendUvarint(buf, uint64(len(sorted)))
+	prev := 0
+	for _, m := range sorted {
+		buf = binary.AppendUvarint(buf, uint64(m.Node-prev))
+		buf = binary.AppendUvarint(buf, uint64(m.Core))
+		prev = m.Node
+	}
+	return buf
+}
+
+// DecodeBatch reverses EncodeBatch.
+func DecodeBatch(data []byte) (core.Batch, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: decode batch: bad count")
+	}
+	data = data[n:]
+	if count > uint64(MaxFrameSize) {
+		return nil, fmt.Errorf("transport: decode batch: count %d too large", count)
+	}
+	batch := make(core.Batch, 0, count)
+	node := 0
+	for i := uint64(0); i < count; i++ {
+		delta, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("transport: decode batch: truncated at pair %d", i)
+		}
+		data = data[n:]
+		coreVal, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("transport: decode batch: truncated estimate at pair %d", i)
+		}
+		data = data[n:]
+		node += int(delta)
+		batch = append(batch, core.EstimateMsg{Node: node, Core: int(coreVal)})
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("transport: decode batch: %d trailing bytes", len(data))
+	}
+	return batch, nil
+}
+
+// EncodeIntSlice serializes a non-negative int slice as uvarints with a
+// leading count.
+func EncodeIntSlice(xs []int) []byte {
+	buf := make([]byte, 0, 2+3*len(xs))
+	buf = binary.AppendUvarint(buf, uint64(len(xs)))
+	for _, x := range xs {
+		buf = binary.AppendUvarint(buf, uint64(x))
+	}
+	return buf
+}
+
+// DecodeIntSlice reverses EncodeIntSlice. It returns the decoded slice and
+// the number of bytes consumed, so slices can be embedded in larger
+// payloads.
+func DecodeIntSlice(data []byte) (xs []int, consumed int, err error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("transport: decode int slice: bad count")
+	}
+	consumed = n
+	if count > uint64(MaxFrameSize) {
+		return nil, 0, fmt.Errorf("transport: decode int slice: count %d too large", count)
+	}
+	xs = make([]int, 0, count)
+	for i := uint64(0); i < count; i++ {
+		x, n := binary.Uvarint(data[consumed:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("transport: decode int slice: truncated at %d", i)
+		}
+		consumed += n
+		xs = append(xs, int(x))
+	}
+	return xs, consumed, nil
+}
+
+// EncodeString serializes a string with a leading uvarint length.
+func EncodeString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// DecodeString reverses EncodeString, returning the string and bytes
+// consumed.
+func DecodeString(data []byte) (s string, consumed int, err error) {
+	length, n := binary.Uvarint(data)
+	if n <= 0 {
+		return "", 0, fmt.Errorf("transport: decode string: bad length")
+	}
+	if length > uint64(len(data)-n) {
+		return "", 0, fmt.Errorf("transport: decode string: truncated")
+	}
+	return string(data[n : n+int(length)]), n + int(length), nil
+}

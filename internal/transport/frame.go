@@ -1,0 +1,98 @@
+// Package transport provides the wire layer for the networked one-to-many
+// deployment: length-prefixed frames over any stream connection, plus a
+// compact varint codec for estimate batches and graph partitions.
+//
+// A frame is [length u32 big-endian][type u8][payload]; length covers the
+// type byte and payload. The framing is transport-agnostic: it works over
+// TCP sockets, net.Pipe pairs in tests, or any io.ReadWriteCloser.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrameSize bounds a single frame's length field to keep a corrupted or
+// hostile peer from inducing huge allocations.
+const MaxFrameSize = 1 << 28 // 256 MiB
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
+// Conn is a framed connection. Send is safe for concurrent use; Recv must
+// be called from a single goroutine at a time.
+type Conn struct {
+	writeMu sync.Mutex
+	bw      *bufio.Writer
+	br      *bufio.Reader
+	closer  io.Closer
+}
+
+// NewConn wraps a stream connection in framing.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{
+		bw:     bufio.NewWriter(rw),
+		br:     bufio.NewReader(rw),
+		closer: rw,
+	}
+}
+
+// Dial connects to a framed-protocol listener at addr (TCP).
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewConn(c), nil
+}
+
+// Send writes one frame and flushes it.
+func (c *Conn) Send(typ uint8, payload []byte) error {
+	if len(payload)+1 > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one frame. It returns io.EOF unwrapped when the peer closed
+// the connection cleanly between frames.
+func (c *Conn) Recv() (typ uint8, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("transport: recv header: %w", err)
+	}
+	length := binary.BigEndian.Uint32(hdr[:])
+	if length == 0 || length > MaxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return 0, nil, fmt.Errorf("transport: recv body: %w", err)
+	}
+	return body[0], body[1:], nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.closer.Close() }
