@@ -1,0 +1,37 @@
+# Tier-1 verification and CI entry points for the dkcore repo.
+#
+#   make build       compile every package and binary
+#   make test        run the full test suite
+#   make race        run the test suite under the race detector
+#   make fuzz-short  run each native fuzz target briefly
+#   make bench       run every benchmark once (smoke) — use BENCHTIME=2s for numbers
+#   make ci          build + vet + test + race + fuzz-short
+
+GO        ?= go
+FUZZTIME  ?= 10s
+BENCHTIME ?= 1x
+
+.PHONY: all build vet test race fuzz-short bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+race: build
+	$(GO) test -race ./...
+
+fuzz-short: build
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz FuzzCodec -fuzztime $(FUZZTIME) ./internal/transport
+
+bench: build
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...
+
+ci: build vet test race fuzz-short

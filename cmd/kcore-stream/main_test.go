@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dkcore"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSelfgenThenReplayVerifies(t *testing.T) {
+	dir := t.TempDir()
+	evPath := filepath.Join(dir, "events.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-selfgen", "-n", "200", "-base", "500", "-churn", "400",
+		"-seed", "3", "-out", evPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run([]string{"-events", evPath, "-batch", "100", "-verify"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "# verify: incremental coreness matches full recomputation") {
+		t.Fatalf("missing verify line in output:\n%s", text)
+	}
+	// 900 events at batch 100 -> 9 batch lines plus header and totals.
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	var batches int
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "#") {
+			batches++
+		}
+	}
+	if batches != 9 {
+		t.Fatalf("got %d batch lines, want 9:\n%s", batches, text)
+	}
+}
+
+func TestReplayWithBaseGraph(t *testing.T) {
+	base := writeFile(t, "base.txt", "0 1\n1 2\n2 0\n")
+	events := writeFile(t, "ev.txt", "0 - 0 1\n1 - 1 2\n2 - 2 0\n")
+	var out bytes.Buffer
+	if err := run([]string{"-in", base, "-events", events, "-batch", "2", "-verify"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), " 0 0\n") && !strings.Contains(out.String(), "edges 0") {
+		// Final batch line must report zero edges and zero max core.
+		lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+		last := ""
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "#") {
+				last = l
+			}
+		}
+		fields := strings.Fields(last)
+		if len(fields) != 8 || fields[6] != "0" || fields[7] != "0" {
+			t.Fatalf("final batch line %q does not show an empty graph", last)
+		}
+	}
+}
+
+// TestSparseIDsShareBaseGraphSpace replays events whose endpoints use
+// the base edge list's original (sparse) labels: they must resolve to
+// the same nodes, and huge IDs must densify instead of exploding memory.
+func TestSparseIDsShareBaseGraphSpace(t *testing.T) {
+	base := writeFile(t, "base.txt", "5 7\n7 9\n9 5\n")
+	events := writeFile(t, "ev.txt", "0 - 5 7\n1 + 4000000000 5\n")
+	var out bytes.Buffer
+	if err := run([]string{"-in", base, "-events", events, "-batch", "10", "-verify"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var batchLine string
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "#") {
+			batchLine = l
+		}
+	}
+	// 2 events, both applied; 4 distinct nodes; 3 edges after delete+insert.
+	fields := strings.Fields(batchLine)
+	if len(fields) != 8 || fields[2] != "2" || fields[5] != "4" || fields[6] != "3" {
+		t.Fatalf("batch line %q: want 2 applied, 4 nodes, 3 edges", batchLine)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	events := writeFile(t, "ev.txt", "0 + 0 1\n")
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-nope"}},
+		{"no events", nil},
+		{"bad batch", []string{"-events", events, "-batch", "0"}},
+		{"missing events file", []string{"-events", filepath.Join(t.TempDir(), "absent.txt")}},
+		{"malformed events", []string{"-events", writeFile(t, "bad.txt", "zap\n")}},
+		{"missing base", []string{"-in", filepath.Join(t.TempDir(), "absent.txt"), "-events", events}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tt.args, &out); err == nil {
+				t.Fatal("no error")
+			}
+		})
+	}
+}
+
+func TestEventFormatMatchesLibrary(t *testing.T) {
+	evs := []dkcore.EdgeEvent{{Time: 1, Op: dkcore.EdgeInsert, U: 0, V: 1}}
+	var buf bytes.Buffer
+	if err := dkcore.WriteEvents(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "1 + 0 1\n" {
+		t.Fatalf("wire format %q", got)
+	}
+}

@@ -30,6 +30,33 @@
 // DecomposeLive. For deployment across OS processes and machines, see
 // NewCoordinator / RunHost (and the cmd/kcore-coord, cmd/kcore-host
 // binaries).
+//
+// # Streaming maintenance
+//
+// Graphs that change over time do not need recomputation: a Maintainer
+// keeps the exact decomposition current under a stream of edge
+// insertions and deletions, touching only the bounded coreness region a
+// mutation can affect (on insertion it re-seeds the affected
+// neighborhood's upper bounds; on deletion it propagates decreases from
+// the endpoints):
+//
+//	mt := dkcore.NewMaintainer(g)
+//	mt.InsertEdge(17, 42)
+//	mt.DeleteEdge(3, 9)
+//	k := mt.Coreness(17) // exact, no recomputation
+//
+// A running live decomposition can likewise absorb mutations between
+// δ-rounds via NewLiveMaintainer: buffered InsertEdge/DeleteEdge calls
+// are applied by Converge, which returns the exact coreness of the
+// mutated graph.
+//
+// Event streams are timestamped edge mutations (EdgeEvent), generated
+// with GenerateEventStream / GenerateChurnEvents and serialized by
+// WriteEvents / ReadEvents as text: one "time op u v" record per line,
+// where time is an int64 timestamp, op is "+" (insert) or "-" (delete),
+// and u, v are non-negative node IDs; '#' and '%' start comment lines,
+// blank lines are skipped. The cmd/kcore-stream binary replays such a
+// file through a Maintainer and reports per-batch update latency.
 package dkcore
 
 import (

@@ -27,6 +27,16 @@ func GenerateWattsStrogatz(n, k int, beta float64, seed int64) *Graph {
 	return gen.WattsStrogatz(n, k, beta, seed)
 }
 
+// PowerLawConfig parameterizes GeneratePowerLaw.
+type PowerLawConfig = gen.PowerLawConfig
+
+// GeneratePowerLaw returns a configuration-model graph with a truncated
+// power-law degree sequence (the skewed profile of graphs like
+// wiki-Talk).
+func GeneratePowerLaw(cfg PowerLawConfig, seed int64) *Graph {
+	return gen.PowerLaw(cfg, seed)
+}
+
 // CollaborationConfig parameterizes GenerateCollaboration.
 type CollaborationConfig = gen.CollaborationConfig
 

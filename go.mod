@@ -1,0 +1,3 @@
+module dkcore
+
+go 1.21

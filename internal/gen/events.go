@@ -1,0 +1,154 @@
+package gen
+
+import (
+	"math/rand"
+
+	"dkcore/internal/graph"
+	"dkcore/internal/stream"
+)
+
+// EventStreamConfig parameterizes EventStream.
+type EventStreamConfig struct {
+	// N is the node universe; all endpoints are drawn from [0, N).
+	N int
+	// BaseEdges is the number of initial insertion events, forming an
+	// Erdős–Rényi-style base graph delivered in random order.
+	BaseEdges int
+	// Churn is the number of mutation events appended after the base.
+	Churn int
+	// DeleteFrac is the probability that a churn event deletes a live
+	// edge rather than inserting a fresh one (clamped to [0, 1]). When no
+	// live edge exists a scheduled deletion becomes an insertion, and
+	// when the universe is saturated an insertion becomes a deletion.
+	DeleteFrac float64
+	// TimeStep is the timestamp increment between consecutive events;
+	// 0 means 1.
+	TimeStep int64
+}
+
+// edgeSet tracks the live edges of a stream under construction so that
+// generated insertions never duplicate a live edge and deletions always
+// target one.
+type edgeSet struct {
+	n       int
+	present map[[2]int]int // edge -> index in live
+	live    [][2]int
+}
+
+func newEdgeSet(n int) *edgeSet {
+	return &edgeSet{n: n, present: make(map[[2]int]int)}
+}
+
+func (s *edgeSet) add(e [2]int) {
+	s.present[e] = len(s.live)
+	s.live = append(s.live, e)
+}
+
+// removeRandom deletes and returns a uniformly chosen live edge.
+func (s *edgeSet) removeRandom(rng *rand.Rand) [2]int {
+	j := rng.Intn(len(s.live))
+	e := s.live[j]
+	last := s.live[len(s.live)-1]
+	s.live[j] = last
+	s.present[last] = j
+	s.live = s.live[:len(s.live)-1]
+	delete(s.present, e)
+	return e
+}
+
+// sampleAbsent draws a uniformly random edge not currently live; ok is
+// false when the universe is saturated.
+func (s *edgeSet) sampleAbsent(rng *rand.Rand) (e [2]int, ok bool) {
+	if len(s.live) >= s.n*(s.n-1)/2 {
+		return [2]int{}, false
+	}
+	for {
+		u, v := rng.Intn(s.n), rng.Intn(s.n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if _, dup := s.present[[2]int{u, v}]; !dup {
+			return [2]int{u, v}, true
+		}
+	}
+}
+
+// churn appends count valid mutation events to events, starting at
+// timestamp now, and returns the extended slice.
+func (s *edgeSet) churn(rng *rand.Rand, events []stream.Event, count int, delFrac float64, now, step int64) []stream.Event {
+	for i := 0; i < count; i++ {
+		doDelete := len(s.live) > 0 && rng.Float64() < delFrac
+		if !doDelete {
+			if e, ok := s.sampleAbsent(rng); ok {
+				s.add(e)
+				events = append(events, stream.Event{Time: now, Op: stream.OpInsert, U: e[0], V: e[1]})
+				now += step
+				continue
+			}
+			doDelete = len(s.live) > 0 // saturated universe: delete instead
+		}
+		if doDelete {
+			e := s.removeRandom(rng)
+			events = append(events, stream.Event{Time: now, Op: stream.OpDelete, U: e[0], V: e[1]})
+			now += step
+		}
+	}
+	return events
+}
+
+// EventStream returns a deterministic timestamped edge-event sequence:
+// BaseEdges insertions that build a random base graph, followed by Churn
+// valid mutations. Replaying the stream into a stream.Maintainer seeded
+// with an empty graph is rejection-free.
+func EventStream(cfg EventStreamConfig, seed int64) []stream.Event {
+	check(cfg.N >= 2, "EventStream: N = %d < 2", cfg.N)
+	maxEdges := cfg.N * (cfg.N - 1) / 2
+	check(cfg.BaseEdges >= 0 && cfg.BaseEdges <= maxEdges,
+		"EventStream: BaseEdges = %d out of range [0, %d]", cfg.BaseEdges, maxEdges)
+	check(cfg.Churn >= 0, "EventStream: Churn = %d < 0", cfg.Churn)
+	step := cfg.TimeStep
+	if step <= 0 {
+		step = 1
+	}
+
+	rng := newRNG(seed)
+	set := newEdgeSet(cfg.N)
+	events := make([]stream.Event, 0, cfg.BaseEdges+cfg.Churn)
+	now := int64(0)
+	for i := 0; i < cfg.BaseEdges; i++ {
+		e, _ := set.sampleAbsent(rng)
+		set.add(e)
+		events = append(events, stream.Event{Time: now, Op: stream.OpInsert, U: e[0], V: e[1]})
+		now += step
+	}
+	return set.churn(rng, events, cfg.Churn, clamp01(cfg.DeleteFrac), now, step)
+}
+
+// ChurnEvents returns a pure churn sequence against an existing base
+// graph g. Replaying the result into stream.NewMaintainer(g) is
+// rejection-free.
+func ChurnEvents(g *graph.Graph, churn int, deleteFrac float64, seed int64) []stream.Event {
+	check(g != nil, "ChurnEvents: nil graph")
+	check(g.NumNodes() >= 2, "ChurnEvents: graph has %d nodes, need >= 2", g.NumNodes())
+	check(churn >= 0, "ChurnEvents: churn = %d < 0", churn)
+	rng := newRNG(seed)
+	set := newEdgeSet(g.NumNodes())
+	g.Edges(func(u, v int) bool {
+		set.add([2]int{u, v})
+		return true
+	})
+	return set.churn(rng, nil, churn, clamp01(deleteFrac), 0, 1)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

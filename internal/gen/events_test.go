@@ -1,0 +1,98 @@
+package gen_test
+
+import (
+	"testing"
+
+	"dkcore/internal/gen"
+	"dkcore/internal/kcore"
+	"dkcore/internal/stream"
+)
+
+// replayValid replays events into mt asserting every event applies
+// cleanly (the generator's rejection-free contract).
+func replayValid(t *testing.T, mt *stream.Maintainer, events []stream.Event) {
+	t.Helper()
+	for i, ev := range events {
+		if !mt.Apply(ev) {
+			t.Fatalf("event %d (%v %d-%d) rejected", i, ev.Op, ev.U, ev.V)
+		}
+	}
+}
+
+func TestEventStreamIsValidAndDeterministic(t *testing.T) {
+	cfg := gen.EventStreamConfig{N: 60, BaseEdges: 150, Churn: 400, DeleteFrac: 0.4}
+	a := gen.EventStream(cfg, 7)
+	b := gen.EventStream(cfg, 7)
+	if len(a) != len(b) || len(a) != 550 {
+		t.Fatalf("lengths %d, %d (want 550 each)", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs between identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if c := gen.EventStream(cfg, 8); c[len(c)-1] == a[len(a)-1] && c[0] == a[0] {
+		t.Fatal("different seeds produced an identical stream")
+	}
+
+	mt := stream.NewMaintainer(gen.Chain(1)) // empty 1-node graph
+	replayValid(t, mt, a)
+	// Timestamps are strictly increasing with the default step.
+	for i := 1; i < len(a); i++ {
+		if a[i].Time != a[i-1].Time+1 {
+			t.Fatalf("timestamps not contiguous at %d: %d then %d", i, a[i-1].Time, a[i].Time)
+		}
+	}
+	// The final coreness must match a full decomposition.
+	want := kcore.Decompose(mt.Graph()).CorenessValues()
+	for u, w := range want {
+		if mt.Coreness(u) != w {
+			t.Fatalf("node %d: coreness %d, want %d", u, mt.Coreness(u), w)
+		}
+	}
+}
+
+func TestEventStreamSaturatedUniverse(t *testing.T) {
+	// K4 universe has 6 possible edges; base fills it, churn with
+	// DeleteFrac 0 must still make progress by falling back to deletions.
+	events := gen.EventStream(gen.EventStreamConfig{N: 4, BaseEdges: 6, Churn: 10, DeleteFrac: 0}, 3)
+	if len(events) != 16 {
+		t.Fatalf("got %d events, want 16", len(events))
+	}
+	mt := stream.NewMaintainer(gen.Chain(1))
+	replayValid(t, mt, events)
+}
+
+func TestChurnEventsAgainstBaseGraph(t *testing.T) {
+	g := gen.GNM(50, 120, 5)
+	events := gen.ChurnEvents(g, 300, 0.5, 11)
+	if len(events) != 300 {
+		t.Fatalf("got %d events, want 300", len(events))
+	}
+	mt := stream.NewMaintainer(g)
+	replayValid(t, mt, events)
+	want := kcore.Decompose(mt.Graph()).CorenessValues()
+	for u, w := range want {
+		if mt.Coreness(u) != w {
+			t.Fatalf("node %d: coreness %d, want %d", u, mt.Coreness(u), w)
+		}
+	}
+}
+
+func TestEventStreamPanicsOnBadConfig(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"tiny N":     func() { gen.EventStream(gen.EventStreamConfig{N: 1, BaseEdges: 0}, 1) },
+		"base edges": func() { gen.EventStream(gen.EventStreamConfig{N: 3, BaseEdges: 10}, 1) },
+		"neg churn":  func() { gen.EventStream(gen.EventStreamConfig{N: 3, Churn: -1}, 1) },
+		"nil graph":  func() { gen.ChurnEvents(nil, 1, 0.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

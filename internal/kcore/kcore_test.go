@@ -1,4 +1,4 @@
-package kcore
+package kcore_test
 
 import (
 	"math/rand"
@@ -7,6 +7,7 @@ import (
 
 	"dkcore/internal/gen"
 	"dkcore/internal/graph"
+	"dkcore/internal/kcore"
 )
 
 // paperFig2 returns the 6-node example the paper walks through in §3.1.1:
@@ -19,7 +20,7 @@ func paperFig2() *graph.Graph {
 }
 
 func TestDecomposePaperFig2(t *testing.T) {
-	d := Decompose(paperFig2())
+	d := kcore.Decompose(paperFig2())
 	want := []int{1, 2, 2, 2, 2, 1}
 	for u, w := range want {
 		if d.Coreness(u) != w {
@@ -47,7 +48,7 @@ func TestDecomposeKnownFamilies(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			d := Decompose(tt.g)
+			d := kcore.Decompose(tt.g)
 			for u := 0; u < tt.g.NumNodes(); u++ {
 				if got := d.Coreness(u); got != tt.want(u) {
 					t.Fatalf("node %d: coreness %d, want %d", u, got, tt.want(u))
@@ -58,7 +59,7 @@ func TestDecomposeKnownFamilies(t *testing.T) {
 }
 
 func TestDecomposeGridIsTwo(t *testing.T) {
-	d := Decompose(gen.Grid(6, 9))
+	d := kcore.Decompose(gen.Grid(6, 9))
 	for u := 0; u < 54; u++ {
 		if d.Coreness(u) != 2 {
 			t.Fatalf("grid node %d coreness = %d, want 2", u, d.Coreness(u))
@@ -69,7 +70,7 @@ func TestDecomposeGridIsTwo(t *testing.T) {
 func TestDecomposeCaveman(t *testing.T) {
 	// Cliques of 5 with single connecting edges: clique nodes keep
 	// coreness 4 (the connectors cannot raise it).
-	d := Decompose(gen.Caveman(4, 5))
+	d := kcore.Decompose(gen.Caveman(4, 5))
 	for u := 0; u < 20; u++ {
 		if d.Coreness(u) != 4 {
 			t.Fatalf("caveman node %d coreness = %d, want 4", u, d.Coreness(u))
@@ -80,7 +81,7 @@ func TestDecomposeCaveman(t *testing.T) {
 func TestDecomposeIsolatedNodes(t *testing.T) {
 	b := graph.NewBuilder(5)
 	b.AddEdge(0, 1)
-	d := Decompose(b.Build())
+	d := kcore.Decompose(b.Build())
 	for u := 2; u < 5; u++ {
 		if d.Coreness(u) != 0 {
 			t.Fatalf("isolated node %d coreness = %d, want 0", u, d.Coreness(u))
@@ -92,7 +93,7 @@ func TestDecomposeIsolatedNodes(t *testing.T) {
 }
 
 func TestDecomposeEmptyGraph(t *testing.T) {
-	d := Decompose(graph.NewBuilder(0).Build())
+	d := kcore.Decompose(graph.NewBuilder(0).Build())
 	if d.NumNodes() != 0 || d.MaxCoreness() != 0 || d.AvgCoreness() != 0 {
 		t.Fatalf("empty graph decomposition malformed")
 	}
@@ -103,8 +104,8 @@ func TestNaiveMatchesBucketProperty(t *testing.T) {
 		n := int(nRaw)%40 + 2
 		m := (int(density) * n * (n - 1) / 2) / 512
 		g := gen.GNM(n, m, seed)
-		a := Decompose(g)
-		b := DecomposeNaive(g)
+		a := kcore.Decompose(g)
+		b := kcore.DecomposeNaive(g)
 		for u := 0; u < n; u++ {
 			if a.Coreness(u) != b.Coreness(u) {
 				return false
@@ -122,8 +123,8 @@ func TestLocalityTheoremProperty(t *testing.T) {
 		n := int(nRaw)%60 + 2
 		m := (int(density) * n * (n - 1) / 2) / 512
 		g := gen.GNM(n, m, seed)
-		d := Decompose(g)
-		return VerifyLocality(g, d.coreness) == nil
+		d := kcore.Decompose(g)
+		return kcore.VerifyLocality(g, d.CorenessValues()) == nil
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -132,28 +133,28 @@ func TestLocalityTheoremProperty(t *testing.T) {
 
 func TestVerifyLocalityRejectsWrongAssignment(t *testing.T) {
 	g := paperFig2()
-	good := Decompose(g).CorenessValues()
-	if err := VerifyLocality(g, good); err != nil {
+	good := kcore.Decompose(g).CorenessValues()
+	if err := kcore.VerifyLocality(g, good); err != nil {
 		t.Fatalf("correct assignment rejected: %v", err)
 	}
 	bad := append([]int(nil), good...)
 	bad[1] = 3 // node with degree 3 cannot have coreness 3 here
-	if err := VerifyLocality(g, bad); err == nil {
+	if err := kcore.VerifyLocality(g, bad); err == nil {
 		t.Fatalf("wrong assignment accepted")
 	}
 	under := append([]int(nil), good...)
 	under[1] = 1 // underestimate: node 1 then has 4 neighbors with coreness >= 2? no, violates (ii)
-	if err := VerifyLocality(g, under); err == nil {
+	if err := kcore.VerifyLocality(g, under); err == nil {
 		t.Fatalf("underestimate accepted")
 	}
-	if err := VerifyLocality(g, []int{1}); err == nil {
+	if err := kcore.VerifyLocality(g, []int{1}); err == nil {
 		t.Fatalf("length mismatch accepted")
 	}
 }
 
 func TestShellAndCoreExtraction(t *testing.T) {
 	g := paperFig2()
-	d := Decompose(g)
+	d := kcore.Decompose(g)
 	sizes := d.ShellSizes()
 	if len(sizes) != 3 || sizes[1] != 2 || sizes[2] != 4 {
 		t.Fatalf("shell sizes = %v, want [0 2 4]", sizes)
@@ -181,7 +182,7 @@ func TestShellAndCoreExtraction(t *testing.T) {
 func TestCoresAreConcentric(t *testing.T) {
 	// By definition cores are nested: (k+1)-core ⊆ k-core (paper Fig. 1).
 	g := gen.BarabasiAlbert(300, 4, 8)
-	d := Decompose(g)
+	d := kcore.Decompose(g)
 	for k := 1; k <= d.MaxCoreness(); k++ {
 		inner := d.CoreNodes(k)
 		outer := make(map[int]bool)
@@ -200,7 +201,7 @@ func TestKCoreSubgraphMinDegreeProperty(t *testing.T) {
 	// Every k-core, as an induced subgraph, must have min degree >= k
 	// (Definition 1).
 	g := gen.GNM(120, 700, 77)
-	d := Decompose(g)
+	d := kcore.Decompose(g)
 	for k := 1; k <= d.MaxCoreness(); k++ {
 		sub, _ := d.KCore(g, k)
 		if sub.NumNodes() > 0 && sub.MinDegree() < k {
@@ -211,7 +212,7 @@ func TestKCoreSubgraphMinDegreeProperty(t *testing.T) {
 
 func TestPeelOrderIsDegeneracyOrder(t *testing.T) {
 	g := gen.GNM(150, 900, 13)
-	d := Decompose(g)
+	d := kcore.Decompose(g)
 	order := d.PeelOrder()
 	if len(order) != g.NumNodes() {
 		t.Fatalf("order length %d != %d", len(order), g.NumNodes())
@@ -247,7 +248,7 @@ func TestDecomposeLargeSmokeAgainstNaive(t *testing.T) {
 		n := 80 + rng.Intn(120)
 		m := rng.Intn(n * 3)
 		g := gen.GNM(n, m, int64(trial))
-		a, b := Decompose(g), DecomposeNaive(g)
+		a, b := kcore.Decompose(g), kcore.DecomposeNaive(g)
 		for u := 0; u < n; u++ {
 			if a.Coreness(u) != b.Coreness(u) {
 				t.Fatalf("trial %d node %d: bucket %d naive %d", trial, u, a.Coreness(u), b.Coreness(u))

@@ -1,0 +1,165 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dkcore/internal/gen"
+	"dkcore/internal/kcore"
+	"dkcore/internal/stream"
+)
+
+// checkMutableExact converges m and asserts its coreness matches a full
+// decomposition of its current topology.
+func checkMutableExact(t *testing.T, m *Mutable, context string) {
+	t.Helper()
+	res := m.Converge()
+	g := m.Graph()
+	want := kcore.Decompose(g).CorenessValues()
+	for u, w := range want {
+		if res.Coreness[u] != w {
+			t.Fatalf("%s: node %d: coreness %d, want %d", context, u, res.Coreness[u], w)
+		}
+	}
+	if err := kcore.VerifyLocality(g, res.Coreness); err != nil {
+		t.Fatalf("%s: %v", context, err)
+	}
+}
+
+func TestMutableInitialConvergence(t *testing.T) {
+	for _, opts := range [][]Option{nil, {WithSendOptimization(true)}, {WithWorkers(2)}} {
+		g := gen.BarabasiAlbert(200, 3, 4)
+		m := NewMutable(g, opts...)
+		checkMutableExact(t, m, "initial")
+		if res := m.Converge(); res.Rounds < 1 {
+			t.Fatalf("rounds = %d", res.Rounds)
+		}
+	}
+}
+
+func TestMutableAbsorbsInsertions(t *testing.T) {
+	m := NewMutable(gen.Chain(6))
+	m.Converge()
+	// Close the chain into a cycle, then add a chord: coreness rises.
+	if !m.InsertEdge(0, 5) {
+		t.Fatal("cycle-closing insert rejected")
+	}
+	checkMutableExact(t, m, "after cycle close")
+	if !m.InsertEdge(0, 3) {
+		t.Fatal("chord insert rejected")
+	}
+	checkMutableExact(t, m, "after chord")
+	if m.InsertEdge(0, 3) || m.InsertEdge(3, 3) || m.InsertEdge(-1, 2) {
+		t.Fatal("invalid insert accepted")
+	}
+}
+
+func TestMutableAbsorbsDeletions(t *testing.T) {
+	m := NewMutable(gen.Complete(8))
+	m.Converge()
+	if !m.DeleteEdge(0, 1) {
+		t.Fatal("delete rejected")
+	}
+	checkMutableExact(t, m, "after first delete")
+	if m.DeleteEdge(0, 1) || m.DeleteEdge(2, 2) {
+		t.Fatal("invalid delete accepted")
+	}
+	// Strip node 0 entirely.
+	for v := 2; v < 8; v++ {
+		if !m.DeleteEdge(0, v) {
+			t.Fatalf("delete {0,%d} rejected", v)
+		}
+	}
+	checkMutableExact(t, m, "after stripping node 0")
+	if m.Coreness()[0] != 0 {
+		t.Fatalf("stripped node coreness = %d", m.Coreness()[0])
+	}
+}
+
+func TestMutableGrowsNodeSet(t *testing.T) {
+	m := NewMutable(gen.Complete(4))
+	m.Converge()
+	if !m.InsertEdge(3, 9) {
+		t.Fatal("growth insert rejected")
+	}
+	checkMutableExact(t, m, "after growth")
+	if m.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10", m.NumNodes())
+	}
+}
+
+// TestMutableInterleavedChurn mirrors the Maintainer's headline test on
+// the live runtime: batches of mixed mutations between convergences.
+func TestMutableInterleavedChurn(t *testing.T) {
+	for _, sendOpt := range []bool{false, true} {
+		g := gen.GNM(80, 240, 2)
+		var opts []Option
+		if sendOpt {
+			opts = append(opts, WithSendOptimization(true))
+		}
+		m := NewMutable(g, opts...)
+		m.Converge()
+		events := gen.ChurnEvents(g, 400, 0.5, 13)
+		for i, ev := range events {
+			var ok bool
+			if ev.Op == stream.OpDelete {
+				ok = m.DeleteEdge(ev.U, ev.V)
+			} else {
+				ok = m.InsertEdge(ev.U, ev.V)
+			}
+			if !ok {
+				t.Fatalf("sendOpt=%v: event %d (%v) rejected", sendOpt, i, ev)
+			}
+			if i%40 == 39 {
+				checkMutableExact(t, m, "churn checkpoint")
+			}
+		}
+		checkMutableExact(t, m, "churn final")
+	}
+}
+
+// TestMutableConcurrentMutators hammers the API from several goroutines
+// while another converges, for the -race acceptance criterion.
+func TestMutableConcurrentMutators(t *testing.T) {
+	g := gen.GNM(60, 180, 5)
+	m := NewMutable(g)
+	m.Converge()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 50; i++ {
+				u, v := rng.Intn(60), rng.Intn(60)
+				if rng.Intn(2) == 0 {
+					m.InsertEdge(u, v)
+				} else {
+					m.DeleteEdge(u, v)
+				}
+				if i%10 == 9 {
+					m.Converge()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	checkMutableExact(t, m, "after concurrent churn")
+}
+
+func TestMutableHasEdgeSeesPendingMutations(t *testing.T) {
+	m := NewMutable(gen.Chain(3)) // edges {0,1}, {1,2}
+	if !m.HasEdge(0, 1) || m.HasEdge(0, 2) {
+		t.Fatal("initial topology wrong")
+	}
+	m.DeleteEdge(0, 1)
+	if m.HasEdge(0, 1) {
+		t.Fatal("pending delete invisible")
+	}
+	m.InsertEdge(0, 1)
+	if !m.HasEdge(0, 1) {
+		t.Fatal("pending re-insert invisible")
+	}
+	checkMutableExact(t, m, "after buffered delete+insert")
+}

@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Op is the kind of an edge event.
+type Op uint8
+
+// Edge-event kinds.
+const (
+	// OpInsert adds an undirected edge.
+	OpInsert Op = iota
+	// OpDelete removes an undirected edge.
+	OpDelete
+)
+
+// String returns the wire spelling of the op ("+" or "-").
+func (op Op) String() string {
+	if op == OpDelete {
+		return "-"
+	}
+	return "+"
+}
+
+// Event is one timestamped edge mutation.
+type Event struct {
+	// Time is an application-defined timestamp; replay tooling batches
+	// events by it but the Maintainer itself ignores it.
+	Time int64
+	// Op says whether the edge is inserted or deleted.
+	Op Op
+	// U, V are the edge endpoints.
+	U, V int
+}
+
+// ReadEvents parses a text edge-event stream: one "time op u v" record
+// per line with op either "+" (insert) or "-" (delete), blank lines
+// skipped, and '#' or '%' starting a comment line. Events are returned in
+// file order; timestamps need not be sorted.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("stream: line %d: want \"time op u v\", got %q", lineNo, line)
+		}
+		ts, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: bad timestamp %q", lineNo, fields[0])
+		}
+		var op Op
+		switch fields[1] {
+		case "+":
+			op = OpInsert
+		case "-":
+			op = OpDelete
+		default:
+			return nil, fmt.Errorf("stream: line %d: bad op %q (want + or -)", lineNo, fields[1])
+		}
+		u, err := strconv.Atoi(fields[2])
+		if err != nil || u < 0 {
+			return nil, fmt.Errorf("stream: line %d: bad endpoint %q", lineNo, fields[2])
+		}
+		v, err := strconv.Atoi(fields[3])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("stream: line %d: bad endpoint %q", lineNo, fields[3])
+		}
+		events = append(events, Event{Time: ts, Op: op, U: u, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stream: read events: %w", err)
+	}
+	return events, nil
+}
+
+// WriteEvents writes events in the format ReadEvents parses.
+func WriteEvents(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range events {
+		if _, err := fmt.Fprintf(bw, "%d %s %d %d\n", ev.Time, ev.Op, ev.U, ev.V); err != nil {
+			return fmt.Errorf("stream: write events: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("stream: write events: %w", err)
+	}
+	return nil
+}

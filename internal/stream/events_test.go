@@ -1,0 +1,77 @@
+package stream_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dkcore/internal/graph"
+	"dkcore/internal/stream"
+)
+
+func TestEventsRoundTrip(t *testing.T) {
+	events := []stream.Event{
+		{Time: 0, Op: stream.OpInsert, U: 0, V: 1},
+		{Time: 5, Op: stream.OpInsert, U: 1, V: 2},
+		{Time: 9, Op: stream.OpDelete, U: 0, V: 1},
+	}
+	var sb strings.Builder
+	if err := stream.WriteEvents(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.ReadEvents(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip: got %v, want %v", got, events)
+	}
+}
+
+func TestReadEventsSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n% other comment style\n3 + 1 2\n"
+	events, err := stream.ReadEvents(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0] != (stream.Event{Time: 3, Op: stream.OpInsert, U: 1, V: 2}) {
+		t.Fatalf("parsed %v", events)
+	}
+}
+
+func TestReadEventsErrors(t *testing.T) {
+	bad := []string{
+		"1 + 2",                       // too few fields
+		"1 + 2 3 4",                   // too many fields
+		"x + 1 2",                     // bad timestamp
+		"1 ? 1 2",                     // bad op
+		"1 + -1 2",                    // negative endpoint
+		"1 + 1 two",                   // non-numeric endpoint
+		"1 insert 1 2",                // verbose op
+		"1 + 1 999999999999999999999", // overflow endpoint
+	}
+	for _, line := range bad {
+		if _, err := stream.ReadEvents(strings.NewReader(line + "\n")); err == nil {
+			t.Fatalf("line %q: no error", line)
+		}
+	}
+}
+
+func TestApplyDispatchesOnOp(t *testing.T) {
+	mt := stream.NewMaintainer(new(graph.Graph))
+	if !mt.Apply(stream.Event{Op: stream.OpInsert, U: 0, V: 1}) {
+		t.Fatal("insert event rejected")
+	}
+	if mt.Coreness(0) != 1 {
+		t.Fatalf("coreness after insert event = %d", mt.Coreness(0))
+	}
+	if !mt.Apply(stream.Event{Op: stream.OpDelete, U: 1, V: 0}) {
+		t.Fatal("delete event rejected")
+	}
+	if mt.Apply(stream.Event{Op: stream.OpDelete, U: 0, V: 1}) {
+		t.Fatal("deleting twice succeeded")
+	}
+	if mt.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d", mt.NumEdges())
+	}
+}

@@ -1,0 +1,347 @@
+// Package stream maintains a k-core decomposition under a stream of edge
+// insertions and deletions without recomputing it from scratch.
+//
+// The engine builds on the same structural fact the paper's distributed
+// protocol exploits: coreness is a local fixpoint (Theorem 1), so a single
+// edge mutation can change the coreness only of a bounded region around
+// the mutated edge. Concretely, for an edge {u, v} with K = min(core(u),
+// core(v)):
+//
+//   - insertion can raise coreness only for nodes with coreness exactly K
+//     that are reachable from the lower endpoint through nodes of
+//     coreness K, and only by exactly one;
+//   - deletion can lower coreness only for the symmetric region, again by
+//     exactly one.
+//
+// (These are the traversal theorems of Sarıyüce et al., "Streaming
+// Algorithms for k-Core Decomposition", VLDB 2013, and Li, Yu & Mao's
+// incremental-maintenance work; the paper's upper-bound convergence makes
+// them directly applicable here.) Maintainer therefore re-seeds upper
+// bounds only inside that region on insertion and propagates decreases
+// from the endpoints on deletion, giving exact coreness after every event
+// in time proportional to the affected region rather than the graph.
+package stream
+
+import (
+	"sort"
+
+	"dkcore/internal/graph"
+	"dkcore/internal/kcore"
+)
+
+// Maintainer holds a mutable undirected simple graph together with the
+// exact coreness of every node, updated incrementally on each mutation.
+//
+// Node IDs are dense non-negative integers; inserting an edge whose
+// endpoints lie beyond the current node count grows the node set with
+// isolated (coreness-0) nodes, so memory is proportional to the largest
+// node ID mentioned — densify sparse external IDs before feeding them
+// in (as cmd/kcore-stream does). A Maintainer is not safe for concurrent
+// use; wrap it in a lock or use the live runtime's Mutable for a
+// concurrent deployment.
+type Maintainer struct {
+	adj  [][]int // sorted neighbor lists, owned by the Maintainer
+	core []int   // exact coreness under the current edge set
+	m    int     // number of undirected edges
+
+	// scratch state reused across updates to keep small mutations
+	// allocation-free once warm.
+	mark    []int // visit stamp per node (compared against stamp)
+	cand    []int // candidate stamp per node (insertion traversal)
+	cnt     []int // per-node support count, valid where mark == stamp
+	stamp   int
+	queue   []int
+	region  []int
+	touched []int
+}
+
+// NewMaintainer returns a Maintainer seeded with g's edges and the exact
+// decomposition of g (computed once with the Batagelj–Zaversnik peel).
+func NewMaintainer(g *graph.Graph) *Maintainer {
+	n := g.NumNodes()
+	mt := &Maintainer{
+		adj:  make([][]int, n),
+		m:    g.NumEdges(),
+		mark: make([]int, n),
+		cand: make([]int, n),
+		cnt:  make([]int, n),
+	}
+	for u := 0; u < n; u++ {
+		ns := g.Neighbors(u)
+		mt.adj[u] = append(make([]int, 0, len(ns)), ns...)
+	}
+	mt.core = kcore.Decompose(g).CorenessValues()
+	return mt
+}
+
+// NumNodes returns the current node count.
+func (mt *Maintainer) NumNodes() int { return len(mt.core) }
+
+// NumEdges returns the current undirected edge count.
+func (mt *Maintainer) NumEdges() int { return mt.m }
+
+// Degree returns the degree of node u, or 0 for unknown nodes.
+func (mt *Maintainer) Degree(u int) int {
+	if u < 0 || u >= len(mt.adj) {
+		return 0
+	}
+	return len(mt.adj[u])
+}
+
+// Coreness returns the exact coreness of node u under the current edge
+// set, or 0 for nodes not yet mentioned by any edge.
+func (mt *Maintainer) Coreness(u int) int {
+	if u < 0 || u >= len(mt.core) {
+		return 0
+	}
+	return mt.core[u]
+}
+
+// CorenessValues returns a copy of the per-node coreness array.
+func (mt *Maintainer) CorenessValues() []int {
+	out := make([]int, len(mt.core))
+	copy(out, mt.core)
+	return out
+}
+
+// MaxCoreness returns the degeneracy of the current graph.
+func (mt *Maintainer) MaxCoreness() int {
+	maxK := 0
+	for _, k := range mt.core {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	return maxK
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (mt *Maintainer) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(mt.adj) || v >= len(mt.adj) {
+		return false
+	}
+	ns := mt.adj[u]
+	i := sort.SearchInts(ns, v)
+	return i < len(ns) && ns[i] == v
+}
+
+// Graph materializes the current edge set as an immutable CSR snapshot.
+func (mt *Maintainer) Graph() *graph.Graph {
+	b := graph.NewBuilder(len(mt.core))
+	for u, ns := range mt.adj {
+		for _, v := range ns {
+			if u < v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Apply applies one event, returning whether it changed the graph.
+func (mt *Maintainer) Apply(ev Event) bool {
+	if ev.Op == OpDelete {
+		return mt.DeleteEdge(ev.U, ev.V)
+	}
+	return mt.InsertEdge(ev.U, ev.V)
+}
+
+// InsertEdge adds the undirected edge {u, v} and updates coreness
+// exactly. It reports whether the edge was added; self-loops, negative
+// endpoints, and already-present edges leave the graph unchanged.
+func (mt *Maintainer) InsertEdge(u, v int) bool {
+	if u < 0 || v < 0 || u == v {
+		return false
+	}
+	mt.grow(max(u, v) + 1)
+	if mt.HasEdge(u, v) {
+		return false
+	}
+	insertSorted(&mt.adj[u], v)
+	insertSorted(&mt.adj[v], u)
+	mt.m++
+
+	// Only nodes of coreness K = min(core(u), core(v)) connected to the
+	// new edge through coreness-K nodes can rise, and only to K+1.
+	// Candidate pruning (the purecore refinement): a node can rise — or
+	// transmit a rise — only if more than K of its neighbors have
+	// coreness >= K, so the traversal expands through qualifying nodes
+	// only. This keeps the walk off the vast equal-coreness plateaus of
+	// skewed graphs.
+	k := mt.core[u]
+	if mt.core[v] < k {
+		k = mt.core[v]
+	}
+	mt.stamp++
+	mt.region = mt.region[:0]
+	for _, root := range [2]int{u, v} {
+		if mt.core[root] == k && mt.mark[root] != mt.stamp {
+			mt.collectCandidates(root, k)
+		}
+	}
+
+	// Localized peel at threshold K+1 over the candidate set: a
+	// candidate's support counts neighbors that already sit above K plus
+	// candidate neighbors that could rise with it. Nodes whose support
+	// falls below K+1 keep coreness K; survivors rise to K+1.
+	mt.queue = mt.queue[:0]
+	for _, x := range mt.region {
+		c := 0
+		for _, y := range mt.adj[x] {
+			if mt.core[y] > k || mt.cand[y] == mt.stamp {
+				c++
+			}
+		}
+		mt.cnt[x] = c
+		if c < k+1 {
+			mt.queue = append(mt.queue, x)
+		}
+	}
+	const removed = -1
+	for len(mt.queue) > 0 {
+		x := mt.queue[len(mt.queue)-1]
+		mt.queue = mt.queue[:len(mt.queue)-1]
+		if mt.cnt[x] == removed {
+			continue
+		}
+		mt.cnt[x] = removed
+		for _, y := range mt.adj[x] {
+			if mt.cand[y] == mt.stamp && mt.cnt[y] != removed {
+				mt.cnt[y]--
+				if mt.cnt[y] == k {
+					mt.queue = append(mt.queue, y)
+				}
+			}
+		}
+	}
+	for _, x := range mt.region {
+		if mt.cnt[x] != removed {
+			mt.core[x] = k + 1
+		}
+	}
+	return true
+}
+
+// DeleteEdge removes the undirected edge {u, v} and updates coreness
+// exactly. It reports whether the edge was present.
+func (mt *Maintainer) DeleteEdge(u, v int) bool {
+	if !mt.HasEdge(u, v) || u == v {
+		return false
+	}
+	k := mt.core[u]
+	if mt.core[v] < k {
+		k = mt.core[v]
+	}
+	removeSorted(&mt.adj[u], v)
+	removeSorted(&mt.adj[v], u)
+	mt.m--
+
+	// Only nodes of coreness K can fall, by exactly one. Propagate
+	// decreases outward from the endpoints: a coreness-K node falls when
+	// fewer than K of its neighbors retain coreness >= K, and each fall
+	// re-examines its coreness-K neighbors.
+	mt.stamp++
+	mt.queue = mt.queue[:0]
+	mt.touched = mt.touched[:0]
+	for _, s := range [2]int{u, v} {
+		if mt.core[s] == k && mt.mark[s] != mt.stamp {
+			mt.evaluate(s, k)
+			if mt.cnt[s] < k {
+				mt.queue = append(mt.queue, s)
+			}
+		}
+	}
+	for len(mt.queue) > 0 {
+		x := mt.queue[len(mt.queue)-1]
+		mt.queue = mt.queue[:len(mt.queue)-1]
+		if mt.core[x] != k {
+			continue // already dropped via another path
+		}
+		mt.core[x] = k - 1
+		for _, y := range mt.adj[x] {
+			if mt.core[y] != k {
+				continue
+			}
+			if mt.mark[y] != mt.stamp {
+				// First sighting: count with x already dropped.
+				mt.evaluate(y, k)
+			} else {
+				mt.cnt[y]--
+			}
+			if mt.cnt[y] < k {
+				mt.queue = append(mt.queue, y)
+			}
+		}
+	}
+	return true
+}
+
+// collectCandidates gathers into mt.region the coreness-k nodes that
+// could rise to k+1: those with more than k neighbors of coreness >= k,
+// reachable from root through such nodes. Every visited node is stamped
+// in mark; candidates are additionally stamped in cand.
+func (mt *Maintainer) collectCandidates(root, k int) {
+	mt.touched = mt.touched[:0]
+	mt.touched = append(mt.touched, root)
+	mt.mark[root] = mt.stamp
+	for len(mt.touched) > 0 {
+		x := mt.touched[len(mt.touched)-1]
+		mt.touched = mt.touched[:len(mt.touched)-1]
+		c := 0
+		for _, y := range mt.adj[x] {
+			if mt.core[y] >= k {
+				c++
+			}
+		}
+		if c <= k {
+			continue // cannot rise, cannot transmit a rise
+		}
+		mt.cand[x] = mt.stamp
+		mt.region = append(mt.region, x)
+		for _, y := range mt.adj[x] {
+			if mt.core[y] == k && mt.mark[y] != mt.stamp {
+				mt.mark[y] = mt.stamp
+				mt.touched = append(mt.touched, y)
+			}
+		}
+	}
+}
+
+// evaluate computes the deletion support of x (neighbors with coreness
+// >= k) and stamps it as evaluated.
+func (mt *Maintainer) evaluate(x, k int) {
+	c := 0
+	for _, y := range mt.adj[x] {
+		if mt.core[y] >= k {
+			c++
+		}
+	}
+	mt.mark[x] = mt.stamp
+	mt.cnt[x] = c
+}
+
+// grow extends the node set to at least n isolated nodes.
+func (mt *Maintainer) grow(n int) {
+	for len(mt.core) < n {
+		mt.adj = append(mt.adj, nil)
+		mt.core = append(mt.core, 0)
+		mt.mark = append(mt.mark, 0)
+		mt.cand = append(mt.cand, 0)
+		mt.cnt = append(mt.cnt, 0)
+	}
+}
+
+func insertSorted(xs *[]int, x int) {
+	s := *xs
+	i := sort.SearchInts(s, x)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	*xs = s
+}
+
+func removeSorted(xs *[]int, x int) {
+	s := *xs
+	i := sort.SearchInts(s, x)
+	*xs = append(s[:i], s[i+1:]...)
+}

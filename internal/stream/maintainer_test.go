@@ -1,0 +1,226 @@
+package stream_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dkcore/internal/gen"
+	"dkcore/internal/graph"
+	"dkcore/internal/kcore"
+	"dkcore/internal/stream"
+)
+
+// checkExact asserts that mt's coreness matches a full decomposition of
+// its current graph.
+func checkExact(t *testing.T, mt *stream.Maintainer, context string) {
+	t.Helper()
+	g := mt.Graph()
+	want := kcore.Decompose(g).CorenessValues()
+	for u, w := range want {
+		if got := mt.Coreness(u); got != w {
+			t.Fatalf("%s: node %d: coreness %d, want %d (n=%d m=%d)",
+				context, u, got, w, g.NumNodes(), g.NumEdges())
+		}
+	}
+	if err := kcore.VerifyLocality(g, mt.CorenessValues()[:g.NumNodes()]); err != nil {
+		t.Fatalf("%s: %v", context, err)
+	}
+}
+
+func TestMaintainerPaperExample(t *testing.T) {
+	// Build the paper's Figure-2 graph edge by edge from empty.
+	edges := [][2]int{{0, 1}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}, {4, 5}}
+	mt := stream.NewMaintainer(&graph.Graph{})
+	for _, e := range edges {
+		if !mt.InsertEdge(e[0], e[1]) {
+			t.Fatalf("insert %v rejected", e)
+		}
+		checkExact(t, mt, "after insert")
+	}
+	want := []int{1, 2, 2, 2, 2, 1}
+	for u, w := range want {
+		if mt.Coreness(u) != w {
+			t.Fatalf("node %d: coreness %d, want %d", u, mt.Coreness(u), w)
+		}
+	}
+	// Tear it down edge by edge.
+	for _, e := range edges {
+		if !mt.DeleteEdge(e[0], e[1]) {
+			t.Fatalf("delete %v rejected", e)
+		}
+		checkExact(t, mt, "after delete")
+	}
+	if mt.NumEdges() != 0 || mt.MaxCoreness() != 0 {
+		t.Fatalf("teardown left %d edges, max coreness %d", mt.NumEdges(), mt.MaxCoreness())
+	}
+}
+
+func TestMaintainerRejectsInvalid(t *testing.T) {
+	mt := stream.NewMaintainer(graph.FromEdges(3, [][2]int{{0, 1}}))
+	if mt.InsertEdge(1, 1) {
+		t.Fatal("self-loop accepted")
+	}
+	if mt.InsertEdge(-1, 2) || mt.InsertEdge(2, -7) {
+		t.Fatal("negative endpoint accepted")
+	}
+	if mt.InsertEdge(0, 1) || mt.InsertEdge(1, 0) {
+		t.Fatal("duplicate edge accepted")
+	}
+	if mt.DeleteEdge(0, 2) {
+		t.Fatal("deleted an absent edge")
+	}
+	if mt.DeleteEdge(5, 6) {
+		t.Fatal("deleted an edge between unknown nodes")
+	}
+	if mt.NumEdges() != 1 {
+		t.Fatalf("edge count drifted to %d", mt.NumEdges())
+	}
+}
+
+func TestMaintainerGrowsNodeSet(t *testing.T) {
+	mt := stream.NewMaintainer(graph.FromEdges(2, [][2]int{{0, 1}}))
+	if !mt.InsertEdge(7, 3) {
+		t.Fatal("insert to new nodes rejected")
+	}
+	if mt.NumNodes() != 8 {
+		t.Fatalf("NumNodes = %d, want 8", mt.NumNodes())
+	}
+	if mt.Coreness(7) != 1 || mt.Coreness(5) != 0 {
+		t.Fatalf("coreness after growth: node7=%d node5=%d", mt.Coreness(7), mt.Coreness(5))
+	}
+	checkExact(t, mt, "after growth")
+}
+
+// TestMaintainerTriangleCascade exercises the insertion peel where part of
+// the region must stay behind: closing a chain into a triangle with a tail
+// raises only the triangle.
+func TestMaintainerTriangleCascade(t *testing.T) {
+	mt := stream.NewMaintainer(gen.Chain(5)) // 0-1-2-3-4, all coreness 1
+	mt.InsertEdge(0, 2)
+	want := []int{2, 2, 2, 1, 1}
+	for u, w := range want {
+		if mt.Coreness(u) != w {
+			t.Fatalf("node %d: coreness %d, want %d", u, mt.Coreness(u), w)
+		}
+	}
+	// Deleting a triangle edge cascades the 2-core away again.
+	mt.DeleteEdge(1, 2)
+	for u := 0; u < 5; u++ {
+		if got := mt.Coreness(u); got != 1 {
+			t.Fatalf("node %d: coreness %d, want 1", u, got)
+		}
+	}
+	checkExact(t, mt, "after cascade")
+}
+
+// TestMaintainerRandomChurn is the headline exactness guarantee: after any
+// seeded random sequence of >= 1k insert/delete events, coreness equals a
+// full decomposition of the final graph. Intermediate checkpoints guard
+// against compensating errors.
+func TestMaintainerRandomChurn(t *testing.T) {
+	const nodes, events = 120, 1200
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mt := stream.NewMaintainer(gen.GNM(nodes, 3*nodes, seed))
+		present := make(map[[2]int]bool)
+		mt.Graph().Edges(func(u, v int) bool {
+			present[[2]int{u, v}] = true
+			return true
+		})
+		var live [][2]int
+		for e := range present {
+			live = append(live, e)
+		}
+		applied := 0
+		for i := 0; i < events; i++ {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				j := rng.Intn(len(live))
+				e := live[j]
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				delete(present, e)
+				if !mt.DeleteEdge(e[0], e[1]) {
+					t.Fatalf("seed %d: delete %v rejected", seed, e)
+				}
+				applied++
+			} else {
+				u, v := rng.Intn(nodes), rng.Intn(nodes)
+				if u == v {
+					continue
+				}
+				if u > v {
+					u, v = v, u
+				}
+				key := [2]int{u, v}
+				if present[key] {
+					continue
+				}
+				present[key] = true
+				live = append(live, key)
+				if !mt.InsertEdge(u, v) {
+					t.Fatalf("seed %d: insert %v rejected", seed, key)
+				}
+				applied++
+			}
+			if i%200 == 199 {
+				checkExact(t, mt, "checkpoint")
+			}
+		}
+		if applied < 1000 {
+			t.Fatalf("seed %d: only %d events applied", seed, applied)
+		}
+		checkExact(t, mt, "final")
+		if mt.NumEdges() != len(present) {
+			t.Fatalf("seed %d: edge count %d, want %d", seed, mt.NumEdges(), len(present))
+		}
+	}
+}
+
+// TestMaintainerDenseFamilies drives churn on structured graphs whose
+// regions are large (cliques, tori), stressing both traversal directions.
+func TestMaintainerDenseFamilies(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"complete": gen.Complete(20),
+		"torus":    gen.Torus(6, 6),
+		"caveman":  gen.Caveman(5, 6),
+		"ba":       gen.BarabasiAlbert(150, 4, 7),
+	}
+	for name, g := range graphs {
+		mt := stream.NewMaintainer(g)
+		rng := rand.New(rand.NewSource(42))
+		var edges [][2]int
+		g.Edges(func(u, v int) bool { edges = append(edges, [2]int{u, v}); return true })
+		// Delete a third of the edges, then re-insert them.
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		third := edges[:len(edges)/3]
+		for _, e := range third {
+			mt.DeleteEdge(e[0], e[1])
+		}
+		checkExact(t, mt, name+" after deletions")
+		for _, e := range third {
+			mt.InsertEdge(e[0], e[1])
+		}
+		checkExact(t, mt, name+" after reinsertion")
+		truth := kcore.Decompose(g).CorenessValues()
+		for u, w := range truth {
+			if mt.Coreness(u) != w {
+				t.Fatalf("%s: node %d: coreness %d after round trip, want %d", name, u, mt.Coreness(u), w)
+			}
+		}
+	}
+}
+
+func TestMaintainerSnapshotMatchesSource(t *testing.T) {
+	g := gen.GNM(80, 200, 9)
+	mt := stream.NewMaintainer(g)
+	if !mt.Graph().Equal(g) {
+		t.Fatal("fresh snapshot differs from the source graph")
+	}
+	mt.InsertEdge(0, 79)
+	if mt.Graph().Equal(g) {
+		t.Fatal("snapshot ignored a mutation")
+	}
+	if mt.HasEdge(0, 79) != true || mt.HasEdge(79, 0) != true {
+		t.Fatal("HasEdge misses the inserted edge")
+	}
+}

@@ -34,8 +34,11 @@ func DecodeBatch(data []byte) (core.Batch, error) {
 		return nil, fmt.Errorf("transport: decode batch: bad count")
 	}
 	data = data[n:]
-	if count > uint64(MaxFrameSize) {
-		return nil, fmt.Errorf("transport: decode batch: count %d too large", count)
+	// Each pair takes at least two bytes, so a count beyond len(data)/2
+	// is corrupt; checking before allocating keeps a hostile count from
+	// inducing a huge allocation.
+	if count > uint64(len(data)/2) {
+		return nil, fmt.Errorf("transport: decode batch: count %d exceeds payload", count)
 	}
 	batch := make(core.Batch, 0, count)
 	node := 0
@@ -79,8 +82,10 @@ func DecodeIntSlice(data []byte) (xs []int, consumed int, err error) {
 		return nil, 0, fmt.Errorf("transport: decode int slice: bad count")
 	}
 	consumed = n
-	if count > uint64(MaxFrameSize) {
-		return nil, 0, fmt.Errorf("transport: decode int slice: count %d too large", count)
+	// Each element takes at least one byte; bound the allocation by the
+	// bytes actually present.
+	if count > uint64(len(data)-n) {
+		return nil, 0, fmt.Errorf("transport: decode int slice: count %d exceeds payload", count)
 	}
 	xs = make([]int, 0, count)
 	for i := uint64(0); i < count; i++ {

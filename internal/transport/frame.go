@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"sync"
 )
 
@@ -87,9 +88,25 @@ func (c *Conn) Recv() (typ uint8, payload []byte, err error) {
 	if length == 0 || length > MaxFrameSize {
 		return 0, nil, ErrFrameTooLarge
 	}
-	body := make([]byte, length)
-	if _, err := io.ReadFull(c.br, body); err != nil {
-		return 0, nil, fmt.Errorf("transport: recv body: %w", err)
+	// Read the body in bounded chunks so a corrupted or hostile length
+	// field cannot induce a single huge allocation before any payload
+	// bytes have actually arrived.
+	const chunk = 1 << 20
+	initial := int(length)
+	if initial > chunk {
+		initial = chunk
+	}
+	body := make([]byte, 0, initial)
+	for len(body) < int(length) {
+		n := int(length) - len(body)
+		if n > chunk {
+			n = chunk
+		}
+		prev := len(body)
+		body = slices.Grow(body, n)[:prev+n]
+		if _, err := io.ReadFull(c.br, body[prev:]); err != nil {
+			return 0, nil, fmt.Errorf("transport: recv body: %w", err)
+		}
 	}
 	return body[0], body[1:], nil
 }
