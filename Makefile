@@ -5,7 +5,10 @@
 #   make race        run the test suite under the race detector
 #   make fuzz-short  run each native fuzz target briefly
 #   make bench       run every benchmark once (smoke) — use BENCHTIME=2s for numbers
-#   make ci          build + vet + test + race + fuzz-short
+#   make ci          build + vet (incl. gofmt gate) + test + race + fuzz-short
+#
+# .github/workflows/ci.yml runs build+vet+test as the fast lane and
+# race / fuzz-short / bench smoke as separate parallel jobs.
 
 GO        ?= go
 FUZZTIME  ?= 10s
@@ -18,8 +21,17 @@ all: build
 build:
 	$(GO) build ./...
 
+# vet covers every package (./... includes cmd/ and internal/) and gates
+# on gofmt over the whole tree, so unformatted or unvetted code in any
+# directory fails `make ci`.
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt -l found unformatted files:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
 
 test: build
 	$(GO) test ./...

@@ -31,7 +31,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("kcore-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1, table2, fig4, fig5, worstcase, ablation, assignment, all")
+		exp      = fs.String("exp", "all", "experiment: table1, table2, fig4, fig5, worstcase, ablation, assignment, parallel, all")
 		scale    = fs.Float64("scale", 1.0, "dataset scale factor")
 		reps     = fs.Int("reps", 10, "repetitions per measurement (paper: 50 for Table 1, 20 for Figure 5)")
 		seed     = fs.Int64("seed", 1, "base seed")
@@ -48,7 +48,7 @@ func run(args []string, w io.Writer) error {
 
 	experiments := strings.Split(*exp, ",")
 	if *exp == "all" {
-		experiments = []string{"table1", "table2", "fig4", "fig5", "worstcase", "ablation", "assignment"}
+		experiments = []string{"table1", "table2", "fig4", "fig5", "worstcase", "ablation", "assignment", "parallel"}
 	}
 	for _, e := range experiments {
 		start := time.Now()
@@ -112,6 +112,13 @@ func runOne(exp string, cfg bench.Config, step int, w io.Writer) error {
 			return err
 		}
 		return bench.WriteAssignment(w, rows)
+	case "parallel":
+		fmt.Fprintf(w, "\n=== extension: partitioned parallel engine vs simulator ===\n\n")
+		rows, err := bench.ParallelSpeedup(cfg)
+		if err != nil {
+			return err
+		}
+		return bench.WriteParallel(w, rows)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

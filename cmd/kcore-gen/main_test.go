@@ -74,9 +74,11 @@ func TestGenerateAllFamilies(t *testing.T) {
 func TestGenerateErrors(t *testing.T) {
 	tests := [][]string{
 		{},
+		{"-nope"},
 		{"-dataset", "nope"},
 		{"-family", "nope"},
 		{"-dataset", "gnutella", "-format", "nope", "-out", filepath.Join(t.TempDir(), "x")},
+		{"-family", "chain", "-n", "10", "-out", filepath.Join(t.TempDir(), "no", "such", "dir", "g.txt")},
 	}
 	for _, args := range tests {
 		if err := run(args); err == nil {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	kcore -in graph.txt [-mode seq|one2one|one2many|live] [-hosts H] [-histogram]
+//	kcore -in graph.txt [-mode seq|one2one|one2many|live|parallel] [-hosts H] [-workers P] [-histogram]
 //
 // The input is a whitespace-separated edge list ('#' comments allowed);
 // "-" reads from stdin. With -histogram the tool prints shell sizes;
@@ -31,8 +31,9 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("kcore", flag.ContinueOnError)
 	var (
 		in        = fs.String("in", "-", "input edge list file, or - for stdin")
-		mode      = fs.String("mode", "seq", "algorithm: seq, one2one, one2many, live")
+		mode      = fs.String("mode", "seq", "algorithm: seq, one2one, one2many, live, parallel")
 		hosts     = fs.Int("hosts", 4, "number of hosts for -mode one2many")
+		workers   = fs.Int("workers", 0, "worker goroutines for -mode parallel (0 = all cores)")
 		seed      = fs.Int64("seed", 1, "random seed for distributed runs")
 		histogram = fs.Bool("histogram", false, "print shell-size histogram instead of per-node coreness")
 		stats     = fs.Bool("stats", false, "print run statistics (rounds, messages) to stderr")
@@ -80,6 +81,16 @@ func run(args []string, out io.Writer) error {
 		coreness = res.Coreness
 		if *stats {
 			fmt.Fprintf(os.Stderr, "rounds=%d estimates-shipped=%d\n", res.ExecutionTime, res.EstimatesSent)
+		}
+	case "parallel":
+		res, err := dkcore.DecomposeParallel(g, dkcore.WithWorkers(*workers))
+		if err != nil {
+			return err
+		}
+		coreness = res.Coreness
+		if *stats {
+			fmt.Fprintf(os.Stderr, "rounds=%d workers=%d estimates-shipped=%d\n",
+				res.Rounds, res.Workers, res.EstimatesSent)
 		}
 	case "live":
 		res, err := dkcore.DecomposeLive(g)

@@ -25,7 +25,7 @@ func TestRunModes(t *testing.T) {
 	want := map[string]string{
 		"1": "1", "2": "2", "3": "2", "4": "2", "5": "2", "6": "1",
 	}
-	for _, mode := range []string{"seq", "one2one", "one2many", "live"} {
+	for _, mode := range []string{"seq", "one2one", "one2many", "live", "parallel"} {
 		t.Run(mode, func(t *testing.T) {
 			var out bytes.Buffer
 			if err := run([]string{"-in", path, "-mode", mode}, &out); err != nil {
@@ -63,13 +63,26 @@ func TestRunHistogram(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := fig2File(t)
+	malformed := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(malformed, []byte("1 2\nfoo bar\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	negative := filepath.Join(t.TempDir(), "neg.txt")
+	if err := os.WriteFile(negative, []byte("1 2\n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	tests := []struct {
 		name string
 		args []string
 	}{
 		{"unknown mode", []string{"-in", path, "-mode", "nope"}},
+		{"unknown flag", []string{"-nope"}},
 		{"missing file", []string{"-in", filepath.Join(t.TempDir(), "absent.txt")}},
+		{"input is a directory", []string{"-in", t.TempDir()}},
+		{"malformed edge line", []string{"-in", malformed}},
+		{"truncated edge line", []string{"-in", negative}},
 		{"bad hosts", []string{"-in", path, "-mode", "one2many", "-hosts", "0"}},
+		{"bad workers", []string{"-in", path, "-mode", "parallel", "-workers", "-3"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -78,5 +91,18 @@ func TestRunErrors(t *testing.T) {
 				t.Fatalf("no error")
 			}
 		})
+	}
+}
+
+// TestRunParallelStats exercises the -stats sidecar output of the
+// parallel mode against the fig-2 graph.
+func TestRunParallelStats(t *testing.T) {
+	path := fig2File(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-mode", "parallel", "-workers", "2", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(out.String()), "\n")); got != 6 {
+		t.Fatalf("got %d output lines, want 6", got)
 	}
 }

@@ -31,6 +31,27 @@
 // NewCoordinator / RunHost (and the cmd/kcore-coord, cmd/kcore-host
 // binaries).
 //
+// # Parallel decomposition
+//
+// When the goal is raw decomposition speed rather than protocol
+// simulation, DecomposeParallel shards the graph across P worker
+// goroutines (one partition each, Algorithm 3's grouping) and runs the
+// partitions' local cascades concurrently, exchanging cross-partition
+// estimates as batched per-destination deltas between BSP rounds:
+//
+//	res, err := dkcore.DecomposeParallel(g, dkcore.WithWorkers(8))
+//	if err != nil { ... }
+//	k := res.Coreness[17]
+//
+// The default partitioning is BlockAssignment (contiguous node ranges);
+// WithAssignment substitutes any Assignment policy and derives the worker
+// count from it:
+//
+//	res, err := dkcore.DecomposeParallel(g,
+//	    dkcore.WithAssignment(dkcore.NewRandomAssignment(g.NumNodes(), 16, 1)))
+//
+// Results are exact and deterministic regardless of scheduling.
+//
 // # Streaming maintenance
 //
 // Graphs that change over time do not need recomputation: a Maintainer
@@ -67,6 +88,7 @@ import (
 	"dkcore/internal/graph"
 	"dkcore/internal/kcore"
 	"dkcore/internal/live"
+	"dkcore/internal/parallel"
 	"dkcore/internal/pregel"
 	"dkcore/internal/sim"
 )
@@ -236,6 +258,35 @@ func WithLiveSeed(seed int64) LiveOption { return live.WithSeed(seed) }
 // WithLiveWorkers bounds worker parallelism of the round-based live
 // modes (0 = GOMAXPROCS).
 func WithLiveWorkers(n int) LiveOption { return live.WithWorkers(n) }
+
+// ParallelResult reports a parallel shared-memory decomposition: the
+// exact coreness plus round, worker, and cross-partition traffic counts.
+type ParallelResult = parallel.Result
+
+// ParallelOption configures DecomposeParallel.
+type ParallelOption = parallel.Option
+
+// DecomposeParallel computes the exact decomposition with a partitioned
+// shared-memory engine: the graph is sharded across P worker goroutines
+// that run their partitions' local cascades concurrently and exchange
+// cross-partition estimates as batched per-destination deltas between
+// BSP rounds. It is the fastest execution path for large graphs; results
+// are deterministic regardless of scheduling.
+func DecomposeParallel(g *Graph, opts ...ParallelOption) (*ParallelResult, error) {
+	return parallel.Decompose(g, opts...)
+}
+
+// WithWorkers sets DecomposeParallel's partition/goroutine count
+// (default: GOMAXPROCS, capped at the node count).
+func WithWorkers(n int) ParallelOption { return parallel.WithWorkers(n) }
+
+// WithAssignment shards DecomposeParallel's graph with an explicit
+// node-to-partition policy; the worker count becomes the assignment's
+// host count.
+func WithAssignment(a Assignment) ParallelOption { return parallel.WithAssignment(a) }
+
+// WithParallelMaxRounds overrides DecomposeParallel's round budget.
+func WithParallelMaxRounds(n int) ParallelOption { return parallel.WithMaxRounds(n) }
 
 // DecomposePregel runs the protocol as a vertex program on the built-in
 // Pregel-style BSP engine — the deployment path the paper's conclusions

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dkcore/internal/core"
+	"dkcore/internal/gen"
+	"dkcore/internal/graph"
+	"dkcore/internal/parallel"
+	"dkcore/internal/stats"
+)
+
+// ParallelRow is one measured configuration of the sequential-vs-parallel
+// speedup experiment: the single-goroutine simulator baseline (Workers ==
+// 0) or the partitioned engine at a given worker count.
+type ParallelRow struct {
+	Graph    string
+	Workers  int // 0 = one-to-one simulator baseline
+	Mean     time.Duration
+	Speedup  float64 // baseline mean / this mean
+	Rounds   int
+	EstsNode float64 // cross-partition estimates shipped per node
+}
+
+// ParallelSpeedup measures the partitioned shared-memory engine against
+// the single-goroutine simulator on the 10k-node power-law generator and
+// the §4.2 worst-case family (both scaled by cfg.Scale), at 1, 2, 4, and
+// 8 workers.
+func ParallelSpeedup(cfg Config) ([]ParallelRow, error) {
+	cfg = cfg.WithDefaults()
+	type workload struct {
+		name string
+		g    *graph.Graph
+	}
+	scaled := func(n int) int {
+		v := int(float64(n) * cfg.Scale)
+		if v < 16 {
+			v = 16
+		}
+		return v
+	}
+	workloads := []workload{
+		{fmt.Sprintf("powerlaw-%d", scaled(10000)),
+			gen.PowerLaw(gen.PowerLawConfig{N: scaled(10000), Exponent: 2.2, MinDeg: 2}, cfg.Seed)},
+		{fmt.Sprintf("worstcase-%d", scaled(2000)), gen.WorstCase(scaled(2000))},
+	}
+
+	var rows []ParallelRow
+	for _, wl := range workloads {
+		var simStats stats.Online
+		var simRounds int
+		for rep := 0; rep < cfg.Reps; rep++ {
+			start := time.Now()
+			res, err := core.RunOneToOne(wl.g, core.WithSeed(cfg.Seed+int64(rep)))
+			if err != nil {
+				return nil, fmt.Errorf("bench: parallel baseline on %s: %w", wl.name, err)
+			}
+			simStats.Add(float64(time.Since(start)))
+			simRounds = res.ExecutionTime
+		}
+		base := time.Duration(simStats.Mean())
+		rows = append(rows, ParallelRow{
+			Graph: wl.name, Workers: 0, Mean: base, Speedup: 1, Rounds: simRounds,
+		})
+
+		for _, w := range []int{1, 2, 4, 8} {
+			var parStats stats.Online
+			var last *parallel.Result
+			for rep := 0; rep < cfg.Reps; rep++ {
+				start := time.Now()
+				res, err := parallel.Decompose(wl.g, parallel.WithWorkers(w))
+				if err != nil {
+					return nil, fmt.Errorf("bench: parallel w=%d on %s: %w", w, wl.name, err)
+				}
+				parStats.Add(float64(time.Since(start)))
+				last = res
+			}
+			mean := time.Duration(parStats.Mean())
+			row := ParallelRow{
+				Graph:   wl.name,
+				Workers: w,
+				Mean:    mean,
+				Rounds:  last.Rounds,
+			}
+			if mean > 0 {
+				row.Speedup = float64(base) / float64(mean)
+			}
+			if n := wl.g.NumNodes(); n > 0 {
+				row.EstsNode = float64(last.EstimatesSent) / float64(n)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteParallel renders the speedup table; the simulator baseline prints
+// as "sim" with speedup 1.00.
+func WriteParallel(w io.Writer, rows []ParallelRow) error {
+	tab := stats.NewTable("graph", "engine", "mean", "speedup", "rounds", "ests/node")
+	for _, r := range rows {
+		engine := "sim one2one"
+		if r.Workers > 0 {
+			engine = fmt.Sprintf("parallel w=%d", r.Workers)
+		}
+		tab.AddRow(
+			r.Graph,
+			engine,
+			r.Mean.Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%d", r.Rounds),
+			fmt.Sprintf("%.2f", r.EstsNode),
+		)
+	}
+	return tab.Render(w)
+}

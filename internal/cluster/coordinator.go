@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 
+	"dkcore/internal/core"
 	"dkcore/internal/graph"
 	"dkcore/internal/transport"
 )
@@ -104,21 +105,15 @@ func (c *Coordinator) Run() (*Result, error) {
 	}
 
 	// Partition and configure.
-	owner := moduloOwner(numHosts)
+	assign := core.ModuloAssignment{H: numHosts}
 	for id := 0; id < numHosts; id++ {
 		cfg := config{
 			HostID:    id,
 			NumHosts:  numHosts,
 			NumNodes:  g.NumNodes(),
 			PeerAddrs: peerAddrs,
-			Adj:       make(map[int][]int),
 		}
-		for u := 0; u < g.NumNodes(); u++ {
-			if owner(u) == id {
-				cfg.Owned = append(cfg.Owned, u)
-				cfg.Adj[u] = g.Neighbors(u)
-			}
-		}
+		cfg.Owned, cfg.Adj = core.Partition(g, assign, id)
 		if err := conns[id].Send(frameConfig, encodeConfig(cfg)); err != nil {
 			return nil, fmt.Errorf("cluster: config to host %d: %w", id, err)
 		}

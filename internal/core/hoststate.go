@@ -4,58 +4,128 @@ import "sort"
 
 // HostState is the transport-agnostic protocol state machine of a
 // one-to-many host (Algorithms 3–5). It is shared by the simulator
-// adapter in this package and the networked host in internal/cluster:
-// callers feed it incoming batches and ask it for outgoing ones; the state
-// machine neither knows nor cares how batches travel.
+// adapter in this package, the networked host in internal/cluster, and
+// the shared-memory engine in internal/parallel: callers feed it incoming
+// batches and ask it for outgoing ones; the state machine neither knows
+// nor cares how batches travel.
+//
+// Internally every tracked node (owned or external neighbor) gets a
+// compact local index — owned nodes occupy [0, len(owned)), externals
+// follow — so per-node state lives in dense slices sized by the
+// partition, not the graph, and the cascade's hot loop never touches a
+// map; global IDs are translated only at the batch boundary. The cascade
+// itself is worklist-driven: Apply enqueues only the owned nodes
+// adjacent to an estimate that actually dropped, and Improve recomputes
+// exactly the enqueued nodes (re-enqueueing neighbors a drop can still
+// affect) until the worklist drains. Per-round work is thus proportional
+// to the affected region, not the partition — the property that lets the
+// parallel engine scale past the simulator.
 type HostState struct {
 	selfID int
-	owned  []int         // V(x), sorted
-	adj    map[int][]int // global adjacency of owned nodes
+	owned  []int // V(x), global IDs, sorted
 
-	est     map[int]int  // V(x) ∪ neighborV(x) → freshest estimate
-	changed map[int]bool // owned nodes changed since last collection
-	dirty   bool         // est changed since last Improve
+	// Local-index node space: owned nodes first (in sorted global
+	// order), then external neighbors in first-seen order.
+	nodes []int       // local → global ID
+	local map[int]int // global → local index
+
+	adj         [][]int // owned local → local adjacency; nil for externals
+	revExt      [][]int // external local → adjacent owned locals
+	hostsOf     [][]int // owned local → neighboring hosts owning one of its neighbors
+	est         []int   // per local; meaningful after InitEstimates
+	initialized bool
+
+	changed     []bool // owned local marked since last collection
+	changedList []int
+
+	queue   []int // FIFO of owned locals awaiting recomputation
+	qhead   int
+	inQueue []bool
+	dirty   bool // est changed since last Improve
 
 	neighborHosts []int
-	borderTo      map[int][]int // host → owned nodes with a neighbor there
 
 	count []int
 	ests  []int
 }
+
+// ownedLocal reports whether local index l is an owned node.
+func (s *HostState) ownedLocal(l int) bool { return l < len(s.owned) }
 
 // NewHostState builds the state machine for host selfID owning the given
 // nodes. adj maps every owned node to its full (global) adjacency list;
 // owner maps any node ID to its responsible host.
 func NewHostState(selfID int, owned []int, adj map[int][]int, owner func(node int) int) *HostState {
 	s := &HostState{
-		selfID:   selfID,
-		owned:    append([]int(nil), owned...),
-		adj:      adj,
-		est:      make(map[int]int),
-		changed:  make(map[int]bool),
-		borderTo: make(map[int][]int),
+		selfID: selfID,
+		owned:  append([]int(nil), owned...),
 	}
 	sort.Ints(s.owned)
+
+	totalDeg := 0
+	for _, u := range s.owned {
+		totalDeg += len(adj[u])
+	}
+
+	// Owned nodes take the first local indices; externals are appended
+	// as the adjacency scan discovers them.
+	s.nodes = make([]int, len(s.owned), len(s.owned)+totalDeg/2+1)
+	s.local = make(map[int]int, len(s.owned)*2)
+	for l, u := range s.owned {
+		s.nodes[l] = u
+		s.local[u] = l
+	}
+
+	s.adj = make([][]int, len(s.owned))
+	s.hostsOf = make([][]int, len(s.owned))
+	flat := make([]int, 0, totalDeg)
 	maxDeg := 0
 	seenHost := make(map[int]bool)
-	for _, u := range s.owned {
+	for lu, u := range s.owned {
 		ns := adj[u]
 		if len(ns) > maxDeg {
 			maxDeg = len(ns)
 		}
-		seenBorder := make(map[int]bool)
+		start := len(flat)
+		var seenBorder map[int]bool
 		for _, v := range ns {
+			lv, ok := s.local[v]
+			if !ok {
+				lv = len(s.nodes)
+				s.nodes = append(s.nodes, v)
+				s.local[v] = lv
+			}
+			flat = append(flat, lv)
 			hv := owner(v)
 			if hv == selfID {
 				continue
 			}
 			seenHost[hv] = true
+			if seenBorder == nil {
+				seenBorder = make(map[int]bool)
+			}
 			if !seenBorder[hv] {
 				seenBorder[hv] = true
-				s.borderTo[hv] = append(s.borderTo[hv], u)
+				s.hostsOf[lu] = append(s.hostsOf[lu], hv)
+			}
+		}
+		s.adj[lu] = flat[start:len(flat):len(flat)]
+		sort.Ints(s.hostsOf[lu])
+	}
+
+	n := len(s.nodes)
+	s.revExt = make([][]int, n)
+	for lu := range s.owned {
+		for _, lv := range s.adj[lu] {
+			if !s.ownedLocal(lv) {
+				s.revExt[lv] = append(s.revExt[lv], lu)
 			}
 		}
 	}
+	s.est = make([]int, n)
+	s.changed = make([]bool, len(s.owned))
+	s.inQueue = make([]bool, len(s.owned))
+
 	for hv := range seenHost {
 		s.neighborHosts = append(s.neighborHosts, hv)
 	}
@@ -70,58 +140,90 @@ func NewHostState(selfID int, owned []int, adj map[int][]int, owner func(node in
 // the first collection ships all initial estimates (Algorithm 3's
 // initialization).
 func (s *HostState) InitEstimates() {
-	for _, u := range s.owned {
-		s.est[u] = len(s.adj[u])
-	}
-	for _, u := range s.owned {
-		for _, v := range s.adj[u] {
-			if _, ok := s.est[v]; !ok {
-				s.est[v] = InfEstimate
-			}
+	for l := range s.est {
+		if s.ownedLocal(l) {
+			s.est[l] = len(s.adj[l])
+		} else {
+			s.est[l] = InfEstimate
 		}
 	}
+	s.initialized = true
+	for l := range s.owned {
+		s.enqueue(l)
+	}
 	s.Improve()
-	for _, u := range s.owned {
-		s.changed[u] = true
+	for l := range s.owned {
+		s.markChanged(l)
 	}
 }
 
-// Apply lowers known estimates from an incoming batch. It reports whether
-// any entry improved.
+// Apply lowers known estimates from an incoming batch, enqueueing the
+// owned nodes a drop can affect. It reports whether any entry improved.
 func (s *HostState) Apply(batch Batch) bool {
+	if !s.initialized {
+		// Estimates do not exist yet; Algorithm 3's initialization will
+		// ship fresher values than anything arriving this early.
+		return false
+	}
 	improved := false
 	for _, m := range batch {
-		if cur, ok := s.est[m.Node]; ok && m.Core < cur {
-			s.est[m.Node] = m.Core
-			s.dirty = true
-			improved = true
+		if m.Core < 0 {
+			continue
+		}
+		lu, ok := s.local[m.Node]
+		if !ok || m.Core >= s.est[lu] {
+			continue
+		}
+		s.est[lu] = m.Core
+		s.dirty = true
+		improved = true
+		if s.ownedLocal(lu) {
+			s.enqueue(lu)
+		} else {
+			for _, lo := range s.revExt[lu] {
+				if s.est[lo] > m.Core {
+					s.enqueue(lo)
+				}
+			}
 		}
 	}
 	return improved
 }
 
-// Improve is Algorithm 4: cascade ComputeIndex over the owned nodes until
-// none improves.
+// Improve is Algorithm 4: cascade ComputeIndex over the enqueued owned
+// nodes until the worklist drains. The fixpoint is the same as a full
+// sweep (estimates are monotone non-increasing), only cheaper. FIFO
+// order lets a node absorb every pending neighbor drop before its own
+// recomputation, so chains converge in one pass per level.
 func (s *HostState) Improve() {
-	again := true
-	for again {
-		again = false
-		for _, u := range s.owned {
-			ku := s.est[u]
-			if ku == 0 {
-				continue
-			}
-			s.ests = s.ests[:0]
-			for _, v := range s.adj[u] {
-				s.ests = append(s.ests, s.est[v])
-			}
-			if k := ComputeIndex(s.ests, ku, s.count); k < ku {
-				s.est[u] = k
-				s.changed[u] = true
-				again = true
+	for s.qhead < len(s.queue) {
+		lu := s.queue[s.qhead]
+		s.qhead++
+		s.inQueue[lu] = false
+		ku := s.est[lu]
+		if ku <= 0 {
+			continue
+		}
+		s.ests = s.ests[:0]
+		for _, lv := range s.adj[lu] {
+			s.ests = append(s.ests, s.est[lv])
+		}
+		k := ComputeIndex(s.ests, ku, s.count)
+		if k >= ku {
+			continue
+		}
+		s.est[lu] = k
+		s.markChanged(lu)
+		for _, lv := range s.adj[lu] {
+			// Only a neighbor whose estimate still exceeds u's new value
+			// can be lowered by this drop.
+			if s.ownedLocal(lv) && s.est[lv] > k {
+				s.enqueue(lv)
 			}
 		}
 	}
+	s.queue = s.queue[:0]
+	s.qhead = 0
 	s.dirty = false
 }
 
@@ -133,25 +235,37 @@ func (s *HostState) ImproveIfDirty() {
 	}
 }
 
+func (s *HostState) enqueue(l int) {
+	if !s.inQueue[l] {
+		s.inQueue[l] = true
+		s.queue = append(s.queue, l)
+	}
+}
+
+func (s *HostState) markChanged(l int) {
+	if !s.changed[l] {
+		s.changed[l] = true
+		s.changedList = append(s.changedList, l)
+	}
+}
+
 // HasChanges reports whether any owned estimate awaits shipping.
-func (s *HostState) HasChanges() bool { return len(s.changed) > 0 }
+func (s *HostState) HasChanges() bool { return len(s.changedList) > 0 }
 
 // ChangedCount returns the number of owned estimates changed since the
 // last collection.
-func (s *HostState) ChangedCount() int { return len(s.changed) }
+func (s *HostState) ChangedCount() int { return len(s.changedList) }
 
 // CollectBroadcast returns one batch with every changed owned estimate and
 // clears the changed set (the §3.2.1 broadcast policy). It returns nil
 // when nothing changed.
 func (s *HostState) CollectBroadcast() Batch {
-	if len(s.changed) == 0 {
+	if len(s.changedList) == 0 {
 		return nil
 	}
-	batch := make(Batch, 0, len(s.changed))
-	for _, u := range s.owned {
-		if s.changed[u] {
-			batch = append(batch, EstimateMsg{Node: u, Core: s.est[u]})
-		}
+	batch := make(Batch, 0, len(s.changedList))
+	for _, l := range s.changedList {
+		batch = append(batch, EstimateMsg{Node: s.nodes[l], Core: s.est[l]})
 	}
 	s.clearChanged()
 	return batch
@@ -161,19 +275,21 @@ func (s *HostState) CollectBroadcast() Batch {
 // border estimates relevant to it (Algorithm 5), then clears the changed
 // set. Hosts with no relevant changes are absent from the map.
 func (s *HostState) CollectPointToPoint() map[int]Batch {
-	if len(s.changed) == 0 {
+	if len(s.changedList) == 0 {
 		return nil
 	}
-	out := make(map[int]Batch)
-	for _, y := range s.neighborHosts {
-		var batch Batch
-		for _, u := range s.borderTo[y] {
-			if s.changed[u] {
-				batch = append(batch, EstimateMsg{Node: u, Core: s.est[u]})
-			}
+	var out map[int]Batch
+	for _, l := range s.changedList {
+		hosts := s.hostsOf[l]
+		if len(hosts) == 0 {
+			continue
 		}
-		if len(batch) > 0 {
-			out[y] = batch
+		msg := EstimateMsg{Node: s.nodes[l], Core: s.est[l]}
+		if out == nil {
+			out = make(map[int]Batch)
+		}
+		for _, y := range hosts {
+			out[y] = append(out[y], msg)
 		}
 	}
 	s.clearChanged()
@@ -181,16 +297,23 @@ func (s *HostState) CollectPointToPoint() map[int]Batch {
 }
 
 func (s *HostState) clearChanged() {
-	for u := range s.changed {
-		delete(s.changed, u)
+	for _, l := range s.changedList {
+		s.changed[l] = false
 	}
+	s.changedList = s.changedList[:0]
 }
 
 // Estimate returns the current estimate for node u if this host tracks it
 // (owned or neighboring).
 func (s *HostState) Estimate(u int) (int, bool) {
-	e, ok := s.est[u]
-	return e, ok
+	if !s.initialized {
+		return 0, false
+	}
+	l, ok := s.local[u]
+	if !ok {
+		return 0, false
+	}
+	return s.est[l], true
 }
 
 // Owned returns the host's node set (sorted, shared slice — do not

@@ -36,16 +36,8 @@ var _ sim.Process[Batch] = (*oneToManyHost)(nil)
 
 // newOneToManyHost builds the host with ID id under the given assignment.
 func newOneToManyHost(g *graph.Graph, id int, assign Assignment, mode Dissemination) *oneToManyHost {
-	var owned []int
-	adj := make(map[int][]int)
-	for u := 0; u < g.NumNodes(); u++ {
-		if assign.Host(u) == id {
-			owned = append(owned, u)
-			adj[u] = g.Neighbors(u)
-		}
-	}
 	return &oneToManyHost{
-		state: NewHostState(id, owned, adj, assign.Host),
+		state: NewPartitionState(g, assign, id),
 		mode:  mode,
 	}
 }

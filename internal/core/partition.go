@@ -1,0 +1,27 @@
+package core
+
+import "dkcore/internal/graph"
+
+// Partition returns host id's node set V(x) and the global adjacency of
+// those nodes under the given assignment — exactly the inputs NewHostState
+// expects. It is the single partitioning routine shared by the simulator
+// adapter (onetomany.go), the networked coordinator (internal/cluster),
+// and the shared-memory engine (internal/parallel), so the deployments
+// cannot drift in how they shard a graph.
+func Partition(g *graph.Graph, assign Assignment, id int) (owned []int, adj map[int][]int) {
+	adj = make(map[int][]int)
+	for u := 0; u < g.NumNodes(); u++ {
+		if assign.Host(u) == id {
+			owned = append(owned, u)
+			adj[u] = g.Neighbors(u)
+		}
+	}
+	return owned, adj
+}
+
+// NewPartitionState builds the protocol state machine for host id's
+// partition of g under assign.
+func NewPartitionState(g *graph.Graph, assign Assignment, id int) *HostState {
+	owned, adj := Partition(g, assign, id)
+	return NewHostState(id, owned, adj, assign.Host)
+}

@@ -1,0 +1,188 @@
+// Package parallel executes the one-to-many protocol (Algorithm 3) as a
+// shared-memory bulk-synchronous engine. The graph is sharded across P
+// partitions by an assignment policy; one worker goroutine per partition
+// runs the local estimate cascade (Algorithm 4) concurrently with the
+// others, and cross-partition estimate updates are exchanged between
+// rounds as batched per-destination deltas: a node's new estimate is
+// shipped at most once per round per destination partition, and only to
+// partitions actually hosting one of its neighbors (Algorithm 5, the
+// paper's §5 message-reduction policy).
+//
+// Unlike the simulator in internal/sim, which interleaves every process
+// on one goroutine to measure protocol metrics, this engine exists to
+// decompose large graphs as fast as the hardware allows; the round
+// structure is strict BSP (updates collected in round r are visible in
+// round r+1), so results are deterministic regardless of scheduling.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dkcore/internal/core"
+	"dkcore/internal/graph"
+)
+
+// defaultMaxRoundsSlack mirrors internal/core: the budget is far above
+// the paper's N-round bound so only genuine non-termination trips it.
+const defaultMaxRoundsSlack = 8
+
+// Option configures a parallel decomposition.
+type Option func(*options)
+
+type options struct {
+	workers   int
+	assign    core.Assignment
+	maxRounds int
+}
+
+// WithWorkers sets the number of partitions (and worker goroutines).
+// Default: runtime.GOMAXPROCS(0), capped at the node count. Ignored when
+// WithAssignment is given, except that a non-zero mismatch with the
+// assignment's host count is an error.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithAssignment shards the graph with an explicit node-to-partition
+// policy; the worker count becomes the assignment's host count. Default:
+// core.BlockAssignment, which keeps contiguous node ranges together.
+func WithAssignment(a core.Assignment) Option { return func(o *options) { o.assign = a } }
+
+// WithMaxRounds overrides the round budget (default 8*(N+1)).
+func WithMaxRounds(n int) Option { return func(o *options) { o.maxRounds = n } }
+
+// Result reports a parallel decomposition.
+type Result struct {
+	// Coreness is the exact per-node coreness.
+	Coreness []int
+	// Rounds is the number of BSP rounds executed, including the final
+	// quiet round that confirmed quiescence.
+	Rounds int
+	// Workers is the resolved partition/goroutine count.
+	Workers int
+	// EstimatesSent is the number of (node, estimate) pairs exchanged
+	// between partitions — the paper's Figure-5 overhead numerator.
+	EstimatesSent int64
+	// Batches is the number of cross-partition batch handoffs.
+	Batches int64
+}
+
+// Decompose computes the exact k-core decomposition of g with P
+// concurrent partition workers.
+func Decompose(g *graph.Graph, opts ...Option) (*Result, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return &Result{Coreness: []int{}, Workers: 0}, nil
+	}
+
+	p := o.workers
+	assign := o.assign
+	if assign != nil {
+		if p != 0 && p != assign.NumHosts() {
+			return nil, fmt.Errorf("parallel: %d workers conflicts with assignment over %d hosts",
+				p, assign.NumHosts())
+		}
+		p = assign.NumHosts()
+		if p < 1 {
+			return nil, fmt.Errorf("parallel: assignment reports %d hosts", p)
+		}
+		for u := 0; u < n; u++ {
+			if h := assign.Host(u); h < 0 || h >= p {
+				return nil, fmt.Errorf("parallel: assignment sends node %d to host %d, want [0, %d)", u, h, p)
+			}
+		}
+	} else {
+		if p < 0 {
+			return nil, fmt.Errorf("parallel: negative worker count %d", p)
+		}
+		if p == 0 {
+			p = runtime.GOMAXPROCS(0)
+		}
+		if p > n {
+			p = n
+		}
+		assign = core.BlockAssignment{N: n, H: p}
+	}
+	maxRounds := o.maxRounds
+	if maxRounds == 0 {
+		maxRounds = defaultMaxRoundsSlack * (n + 1)
+	}
+
+	states := make([]*core.HostState, p)
+	parFor(p, func(x int) {
+		states[x] = core.NewPartitionState(g, assign, x)
+	})
+
+	res := &Result{Workers: p}
+	outbox := make([]map[int]core.Batch, p)
+	inbox := make([][]core.Batch, p)
+	next := make([][]core.Batch, p)
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("parallel: no quiescence on %d nodes over %d partitions within %d rounds",
+				n, p, maxRounds)
+		}
+		parFor(p, func(x int) {
+			s := states[x]
+			if round == 0 {
+				s.InitEstimates()
+			} else {
+				for _, b := range inbox[x] {
+					s.Apply(b)
+				}
+				inbox[x] = inbox[x][:0]
+				s.ImproveIfDirty()
+			}
+			outbox[x] = s.CollectPointToPoint()
+		})
+		// Barrier passed: route this round's deltas. Apply is a pointwise
+		// minimum, so delivery order within a round cannot affect results.
+		active := false
+		for x := 0; x < p; x++ {
+			for dest, batch := range outbox[x] {
+				next[dest] = append(next[dest], batch)
+				res.EstimatesSent += int64(len(batch))
+				res.Batches++
+				active = true
+			}
+		}
+		if !active {
+			res.Rounds = round + 1
+			break
+		}
+		inbox, next = next, inbox
+	}
+
+	coreness := make([]int, n)
+	parFor(p, func(x int) {
+		s := states[x]
+		for _, u := range s.Owned() {
+			e, _ := s.Estimate(u)
+			coreness[u] = e
+		}
+	})
+	res.Coreness = coreness
+	return res, nil
+}
+
+// parFor runs fn(0..p-1) on p goroutines and waits for all of them; with
+// one partition it stays on the calling goroutine.
+func parFor(p int, fn func(x int)) {
+	if p == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for x := 0; x < p; x++ {
+		go func(x int) {
+			defer wg.Done()
+			fn(x)
+		}(x)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,139 @@
+package parallel
+
+import (
+	"fmt"
+	"testing"
+
+	"dkcore/internal/core"
+	"dkcore/internal/gen"
+	"dkcore/internal/graph"
+	"dkcore/internal/kcore"
+)
+
+func assertExact(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	want := kcore.Decompose(g).CorenessValues()
+	if len(res.Coreness) != len(want) {
+		t.Fatalf("%d coreness entries, want %d", len(res.Coreness), len(want))
+	}
+	for u := range want {
+		if res.Coreness[u] != want[u] {
+			t.Fatalf("node %d: coreness %d, want %d", u, res.Coreness[u], want[u])
+		}
+	}
+}
+
+func TestDecomposeMatchesSequential(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnm":       gen.GNM(200, 800, 7),
+		"ba":        gen.BarabasiAlbert(150, 3, 2),
+		"powerlaw":  gen.PowerLaw(gen.PowerLawConfig{N: 300, Exponent: 2.3, MinDeg: 1}, 3),
+		"worstcase": gen.WorstCase(64),
+		"chain":     gen.Chain(50),
+		"complete":  gen.Complete(20),
+	}
+	for name, g := range graphs {
+		for _, workers := range []int{1, 2, 3, 8, 1000} {
+			t.Run(fmt.Sprintf("%s/w%d", name, workers), func(t *testing.T) {
+				res, err := Decompose(g, WithWorkers(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertExact(t, g, res)
+				if want := min(workers, g.NumNodes()); res.Workers != want {
+					t.Fatalf("resolved workers = %d, want %d", res.Workers, want)
+				}
+			})
+		}
+	}
+}
+
+func TestDecomposeAssignments(t *testing.T) {
+	g := gen.GNM(120, 500, 11)
+	n := g.NumNodes()
+	assigns := map[string]core.Assignment{
+		"modulo": core.ModuloAssignment{H: 5},
+		"block":  core.BlockAssignment{N: n, H: 5},
+		"random": core.NewRandomAssignment(n, 5, 42),
+	}
+	for name, a := range assigns {
+		t.Run(name, func(t *testing.T) {
+			res, err := Decompose(g, WithAssignment(a))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertExact(t, g, res)
+			if res.Workers != 5 {
+				t.Fatalf("resolved workers = %d, want 5", res.Workers)
+			}
+		})
+	}
+}
+
+func TestDecomposeEdgeCases(t *testing.T) {
+	empty, err := Decompose(graph.FromEdges(0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Coreness) != 0 || empty.Rounds != 0 {
+		t.Fatalf("empty graph: %+v", empty)
+	}
+
+	isolated, err := Decompose(graph.FromEdges(5, nil), WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, graph.FromEdges(5, nil), isolated)
+
+	single, err := Decompose(graph.FromEdges(2, [][2]int{{0, 1}}), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExact(t, graph.FromEdges(2, [][2]int{{0, 1}}), single)
+}
+
+func TestDecomposeOptionErrors(t *testing.T) {
+	g := gen.GNM(30, 60, 1)
+	if _, err := Decompose(g, WithWorkers(-1)); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, err := Decompose(g, WithWorkers(3), WithAssignment(core.ModuloAssignment{H: 4})); err == nil {
+		t.Fatal("worker/assignment mismatch accepted")
+	}
+	if _, err := Decompose(g, WithAssignment(core.ModuloAssignment{H: 0})); err == nil {
+		t.Fatal("zero-host assignment accepted")
+	}
+	if _, err := Decompose(g, WithAssignment(offByOne{n: g.NumNodes()})); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+	if _, err := Decompose(gen.WorstCase(64), WithWorkers(4), WithMaxRounds(2)); err == nil {
+		t.Fatal("impossible round budget did not error")
+	}
+}
+
+// offByOne claims 2 hosts but routes every node to host 2.
+type offByOne struct{ n int }
+
+func (offByOne) Host(int) int  { return 2 }
+func (offByOne) NumHosts() int { return 2 }
+
+func TestDecomposeDeterministic(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 500, Exponent: 2.2, MinDeg: 2}, 9)
+	first, err := Decompose(g, WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		again, err := Decompose(g, WithWorkers(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Rounds != first.Rounds || again.EstimatesSent != first.EstimatesSent ||
+			again.Batches != first.Batches {
+			t.Fatalf("run %d: (rounds %d, est %d, batches %d) != (rounds %d, est %d, batches %d)",
+				rep, again.Rounds, again.EstimatesSent, again.Batches,
+				first.Rounds, first.EstimatesSent, first.Batches)
+		}
+		assertExact(t, g, again)
+	}
+}

@@ -11,8 +11,8 @@ import (
 // repo offers computes the identical decomposition on a pool of ~50
 // seeded random and structured graphs: the sequential baseline, the
 // simulated one-to-one and one-to-many protocols, the live goroutine
-// runtime, the Pregel engine, and the streaming Maintainer after
-// replaying the whole graph as insertions.
+// runtime, the Pregel engine, the partitioned parallel engine, and the
+// streaming Maintainer after replaying the whole graph as insertions.
 func TestCrossScenarioEquivalence(t *testing.T) {
 	type testCase struct {
 		name string
@@ -129,6 +129,12 @@ func TestCrossScenarioEquivalence(t *testing.T) {
 				t.Fatalf("pregel: %v", err)
 			}
 			assertSame(t, "pregel", truth, coreness)
+
+			par, err := dkcore.DecomposeParallel(g, dkcore.WithWorkers(4))
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			assertSame(t, "parallel", truth, par.Coreness)
 
 			// Streaming: replay every edge as an insertion into an
 			// initially empty maintainer over the same node universe.
