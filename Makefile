@@ -1,11 +1,12 @@
 # Tier-1 verification and CI entry points for the dkcore repo.
 #
 #   make build       compile every package and binary
+#   make apicheck    fail if any exported root-package symbol lacks a doc comment
 #   make test        run the full test suite
 #   make race        run the test suite under the race detector
 #   make fuzz-short  run each native fuzz target briefly
 #   make bench       run every benchmark once (smoke) — use BENCHTIME=2s for numbers
-#   make ci          build + vet (incl. gofmt gate) + test + race + fuzz-short
+#   make ci          build + vet (incl. gofmt gate) + apicheck + test + race + fuzz-short
 #
 # .github/workflows/ci.yml runs build+vet+test as the fast lane and
 # race / fuzz-short / bench smoke as separate parallel jobs.
@@ -14,7 +15,7 @@ GO        ?= go
 FUZZTIME  ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race fuzz-short bench ci
+.PHONY: all build vet apicheck test race fuzz-short bench ci
 
 all: build
 
@@ -33,6 +34,11 @@ vet:
 		exit 1; \
 	fi
 
+# apicheck gates the public API surface: every exported symbol of the
+# root dkcore package must carry a doc comment.
+apicheck:
+	$(GO) run ./internal/apicheck .
+
 test: build
 	$(GO) test ./...
 
@@ -46,4 +52,4 @@ fuzz-short: build
 bench: build
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...
 
-ci: build vet test race fuzz-short
+ci: build vet apicheck test race fuzz-short

@@ -8,9 +8,16 @@
 //	kcore-bench -exp all                 # everything, default scale
 //	kcore-bench -exp table1 -reps 50     # Table 1 with the paper's 50 reps
 //	kcore-bench -exp fig5 -datasets astroph,berkstan
+//	kcore-bench -exp parallel -json      # machine-readable results
+//
+// With -json the tool emits one JSON document on stdout instead of the
+// text tables: an array of {experiment, seconds, data} records whose data
+// payload is the experiment's row structs — the format the repo's
+// BENCH_*.json perf trajectory records.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,15 +35,123 @@ func main() {
 	}
 }
 
+// experiment is one row of the dispatch table: a runner producing
+// JSON-marshalable row data and a text writer for the human format.
+type experiment struct {
+	name  string
+	title string
+	// configless experiments run fixed workloads and ignore the
+	// reps/scale configuration, so the header must not advertise it.
+	configless bool
+	run        func(cfg bench.Config, step int) (any, error)
+	write      func(w io.Writer, data any) error
+}
+
+// experiments is the table every mode dispatch (text, JSON, "all")
+// iterates; order is presentation order.
+var experiments = []experiment{
+	{
+		name:  "table1",
+		title: "Table 1: one-to-one protocol performance",
+		run:   func(cfg bench.Config, _ int) (any, error) { return bench.Table1(cfg) },
+		write: func(w io.Writer, data any) error {
+			return bench.WriteTable1(w, data.([]bench.Table1Row))
+		},
+	},
+	{
+		name:  "table2",
+		title: "Table 2: per-core convergence on web-BerkStan analogue",
+		run:   func(cfg bench.Config, step int) (any, error) { return bench.Table2(cfg, step) },
+		write: func(w io.Writer, data any) error {
+			return bench.WriteTable2(w, data.(*bench.Table2Result))
+		},
+	},
+	{
+		name:  "fig4",
+		title: "Figure 4: error evolution over rounds",
+		run:   func(cfg bench.Config, _ int) (any, error) { return bench.Figure4(cfg) },
+		write: func(w io.Writer, data any) error {
+			return bench.WriteFigure4(w, data.([]bench.Fig4Series))
+		},
+	},
+	{
+		name:  "fig5",
+		title: "Figure 5: one-to-many overhead vs hosts",
+		run:   func(cfg bench.Config, _ int) (any, error) { return bench.Figure5(cfg, nil) },
+		write: func(w io.Writer, data any) error {
+			return bench.WriteFigure5(w, data.([]bench.Fig5Series))
+		},
+	},
+	{
+		name:       "worstcase",
+		title:      "§4.2 validation: worst-case family and chains",
+		configless: true,
+		run:        func(bench.Config, int) (any, error) { return bench.WorstCase(nil) },
+		write: func(w io.Writer, data any) error {
+			return bench.WriteWorstCase(w, data.([]bench.WorstCaseRow))
+		},
+	},
+	{
+		name:  "ablation",
+		title: "§3.1.2 ablation: send optimization",
+		run:   func(cfg bench.Config, _ int) (any, error) { return bench.SendOptimizationAblation(cfg) },
+		write: func(w io.Writer, data any) error {
+			return bench.WriteAblation(w, data.([]bench.AblationRow))
+		},
+	},
+	{
+		name:  "assignment",
+		title: "extension: assignment policy ablation",
+		run:   func(cfg bench.Config, _ int) (any, error) { return bench.AssignmentAblation(cfg) },
+		write: func(w io.Writer, data any) error {
+			return bench.WriteAssignment(w, data.([]bench.AssignmentRow))
+		},
+	},
+	{
+		name:  "parallel",
+		title: "extension: partitioned parallel engine vs simulator",
+		run:   func(cfg bench.Config, _ int) (any, error) { return bench.ParallelSpeedup(cfg) },
+		write: func(w io.Writer, data any) error {
+			return bench.WriteParallel(w, data.([]bench.ParallelRow))
+		},
+	},
+}
+
+func lookupExperiment(name string) (experiment, bool) {
+	for _, e := range experiments {
+		if e.name == name {
+			return e, true
+		}
+	}
+	return experiment{}, false
+}
+
+func experimentNames() []string {
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
+	}
+	return names
+}
+
+// jsonRecord is one experiment's machine-readable result.
+type jsonRecord struct {
+	Experiment string  `json:"experiment"`
+	Title      string  `json:"title"`
+	Seconds    float64 `json:"seconds"`
+	Data       any     `json:"data"`
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("kcore-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1, table2, fig4, fig5, worstcase, ablation, assignment, parallel, all")
+		exp      = fs.String("exp", "all", "experiment: "+strings.Join(experimentNames(), ", ")+", all")
 		scale    = fs.Float64("scale", 1.0, "dataset scale factor")
 		reps     = fs.Int("reps", 10, "repetitions per measurement (paper: 50 for Table 1, 20 for Figure 5)")
 		seed     = fs.Int64("seed", 1, "base seed")
 		datasets = fs.String("datasets", "", "comma-separated dataset keys (default: all)")
 		step     = fs.Int("step", 25, "round sampling step for table2")
+		asJSON   = fs.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,80 +161,55 @@ func run(args []string, w io.Writer) error {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
 
-	experiments := strings.Split(*exp, ",")
+	names := strings.Split(*exp, ",")
 	if *exp == "all" {
-		experiments = []string{"table1", "table2", "fig4", "fig5", "worstcase", "ablation", "assignment", "parallel"}
+		names = experimentNames()
 	}
-	for _, e := range experiments {
+	selected := make([]experiment, 0, len(names))
+	for _, name := range names {
+		e, ok := lookupExperiment(name)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(experimentNames(), ", "))
+		}
+		selected = append(selected, e)
+	}
+
+	var records []jsonRecord
+	for _, e := range selected {
+		if !*asJSON {
+			// Header first: long experiments would otherwise leave stdout
+			// silent for minutes with no sign of progress.
+			if e.configless {
+				fmt.Fprintf(w, "\n=== %s ===\n\n", e.title)
+			} else {
+				fmt.Fprintf(w, "\n=== %s (reps=%d, scale=%.2f) ===\n\n",
+					e.title, cfg.WithDefaults().Reps, cfg.WithDefaults().Scale)
+			}
+		}
 		start := time.Now()
-		if err := runOne(e, cfg, *step, w); err != nil {
+		data, err := e.run(cfg, *step)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "\n[%s done in %v]\n", e, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *asJSON {
+			records = append(records, jsonRecord{
+				Experiment: e.name,
+				Title:      e.title,
+				Seconds:    elapsed.Seconds(),
+				Data:       data,
+			})
+			continue
+		}
+		if err := e.write(w, data); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n[%s done in %v]\n", e.name, elapsed.Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(records)
 	}
 	return nil
-}
-
-func runOne(exp string, cfg bench.Config, step int, w io.Writer) error {
-	switch exp {
-	case "table1":
-		fmt.Fprintf(w, "\n=== Table 1: one-to-one protocol performance (reps=%d, scale=%.2f) ===\n\n",
-			cfg.WithDefaults().Reps, cfg.WithDefaults().Scale)
-		rows, err := bench.Table1(cfg)
-		if err != nil {
-			return err
-		}
-		return bench.WriteTable1(w, rows)
-	case "table2":
-		fmt.Fprintf(w, "\n=== Table 2: per-core convergence on web-BerkStan analogue ===\n\n")
-		res, err := bench.Table2(cfg, step)
-		if err != nil {
-			return err
-		}
-		return bench.WriteTable2(w, res)
-	case "fig4":
-		fmt.Fprintf(w, "\n=== Figure 4: error evolution over rounds ===\n")
-		series, err := bench.Figure4(cfg)
-		if err != nil {
-			return err
-		}
-		return bench.WriteFigure4(w, series)
-	case "fig5":
-		fmt.Fprintf(w, "\n=== Figure 5: one-to-many overhead vs hosts ===\n")
-		series, err := bench.Figure5(cfg, nil)
-		if err != nil {
-			return err
-		}
-		return bench.WriteFigure5(w, series)
-	case "worstcase":
-		fmt.Fprintf(w, "\n=== §4.2 validation: worst-case family and chains ===\n\n")
-		rows, err := bench.WorstCase(nil)
-		if err != nil {
-			return err
-		}
-		return bench.WriteWorstCase(w, rows)
-	case "ablation":
-		fmt.Fprintf(w, "\n=== §3.1.2 ablation: send optimization ===\n\n")
-		rows, err := bench.SendOptimizationAblation(cfg)
-		if err != nil {
-			return err
-		}
-		return bench.WriteAblation(w, rows)
-	case "assignment":
-		fmt.Fprintf(w, "\n=== extension: assignment policy ablation ===\n\n")
-		rows, err := bench.AssignmentAblation(cfg)
-		if err != nil {
-			return err
-		}
-		return bench.WriteAssignment(w, rows)
-	case "parallel":
-		fmt.Fprintf(w, "\n=== extension: partitioned parallel engine vs simulator ===\n\n")
-		rows, err := bench.ParallelSpeedup(cfg)
-		if err != nil {
-			return err
-		}
-		return bench.WriteParallel(w, rows)
-	default:
-		return fmt.Errorf("unknown experiment %q", exp)
-	}
 }

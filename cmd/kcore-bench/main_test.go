@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -53,5 +54,37 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-exp", "nope"}, &out); err == nil {
 		t.Fatalf("unknown experiment accepted")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-exp", "worstcase,parallel", "-scale", "0.04", "-reps", "1", "-json"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var records []struct {
+		Experiment string          `json:"experiment"`
+		Title      string          `json:"title"`
+		Seconds    float64         `json:"seconds"`
+		Data       json.RawMessage `json:"data"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &records); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	for i, want := range []string{"worstcase", "parallel"} {
+		if records[i].Experiment != want {
+			t.Fatalf("record %d experiment = %q, want %q", i, records[i].Experiment, want)
+		}
+		if len(records[i].Data) == 0 || string(records[i].Data) == "null" {
+			t.Fatalf("record %d has empty data payload", i)
+		}
+	}
+	// JSON mode must not interleave text tables into the stream.
+	if strings.Contains(out.String(), "===") {
+		t.Fatalf("JSON output contains text table header:\n%s", out.String())
 	}
 }

@@ -13,10 +13,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"dkcore"
 )
@@ -63,7 +65,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "kcore-coord: listening on %s, waiting for %d hosts\n", coord.Addr(), *hosts)
-	res, err := coord.Run()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := coord.RunContext(ctx)
 	if err != nil {
 		return err
 	}

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"dkcore"
 )
@@ -32,13 +34,16 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	estimates, err := dkcore.RunHost(dkcore.HostConfig{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := dkcore.RunClusterHost(ctx, dkcore.HostConfig{
 		CoordinatorAddr: *coord,
 		ListenAddr:      *listen,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "kcore-host: done, owned %d nodes\n", len(estimates))
+	fmt.Fprintf(os.Stderr, "kcore-host: host %d done: %d nodes, %d rounds, %d batches sent, %d estimates shipped\n",
+		res.HostID, len(res.Coreness), res.Rounds, res.BatchesSent, res.EstimatesSent)
 	return nil
 }

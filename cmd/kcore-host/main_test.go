@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -43,7 +44,7 @@ func TestRunLoopbackRoundTrip(t *testing.T) {
 	}
 	done := make(chan result, 1)
 	go func() {
-		res, err := coord.Run()
+		res, err := coord.RunContext(context.Background())
 		done <- result{res, err}
 	}()
 

@@ -1,47 +1,105 @@
-// Command kcore computes the k-core decomposition of an edge-list graph.
+// Command kcore computes the k-core decomposition of an edge-list graph
+// through the unified engine facade: every -mode is an engine kind.
 //
 // Usage:
 //
-//	kcore -in graph.txt [-mode seq|one2one|one2many|live|parallel] [-hosts H] [-workers P] [-histogram]
+//	kcore -in graph.txt [-mode KIND] [-hosts H] [-workers P] [-histogram]
 //
-// The input is a whitespace-separated edge list ('#' comments allowed);
-// "-" reads from stdin. With -histogram the tool prints shell sizes;
-// otherwise it prints "id coreness" per node using the input's original
-// node identifiers.
+// where KIND is one of sequential (alias seq), one2one, one2many, live,
+// live-epidemic, parallel, pregel, cluster. The input is a
+// whitespace-separated edge list ('#' comments allowed); "-" reads from
+// stdin. With -histogram the tool prints shell sizes; otherwise it prints
+// "id coreness" per node using the input's original node identifiers.
+// Ctrl-C cancels a run cleanly mid-way.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"time"
 
 	"dkcore"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "kcore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// modeFlags are the CLI knobs a mode can consume; buildOptions below maps
+// them onto the merged engine option set per kind.
+type modeFlags struct {
+	hosts   int
+	workers int
+	seed    int64
+}
+
+// buildOptions is the table-driven flag-to-option mapping: each engine
+// kind lists the options its CLI flags translate to. Kinds absent from
+// the table take no options.
+var buildOptions = map[dkcore.EngineKind]func(f modeFlags) []dkcore.EngineOption{
+	dkcore.OneToOne: func(f modeFlags) []dkcore.EngineOption {
+		return []dkcore.EngineOption{dkcore.Seed(f.seed)}
+	},
+	dkcore.OneToMany: func(f modeFlags) []dkcore.EngineOption {
+		return []dkcore.EngineOption{
+			dkcore.Seed(f.seed),
+			dkcore.Hosts(f.hosts),
+			dkcore.DisseminationPolicy(dkcore.PointToPoint),
+		}
+	},
+	dkcore.LiveEpidemic: func(f modeFlags) []dkcore.EngineOption {
+		return []dkcore.EngineOption{dkcore.Seed(f.seed), dkcore.Workers(f.workers)}
+	},
+	dkcore.Parallel: func(f modeFlags) []dkcore.EngineOption {
+		return []dkcore.EngineOption{dkcore.Workers(f.workers)}
+	},
+	dkcore.Pregel: func(f modeFlags) []dkcore.EngineOption {
+		return []dkcore.EngineOption{dkcore.Workers(f.workers)}
+	},
+	dkcore.Cluster: func(f modeFlags) []dkcore.EngineOption {
+		return []dkcore.EngineOption{dkcore.Hosts(f.hosts)}
+	},
+}
+
+// modeList renders the registry as the -mode usage string.
+func modeList() string {
+	var names []string
+	for _, k := range dkcore.EngineKinds() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("kcore", flag.ContinueOnError)
 	var (
 		in        = fs.String("in", "-", "input edge list file, or - for stdin")
-		mode      = fs.String("mode", "seq", "algorithm: seq, one2one, one2many, live, parallel")
-		hosts     = fs.Int("hosts", 4, "number of hosts for -mode one2many")
-		workers   = fs.Int("workers", 0, "worker goroutines for -mode parallel (0 = all cores)")
-		seed      = fs.Int64("seed", 1, "random seed for distributed runs")
+		mode      = fs.String("mode", "sequential", "engine kind: "+modeList())
+		hosts     = fs.Int("hosts", 4, "number of hosts for -mode one2many / cluster")
+		workers   = fs.Int("workers", 0, "worker goroutines for -mode parallel / pregel / live-epidemic (0 = all cores)")
+		seed      = fs.Int64("seed", 1, "random seed for simulated runs")
 		histogram = fs.Bool("histogram", false, "print shell-size histogram instead of per-node coreness")
-		stats     = fs.Bool("stats", false, "print run statistics (rounds, messages) to stderr")
+		stats     = fs.Bool("stats", false, "print run statistics (rounds, messages, wall time) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	kind, err := dkcore.ParseEngineKind(*mode)
+	if err != nil {
+		return err // already names the unknown mode and lists the valid ones
+	}
 	var r io.Reader = os.Stdin
 	if *in != "-" {
 		f, err := os.Open(*in)
@@ -56,66 +114,33 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	var coreness []int
-	switch *mode {
-	case "seq":
-		coreness = dkcore.Decompose(g).CorenessValues()
-	case "one2one":
-		res, err := dkcore.DecomposeOneToOne(g, dkcore.WithSeed(*seed))
-		if err != nil {
-			return err
-		}
-		coreness = res.Coreness
-		if *stats {
-			fmt.Fprintf(os.Stderr, "rounds=%d messages=%d\n", res.ExecutionTime, res.TotalMessages)
-		}
-	case "one2many":
-		if *hosts < 1 {
-			return fmt.Errorf("-hosts must be >= 1, got %d", *hosts)
-		}
-		res, err := dkcore.DecomposeOneToMany(g, dkcore.ModuloAssignment{H: *hosts},
-			dkcore.WithSeed(*seed), dkcore.WithDissemination(dkcore.PointToPoint))
-		if err != nil {
-			return err
-		}
-		coreness = res.Coreness
-		if *stats {
-			fmt.Fprintf(os.Stderr, "rounds=%d estimates-shipped=%d\n", res.ExecutionTime, res.EstimatesSent)
-		}
-	case "parallel":
-		res, err := dkcore.DecomposeParallel(g, dkcore.WithWorkers(*workers))
-		if err != nil {
-			return err
-		}
-		coreness = res.Coreness
-		if *stats {
-			fmt.Fprintf(os.Stderr, "rounds=%d workers=%d estimates-shipped=%d\n",
-				res.Rounds, res.Workers, res.EstimatesSent)
-		}
-	case "live":
-		res, err := dkcore.DecomposeLive(g)
-		if err != nil {
-			return err
-		}
-		coreness = res.Coreness
-		if *stats {
-			fmt.Fprintf(os.Stderr, "messages=%d\n", res.Messages)
-		}
-	default:
-		return fmt.Errorf("unknown -mode %q", *mode)
+	var opts []dkcore.EngineOption
+	if build, ok := buildOptions[kind]; ok {
+		opts = build(modeFlags{hosts: *hosts, workers: *workers, seed: *seed})
+	}
+	eng, err := dkcore.NewEngine(kind, opts...)
+	if err != nil {
+		return err
+	}
+	rep, err := eng.Run(ctx, g)
+	if err != nil {
+		return err
+	}
+	if *stats {
+		printStats(os.Stderr, rep)
 	}
 
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 	if *histogram {
 		maxK := 0
-		for _, k := range coreness {
+		for _, k := range rep.Coreness {
 			if k > maxK {
 				maxK = k
 			}
 		}
 		sizes := make([]int, maxK+1)
-		for _, k := range coreness {
+		for _, k := range rep.Coreness {
 			sizes[k]++
 		}
 		for k, n := range sizes {
@@ -125,8 +150,30 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	for u, k := range coreness {
+	for u, k := range rep.Coreness {
 		fmt.Fprintf(w, "%d %d\n", origID[u], k)
 	}
 	return nil
+}
+
+// printStats writes the populated Report metrics — one line, uniform
+// across kinds, omitting fields the kind does not define.
+func printStats(w io.Writer, rep *dkcore.Report) {
+	fmt.Fprintf(w, "mode=%s wall=%s", rep.Kind, rep.WallTime.Round(time.Microsecond))
+	if rep.Rounds > 0 {
+		fmt.Fprintf(w, " rounds=%d", rep.Rounds)
+	}
+	if rep.ExecutionTime > 0 {
+		fmt.Fprintf(w, " exec-time=%d", rep.ExecutionTime)
+	}
+	if rep.TotalMessages > 0 {
+		fmt.Fprintf(w, " messages=%d", rep.TotalMessages)
+	}
+	if rep.EstimatesSent > 0 {
+		fmt.Fprintf(w, " estimates-shipped=%d", rep.EstimatesSent)
+	}
+	if rep.Workers > 0 {
+		fmt.Fprintf(w, " workers=%d", rep.Workers)
+	}
+	fmt.Fprintln(w)
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,10 +27,10 @@ func TestRunModes(t *testing.T) {
 	want := map[string]string{
 		"1": "1", "2": "2", "3": "2", "4": "2", "5": "2", "6": "1",
 	}
-	for _, mode := range []string{"seq", "one2one", "one2many", "live", "parallel"} {
+	for _, mode := range []string{"seq", "sequential", "one2one", "one2many", "live", "live-epidemic", "parallel", "pregel", "cluster"} {
 		t.Run(mode, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := run([]string{"-in", path, "-mode", mode}, &out); err != nil {
+			if err := run(context.Background(), []string{"-in", path, "-mode", mode}, &out); err != nil {
 				t.Fatal(err)
 			}
 			lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -51,7 +53,7 @@ func TestRunModes(t *testing.T) {
 func TestRunHistogram(t *testing.T) {
 	path := fig2File(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-histogram"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-histogram"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := strings.TrimSpace(out.String())
@@ -87,7 +89,7 @@ func TestRunErrors(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := run(tt.args, &out); err == nil {
+			if err := run(context.Background(), tt.args, &out); err == nil {
 				t.Fatalf("no error")
 			}
 		})
@@ -99,10 +101,22 @@ func TestRunErrors(t *testing.T) {
 func TestRunParallelStats(t *testing.T) {
 	path := fig2File(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-mode", "parallel", "-workers", "2", "-stats"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-mode", "parallel", "-workers", "2", "-stats"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(strings.Split(strings.TrimSpace(out.String()), "\n")); got != 6 {
 		t.Fatalf("got %d output lines, want 6", got)
+	}
+}
+
+// TestRunCancelledContext verifies the CLI surfaces context cancellation
+// instead of computing a result.
+func TestRunCancelledContext(t *testing.T) {
+	path := fig2File(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	if err := run(ctx, []string{"-in", path, "-mode", "one2one"}, &out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,75 +1,83 @@
 // Package dkcore is a from-scratch Go implementation of the distributed
 // k-core decomposition algorithms of Montresor, De Pellegrini and
 // Miorandi (PODC 2011), together with everything needed to reproduce the
-// paper's evaluation: a sequential baseline, a round-based simulator, a
-// live goroutine runtime, a networked cluster deployment, graph
-// generators, and synthetic analogues of the paper's datasets.
+// paper's evaluation and to serve decompositions in production: a
+// sequential baseline, a round-based simulator, live goroutine runtimes,
+// shared-memory BSP engines, a networked cluster deployment, streaming
+// maintenance, graph generators, and synthetic analogues of the paper's
+// datasets.
 //
 // # Quick start
 //
-// Build a graph, decompose it sequentially, and compare with a
-// distributed run:
+// Every execution path is reached through one facade: construct an
+// Engine for a kind, then Run it with a context:
 //
 //	b := dkcore.NewBuilder(0)
 //	b.AddEdge(0, 1)
 //	b.AddEdge(1, 2)
 //	g := b.Build()
 //
-//	dec := dkcore.Decompose(g)             // Batagelj–Zaversnik baseline
-//	res, err := dkcore.DecomposeOneToOne(g) // simulated distributed run
-//
-// The one-to-one scenario simulates one process per graph node
-// (Algorithm 1 of the paper); the one-to-many scenario groups nodes onto
-// hosts (Algorithm 3):
-//
-//	res, err := dkcore.DecomposeOneToMany(g, dkcore.ModuloAssignment{H: 8},
-//	    dkcore.WithDissemination(dkcore.PointToPoint))
-//
-// For an actually concurrent execution — one goroutine per node,
-// asynchronous messages, centralized termination detection — use
-// DecomposeLive. For deployment across OS processes and machines, see
-// NewCoordinator / RunHost (and the cmd/kcore-coord, cmd/kcore-host
-// binaries).
-//
-// # Parallel decomposition
-//
-// When the goal is raw decomposition speed rather than protocol
-// simulation, DecomposeParallel shards the graph across P worker
-// goroutines (one partition each, Algorithm 3's grouping) and runs the
-// partitions' local cascades concurrently, exchanging cross-partition
-// estimates as batched per-destination deltas between BSP rounds:
-//
-//	res, err := dkcore.DecomposeParallel(g, dkcore.WithWorkers(8))
+//	eng, err := dkcore.NewEngine(dkcore.OneToOne, dkcore.Seed(7))
 //	if err != nil { ... }
-//	k := res.Coreness[17]
+//	rep, err := eng.Run(ctx, g)      // rep.Coreness, rep.Rounds, rep.TotalMessages, ...
 //
-// The default partitioning is BlockAssignment (contiguous node ranges);
-// WithAssignment substitutes any Assignment policy and derives the worker
-// count from it:
+// The eight kinds — Sequential, OneToOne, OneToMany, Live, LiveEpidemic,
+// Parallel, Pregel, Cluster — compute the same coreness and fill the
+// unified Report with the metrics their execution model defines.
+// Cancelling the context (or exceeding its deadline) stops any kind
+// within one round and returns ctx.Err().
 //
-//	res, err := dkcore.DecomposeParallel(g,
-//	    dkcore.WithAssignment(dkcore.NewRandomAssignment(g.NumNodes(), 16, 1)))
+// Options are a single merged set (Seed, MaxRounds, Delivery, Hosts,
+// Workers, PartitionBy, ...); each option documents the kinds it applies
+// to, and NewEngine rejects an option given with any other kind:
 //
-// Results are exact and deterministic regardless of scheduling.
+//	eng, err := dkcore.NewEngine(dkcore.OneToMany,
+//	    dkcore.Hosts(8), dkcore.DisseminationPolicy(dkcore.PointToPoint))
+//
+// # Serving: the Session
+//
+// For long-lived use — decompose once, then answer queries while the
+// graph keeps changing — wrap a run in a Session:
+//
+//	sess, err := dkcore.NewSession(ctx, g)   // or eng.NewSession(ctx, g)
+//	sess.InsertEdge(17, 42)                  // exact incremental update
+//	k := sess.Coreness(17)                   // concurrent reads allowed
+//	members := sess.KCoreMembers(3)
+//	d := sess.Degeneracy()
+//
+// Queries take a read lock and run concurrently; mutations are absorbed
+// by the streaming maintainer, touching only the bounded region an edge
+// change can affect.
+//
+// # Deprecated entry points
+//
+// The pre-Engine API — Decompose, DecomposeOneToOne, DecomposeOneToMany,
+// DecomposeLive, DecomposeLiveRounds, DecomposeLiveEpidemic,
+// DecomposeParallel, DecomposePregel, RunHost — remains as thin wrappers
+// over the same internals and keeps working, but new code should use
+// NewEngine / Session. The migration is mechanical:
+//
+//	Decompose(g)                        -> NewEngine(Sequential) + Run
+//	DecomposeOneToOne(g, WithSeed(s))   -> NewEngine(OneToOne, Seed(s)) + Run
+//	DecomposeOneToMany(g, a, ...)       -> NewEngine(OneToMany, PartitionBy(a), ...) + Run
+//	DecomposeLive(g)                    -> NewEngine(Live) + Run
+//	DecomposeLiveRounds(g, r)           -> NewEngine(Live, MaxRounds(r)) + Run
+//	DecomposeLiveEpidemic(g, q)         -> NewEngine(LiveEpidemic, QuietWindow(q)) + Run
+//	DecomposeParallel(g, WithWorkers(n)) -> NewEngine(Parallel, Workers(n)) + Run
+//	DecomposePregel(g)                  -> NewEngine(Pregel) + Run
+//	RunHost(cfg)                        -> RunClusterHost(ctx, cfg)
+//
+// (each old With* option has a same-named EngineOption constructor
+// without the prefix: WithSeed -> Seed, WithMaxRounds -> MaxRounds,
+// WithWorkers -> Workers, WithAssignment -> PartitionBy, and so on)
 //
 // # Streaming maintenance
 //
 // Graphs that change over time do not need recomputation: a Maintainer
-// keeps the exact decomposition current under a stream of edge
-// insertions and deletions, touching only the bounded coreness region a
-// mutation can affect (on insertion it re-seeds the affected
-// neighborhood's upper bounds; on deletion it propagates decreases from
-// the endpoints):
-//
-//	mt := dkcore.NewMaintainer(g)
-//	mt.InsertEdge(17, 42)
-//	mt.DeleteEdge(3, 9)
-//	k := mt.Coreness(17) // exact, no recomputation
-//
-// A running live decomposition can likewise absorb mutations between
-// δ-rounds via NewLiveMaintainer: buffered InsertEdge/DeleteEdge calls
-// are applied by Converge, which returns the exact coreness of the
-// mutated graph.
+// (the engine under Session) keeps the exact decomposition current under
+// a stream of edge insertions and deletions, touching only the bounded
+// coreness region a mutation can affect. A running live decomposition
+// can likewise absorb mutations between δ-rounds via NewLiveMaintainer.
 //
 // Event streams are timestamped edge mutations (EdgeEvent), generated
 // with GenerateEventStream / GenerateChurnEvents and serialized by
@@ -81,6 +89,7 @@
 package dkcore
 
 import (
+	"context"
 	"io"
 
 	"dkcore/internal/cluster"
@@ -178,14 +187,20 @@ func VerifyLocality(g *Graph, coreness []int) error { return kcore.VerifyLocalit
 
 // DecomposeOneToOne runs the simulated one-to-one protocol (Algorithm 1):
 // one process per node.
+//
+// Deprecated: use NewEngine(OneToOne, ...) and Engine.Run, which add
+// context cancellation and the unified Report.
 func DecomposeOneToOne(g *Graph, opts ...Option) (*Result, error) {
-	return core.RunOneToOne(g, opts...)
+	return core.RunOneToOne(context.Background(), g, opts...)
 }
 
 // DecomposeOneToMany runs the simulated one-to-many protocol
 // (Algorithm 3) over the hosts defined by the assignment.
+//
+// Deprecated: use NewEngine(OneToMany, PartitionBy(assign), ...) and
+// Engine.Run.
 func DecomposeOneToMany(g *Graph, assign Assignment, opts ...Option) (*Result, error) {
-	return core.RunOneToMany(g, assign, opts...)
+	return core.RunOneToMany(context.Background(), g, assign, opts...)
 }
 
 // WithSeed sets the seed for the run's randomized operation order.
@@ -229,21 +244,28 @@ func NewRandomAssignment(n, h int, seed int64) Assignment {
 // DecomposeLive runs the protocol with one goroutine per node and
 // asynchronous message passing, detecting termination with the
 // centralized credit-counting approach. The result is exact.
+//
+// Deprecated: use NewEngine(Live, ...) and Engine.Run.
 func DecomposeLive(g *Graph, opts ...live.Option) (*LiveResult, error) {
-	return live.Decompose(g, opts...)
+	return live.Decompose(context.Background(), g, opts...)
 }
 
 // DecomposeLiveRounds runs the live runtime for a fixed number of
 // δ-rounds (the paper's fixed-round termination), returning possibly
 // approximate estimates.
+//
+// Deprecated: use NewEngine(Live, MaxRounds(rounds), ...) and Engine.Run.
 func DecomposeLiveRounds(g *Graph, rounds int, opts ...live.Option) (*LiveResult, error) {
-	return live.DecomposeRounds(g, rounds, opts...)
+	return live.DecomposeRounds(context.Background(), g, rounds, opts...)
 }
 
 // DecomposeLiveEpidemic runs the live runtime with the decentralized
 // epidemic termination detector (quiet = required silence window).
+//
+// Deprecated: use NewEngine(LiveEpidemic, QuietWindow(quiet), ...) and
+// Engine.Run.
 func DecomposeLiveEpidemic(g *Graph, quiet int, opts ...live.Option) (*LiveResult, error) {
-	return live.DecomposeEpidemic(g, quiet, opts...)
+	return live.DecomposeEpidemic(context.Background(), g, quiet, opts...)
 }
 
 // LiveOption configures the live runtime.
@@ -272,8 +294,10 @@ type ParallelOption = parallel.Option
 // cross-partition estimates as batched per-destination deltas between
 // BSP rounds. It is the fastest execution path for large graphs; results
 // are deterministic regardless of scheduling.
+//
+// Deprecated: use NewEngine(Parallel, Workers(...)) and Engine.Run.
 func DecomposeParallel(g *Graph, opts ...ParallelOption) (*ParallelResult, error) {
-	return parallel.Decompose(g, opts...)
+	return parallel.Decompose(context.Background(), g, opts...)
 }
 
 // WithWorkers sets DecomposeParallel's partition/goroutine count
@@ -292,8 +316,10 @@ func WithParallelMaxRounds(n int) ParallelOption { return parallel.WithMaxRounds
 // Pregel-style BSP engine — the deployment path the paper's conclusions
 // (§6) propose. It returns the exact coreness and the number of
 // supersteps the program took.
+//
+// Deprecated: use NewEngine(Pregel, ...) and Engine.Run.
 func DecomposePregel(g *Graph) (coreness []int, supersteps int, err error) {
-	coreness, res, err := pregel.KCore(g)
+	coreness, res, err := pregel.KCore(context.Background(), g)
 	return coreness, res.Supersteps, err
 }
 
@@ -312,6 +338,28 @@ type HostConfig = cluster.HostConfig
 // NewCoordinator starts a coordinator listening for host workers.
 func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) { return cluster.NewCoordinator(cfg) }
 
+// HostResult is one host worker's share of a networked run: its owned
+// coreness plus per-host round and traffic counters. A cluster Engine
+// run carries every host's HostResult in Report.Hosts.
+type HostResult = cluster.HostResult
+
+// RunClusterHost joins a networked cluster at cfg.CoordinatorAddr and
+// serves a partition until the coordinator signals termination,
+// returning this host's structured result. Cancelling ctx tears the
+// connections down promptly and returns ctx.Err().
+func RunClusterHost(ctx context.Context, cfg HostConfig) (*HostResult, error) {
+	return cluster.RunHost(ctx, cfg)
+}
+
 // RunHost joins a networked cluster and serves a partition until the
-// coordinator signals termination.
-func RunHost(cfg HostConfig) (map[int]int, error) { return cluster.RunHost(cfg) }
+// coordinator signals termination, returning the host's owned estimates.
+//
+// Deprecated: use RunClusterHost, which takes a context and returns the
+// full per-host result.
+func RunHost(cfg HostConfig) (map[int]int, error) {
+	res, err := cluster.RunHost(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Coreness, nil
+}

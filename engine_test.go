@@ -1,0 +1,386 @@
+package dkcore_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dkcore"
+)
+
+// fig2 is the paper's §3.1.1 example graph (0-based).
+func fig2() *dkcore.Graph {
+	return dkcore.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}, {4, 5},
+	})
+}
+
+// engineOptsFor returns options that exercise each kind's sharding knobs
+// in tests while keeping runs small.
+func engineOptsFor(kind dkcore.EngineKind) []dkcore.EngineOption {
+	switch kind {
+	case dkcore.OneToMany:
+		return []dkcore.EngineOption{dkcore.Hosts(3), dkcore.DisseminationPolicy(dkcore.PointToPoint)}
+	case dkcore.Parallel:
+		return []dkcore.EngineOption{dkcore.Workers(4)}
+	case dkcore.Cluster:
+		return []dkcore.EngineOption{dkcore.Hosts(2)}
+	default:
+		return nil
+	}
+}
+
+func TestEngineKindNamesRoundTrip(t *testing.T) {
+	kinds := dkcore.EngineKinds()
+	if len(kinds) != 8 {
+		t.Fatalf("got %d engine kinds, want 8", len(kinds))
+	}
+	for _, kind := range kinds {
+		got, err := dkcore.ParseEngineKind(kind.String())
+		if err != nil {
+			t.Fatalf("ParseEngineKind(%q): %v", kind.String(), err)
+		}
+		if got != kind {
+			t.Fatalf("ParseEngineKind(%q) = %v, want %v", kind.String(), got, kind)
+		}
+		if kind.Description() == "" || strings.Contains(kind.Description(), "unknown") {
+			t.Fatalf("kind %v has no description", kind)
+		}
+	}
+	if k, err := dkcore.ParseEngineKind("seq"); err != nil || k != dkcore.Sequential {
+		t.Fatalf("legacy alias seq: kind %v, err %v", k, err)
+	}
+	if _, err := dkcore.ParseEngineKind("nope"); err == nil {
+		t.Fatalf("unknown kind name accepted")
+	}
+	if s := dkcore.EngineKind(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("stringer for invalid kind = %q", s)
+	}
+}
+
+func TestEngineRunAllKinds(t *testing.T) {
+	g := fig2()
+	want := dkcore.Decompose(g).CorenessValues()
+	for _, kind := range dkcore.EngineKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			eng, err := dkcore.NewEngine(kind, engineOptsFor(kind)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Kind() != kind {
+				t.Fatalf("Kind() = %v, want %v", eng.Kind(), kind)
+			}
+			rep, err := eng.Run(context.Background(), g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Kind != kind {
+				t.Fatalf("report kind %v, want %v", rep.Kind, kind)
+			}
+			if rep.WallTime <= 0 {
+				t.Fatalf("report has no wall time")
+			}
+			for u := range want {
+				if rep.Coreness[u] != want[u] {
+					t.Fatalf("node %d: coreness %d, want %d", u, rep.Coreness[u], want[u])
+				}
+			}
+		})
+	}
+}
+
+func TestEngineRunNilGraph(t *testing.T) {
+	eng, err := dkcore.NewEngine(dkcore.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background(), nil); err == nil {
+		t.Fatalf("nil graph accepted")
+	}
+}
+
+// TestEngineOptionKindMismatch checks that every option is rejected by a
+// kind outside its applicability set with an error naming both sides.
+func TestEngineOptionKindMismatch(t *testing.T) {
+	tests := []struct {
+		kind   dkcore.EngineKind
+		opt    dkcore.EngineOption
+		optStr string
+	}{
+		{dkcore.Sequential, dkcore.Seed(1), "Seed"},
+		{dkcore.Sequential, dkcore.MaxRounds(5), "MaxRounds"},
+		{dkcore.Parallel, dkcore.Delivery(dkcore.DeliverNextRound), "Delivery"},
+		{dkcore.Parallel, dkcore.Seed(3), "Seed"},
+		{dkcore.Pregel, dkcore.SendOptimization(true), "SendOptimization"},
+		{dkcore.OneToOne, dkcore.DisseminationPolicy(dkcore.PointToPoint), "DisseminationPolicy"},
+		{dkcore.Live, dkcore.GroundTruth([]int{0}), "GroundTruth"},
+		{dkcore.Cluster, dkcore.Snapshot(func(int, []int) {}), "Snapshot"},
+		{dkcore.OneToMany, dkcore.Loss(0.5), "Loss"},
+		{dkcore.Live, dkcore.RetransmitEvery(2), "RetransmitEvery"},
+		{dkcore.Cluster, dkcore.PartitionBy(dkcore.ModuloAssignment{H: 2}), "PartitionBy"},
+		{dkcore.OneToOne, dkcore.Workers(2), "Workers"},
+		{dkcore.Parallel, dkcore.Hosts(2), "Hosts"},
+		{dkcore.Pregel, dkcore.QuietWindow(5), "QuietWindow"},
+		{dkcore.OneToMany, dkcore.ListenOn("127.0.0.1:0"), "ListenOn"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.kind.String()+"/"+tt.optStr, func(t *testing.T) {
+			_, err := dkcore.NewEngine(tt.kind, tt.opt)
+			if err == nil {
+				t.Fatalf("option %s accepted by kind %s", tt.optStr, tt.kind)
+			}
+			if !strings.Contains(err.Error(), tt.optStr) || !strings.Contains(err.Error(), tt.kind.String()) {
+				t.Fatalf("error does not name option and kind: %v", err)
+			}
+			if !strings.Contains(err.Error(), "applies to") {
+				t.Fatalf("error does not list applicable kinds: %v", err)
+			}
+		})
+	}
+}
+
+func TestEngineOptionValidation(t *testing.T) {
+	if _, err := dkcore.NewEngine(dkcore.EngineKind(0)); err == nil {
+		t.Fatalf("invalid kind accepted")
+	}
+	if _, err := dkcore.NewEngine(dkcore.OneToMany,
+		dkcore.Hosts(2), dkcore.PartitionBy(dkcore.ModuloAssignment{H: 2})); err == nil {
+		t.Fatalf("Hosts + PartitionBy conflict accepted")
+	}
+	if _, err := dkcore.NewEngine(dkcore.Cluster, dkcore.Hosts(0)); err == nil {
+		t.Fatalf("zero hosts accepted")
+	}
+	if _, err := dkcore.NewEngine(dkcore.LiveEpidemic, dkcore.QuietWindow(0)); err == nil {
+		t.Fatalf("zero quiet window accepted")
+	}
+	if _, err := dkcore.NewEngine(dkcore.Parallel, dkcore.MaxRounds(0)); err == nil {
+		t.Fatalf("zero round budget accepted")
+	}
+	if _, err := dkcore.NewEngine(dkcore.OneToOne, dkcore.EngineOption{}); err == nil {
+		t.Fatalf("zero-value option accepted")
+	}
+}
+
+// TestEngineLiveFixedRounds checks the Live + MaxRounds combination: the
+// fixed δ-round budget mode runs and may be approximate.
+func TestEngineLiveFixedRounds(t *testing.T) {
+	g := dkcore.GenerateWorstCase(40)
+	eng, err := dkcore.NewEngine(dkcore.Live, dkcore.MaxRounds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds < 1 || rep.Rounds > 2 {
+		t.Fatalf("fixed-budget run executed %d rounds, want <= 2", rep.Rounds)
+	}
+	// Estimates are upper bounds at all times.
+	truth := dkcore.Decompose(g).CorenessValues()
+	for u := range truth {
+		if rep.Coreness[u] < truth[u] {
+			t.Fatalf("node %d: estimate %d below true coreness %d", u, rep.Coreness[u], truth[u])
+		}
+	}
+}
+
+// TestEngineRunPreCancelled: an already-cancelled context must return
+// ctx.Err() from every kind without computing anything.
+func TestEngineRunPreCancelled(t *testing.T) {
+	g := fig2()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, kind := range dkcore.EngineKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			eng, err := dkcore.NewEngine(kind, engineOptsFor(kind)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := eng.Run(ctx, g)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if rep != nil {
+				t.Fatalf("got a report despite cancellation")
+			}
+		})
+	}
+}
+
+// TestEngineRunDeadlineExceeded: an expired deadline is reported as
+// DeadlineExceeded, not as a generic engine error.
+func TestEngineRunDeadlineExceeded(t *testing.T) {
+	eng, err := dkcore.NewEngine(dkcore.Parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := eng.Run(ctx, fig2()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// midRunGraph builds a graph sized so kind's run takes long enough that a
+// cancellation fired shortly after launch lands mid-run. size scales up
+// on retry.
+func midRunGraph(kind dkcore.EngineKind, size int) *dkcore.Graph {
+	if kind == dkcore.Sequential {
+		// The peel is O(m); only edge volume slows it down.
+		return dkcore.GenerateGNM(size*64, size*256, 1)
+	}
+	// The §4.2 worst-case family needs Θ(N) rounds — long runs from
+	// small graphs for every round-based kind.
+	return dkcore.GenerateWorstCase(size)
+}
+
+// midRunBase bounds the retry ladder per kind: the starting size and the
+// cap (sizes double on each attempt that completes before the cancel
+// fires).
+func midRunBase(kind dkcore.EngineKind) (base, max int) {
+	switch kind {
+	case dkcore.Sequential:
+		return 1 << 11, 1 << 16
+	case dkcore.Cluster:
+		return 200, 6400
+	case dkcore.Live:
+		return 4000, 128000
+	default:
+		return 1000, 64000
+	}
+}
+
+// TestEngineRunMidRunCancel: a context cancelled while the run is in
+// flight must surface context.Canceled (promptly — the run cannot finish
+// first once the graph is large enough). Each attempt cancels ~1ms after
+// launch; if the run still won, the graph doubles and the attempt
+// repeats. Run with -race to also verify teardown cleanliness.
+func TestEngineRunMidRunCancel(t *testing.T) {
+	for _, kind := range dkcore.EngineKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			base, maxSize := midRunBase(kind)
+			for size := base; size <= maxSize; size *= 2 {
+				g := midRunGraph(kind, size)
+				eng, err := dkcore.NewEngine(kind, engineOptsFor(kind)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				errCh := make(chan error, 1)
+				go func() {
+					_, err := eng.Run(ctx, g)
+					errCh <- err
+				}()
+				time.Sleep(time.Millisecond)
+				cancel()
+				err = <-errCh
+				if errors.Is(err, context.Canceled) {
+					return // cancellation observed mid-run
+				}
+				if err != nil {
+					t.Fatalf("size %d: unexpected error %v", size, err)
+				}
+				// Run finished before the cancel landed; grow and retry.
+			}
+			t.Fatalf("%s never observed a mid-run cancellation up to size %d", kind, maxSize)
+		})
+	}
+}
+
+// TestEngineClusterHostResults checks the cluster satellite: per-host
+// structured results are carried into the unified Report.
+func TestEngineClusterHostResults(t *testing.T) {
+	g := dkcore.GenerateGNM(120, 480, 5)
+	eng, err := dkcore.NewEngine(dkcore.Cluster, dkcore.Hosts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Hosts) != 3 {
+		t.Fatalf("got %d host results, want 3", len(rep.Hosts))
+	}
+	truth := dkcore.Decompose(g).CorenessValues()
+	seen := 0
+	var pairs int64
+	for i, hr := range rep.Hosts {
+		if hr.HostID != i {
+			t.Fatalf("host results out of order: index %d has ID %d", i, hr.HostID)
+		}
+		if hr.Rounds != rep.Rounds {
+			t.Fatalf("host %d served %d rounds, coordinator drove %d", i, hr.Rounds, rep.Rounds)
+		}
+		for u, k := range hr.Coreness {
+			if truth[u] != k {
+				t.Fatalf("host %d: node %d coreness %d, want %d", i, u, k, truth[u])
+			}
+			seen++
+		}
+		pairs += hr.EstimatesSent
+	}
+	if seen != g.NumNodes() {
+		t.Fatalf("hosts own %d nodes, graph has %d", seen, g.NumNodes())
+	}
+	if pairs != rep.EstimatesSent {
+		t.Fatalf("per-host estimates %d != coordinator total %d", pairs, rep.EstimatesSent)
+	}
+}
+
+// TestEngineZeroValueRun: a zero-value Engine (not built by NewEngine)
+// must fail with an error, not a nil-pointer panic.
+func TestEngineZeroValueRun(t *testing.T) {
+	var eng dkcore.Engine
+	if _, err := eng.Run(context.Background(), fig2()); err == nil {
+		t.Fatalf("zero-value Engine accepted")
+	}
+}
+
+// TestEngineLiveRoundsWorkers: the DecomposeLiveRounds migration path
+// can express a worker bound (Live + MaxRounds + Workers).
+func TestEngineLiveRoundsWorkers(t *testing.T) {
+	g := dkcore.GenerateGNM(60, 240, 2)
+	eng, err := dkcore.NewEngine(dkcore.Live, dkcore.MaxRounds(10*g.NumNodes()), dkcore.Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := dkcore.Decompose(g).CorenessValues()
+	for u := range truth {
+		if rep.Coreness[u] != truth[u] {
+			t.Fatalf("node %d: coreness %d, want %d", u, rep.Coreness[u], truth[u])
+		}
+	}
+}
+
+// TestParseEngineKindRejectsEmpty: the empty string must not resolve via
+// a registry entry's empty alias field.
+func TestParseEngineKindRejectsEmpty(t *testing.T) {
+	if k, err := dkcore.ParseEngineKind(""); err == nil {
+		t.Fatalf("empty kind name resolved to %v", k)
+	}
+}
+
+// TestEngineNegativeWorkersRejected: every kind that accepts Workers
+// must reject a negative count at construction, not behave
+// kind-dependently at run time.
+func TestEngineNegativeWorkersRejected(t *testing.T) {
+	for _, kind := range []dkcore.EngineKind{dkcore.Live, dkcore.LiveEpidemic, dkcore.Parallel, dkcore.Pregel} {
+		if _, err := dkcore.NewEngine(kind, dkcore.Workers(-3)); err == nil {
+			t.Fatalf("%s accepted Workers(-3)", kind)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -109,7 +110,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 		}
 		var tStats, mAvgStats, mMaxStats stats.Online
 		for rep := 0; rep < cfg.Reps; rep++ {
-			res, err := core.RunOneToOne(g, core.WithSeed(cfg.Seed+int64(rep)))
+			res, err := core.RunOneToOne(context.Background(), g, core.WithSeed(cfg.Seed+int64(rep)))
 			if err != nil {
 				return nil, fmt.Errorf("bench: table1 %s rep %d: %w", d.Key, rep, err)
 			}

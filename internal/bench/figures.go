@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -35,7 +36,7 @@ func Figure4(cfg Config) ([]Fig4Series, error) {
 		var sumAvg []float64
 		var sumMax []float64
 		for rep := 0; rep < cfg.Reps; rep++ {
-			res, err := core.RunOneToOne(g,
+			res, err := core.RunOneToOne(context.Background(), g,
 				core.WithSeed(cfg.Seed+int64(rep)),
 				core.WithGroundTruth(truth),
 			)
@@ -154,7 +155,7 @@ func Figure5(cfg Config, hostCounts []int) ([]Fig5Series, error) {
 				}
 				var overhead stats.Online
 				for rep := 0; rep < cfg.Reps; rep++ {
-					res, err := core.RunOneToMany(g, core.ModuloAssignment{H: hosts},
+					res, err := core.RunOneToMany(context.Background(), g, core.ModuloAssignment{H: hosts},
 						core.WithSeed(cfg.Seed+int64(rep)),
 						core.WithDissemination(mode),
 					)

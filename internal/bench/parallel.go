@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -53,7 +54,7 @@ func ParallelSpeedup(cfg Config) ([]ParallelRow, error) {
 		var simRounds int
 		for rep := 0; rep < cfg.Reps; rep++ {
 			start := time.Now()
-			res, err := core.RunOneToOne(wl.g, core.WithSeed(cfg.Seed+int64(rep)))
+			res, err := core.RunOneToOne(context.Background(), wl.g, core.WithSeed(cfg.Seed+int64(rep)))
 			if err != nil {
 				return nil, fmt.Errorf("bench: parallel baseline on %s: %w", wl.name, err)
 			}
@@ -70,7 +71,7 @@ func ParallelSpeedup(cfg Config) ([]ParallelRow, error) {
 			var last *parallel.Result
 			for rep := 0; rep < cfg.Reps; rep++ {
 				start := time.Now()
-				res, err := parallel.Decompose(wl.g, parallel.WithWorkers(w))
+				res, err := parallel.Decompose(context.Background(), wl.g, parallel.WithWorkers(w))
 				if err != nil {
 					return nil, fmt.Errorf("bench: parallel w=%d on %s: %w", w, wl.name, err)
 				}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -59,7 +60,7 @@ func Table2(cfg Config, step int) (*Table2Result, error) {
 		}
 		wrongAt[round] = counts
 	}
-	res, err := core.RunOneToOne(g, core.WithSeed(cfg.Seed), core.WithSnapshot(snapshot))
+	res, err := core.RunOneToOne(context.Background(), g, core.WithSeed(cfg.Seed), core.WithSnapshot(snapshot))
 	if err != nil {
 		return nil, fmt.Errorf("bench: table2: %w", err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,11 +26,11 @@ func WorstCase(sizes []int) ([]WorstCaseRow, error) {
 	}
 	rows := make([]WorstCaseRow, 0, len(sizes))
 	for _, n := range sizes {
-		worst, err := core.RunOneToOne(gen.WorstCase(n), core.WithDelivery(sim.DeliverNextRound))
+		worst, err := core.RunOneToOne(context.Background(), gen.WorstCase(n), core.WithDelivery(sim.DeliverNextRound))
 		if err != nil {
 			return nil, fmt.Errorf("bench: worst case n=%d: %w", n, err)
 		}
-		chain, err := core.RunOneToOne(gen.Chain(n), core.WithDelivery(sim.DeliverNextRound))
+		chain, err := core.RunOneToOne(context.Background(), gen.Chain(n), core.WithDelivery(sim.DeliverNextRound))
 		if err != nil {
 			return nil, fmt.Errorf("bench: chain n=%d: %w", n, err)
 		}
@@ -80,11 +81,11 @@ func SendOptimizationAblation(cfg Config) ([]AblationRow, error) {
 		var plain, opt stats.Online
 		for rep := 0; rep < cfg.Reps; rep++ {
 			seed := core.WithSeed(cfg.Seed + int64(rep))
-			p, err := core.RunOneToOne(g, seed)
+			p, err := core.RunOneToOne(context.Background(), g, seed)
 			if err != nil {
 				return nil, fmt.Errorf("bench: ablation %s: %w", d.Key, err)
 			}
-			o, err := core.RunOneToOne(g, seed, core.WithSendOptimization(true))
+			o, err := core.RunOneToOne(context.Background(), g, seed, core.WithSendOptimization(true))
 			if err != nil {
 				return nil, fmt.Errorf("bench: ablation %s: %w", d.Key, err)
 			}
@@ -144,7 +145,7 @@ func AssignmentAblation(cfg Config) ([]AssignmentRow, error) {
 	for _, p := range policies {
 		var overhead stats.Online
 		for rep := 0; rep < cfg.Reps; rep++ {
-			res, err := core.RunOneToMany(g, p.assign,
+			res, err := core.RunOneToMany(context.Background(), g, p.assign,
 				core.WithSeed(cfg.Seed+int64(rep)),
 				core.WithDissemination(core.PointToPoint),
 			)

@@ -1,9 +1,13 @@
 package cluster
 
 import (
+	"context"
+	"errors"
+	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"dkcore/internal/gen"
 	"dkcore/internal/graph"
@@ -24,10 +28,10 @@ func runCluster(t *testing.T, g *graph.Graph, numHosts int) *Result {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, hostErrs[i] = RunHost(HostConfig{CoordinatorAddr: coord.Addr()})
+			_, hostErrs[i] = RunHost(context.Background(), HostConfig{CoordinatorAddr: coord.Addr()})
 		}(i)
 	}
-	res, err := coord.Run()
+	res, err := coord.RunContext(context.Background())
 	wg.Wait()
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +117,7 @@ func TestCoordinatorValidation(t *testing.T) {
 }
 
 func TestHostRejectsBadCoordinatorAddr(t *testing.T) {
-	_, err := RunHost(HostConfig{CoordinatorAddr: "127.0.0.1:1"})
+	_, err := RunHost(context.Background(), HostConfig{CoordinatorAddr: "127.0.0.1:1"})
 	if err == nil {
 		t.Fatalf("dial to closed port succeeded")
 	}
@@ -167,5 +171,38 @@ func TestDoneRoundTrip(t *testing.T) {
 	}
 	if out != in {
 		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+// TestCoordinatorCancelDuringSilentEnrollment: a peer that TCP-connects
+// but never sends its hello must not pin the coordinator past a
+// cancellation — the watchdog closes the registered conn and RunContext
+// returns ctx.Err().
+func TestCoordinatorCancelDuringSilentEnrollment(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{Graph: gen.Chain(4), NumHosts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := coord.RunContext(ctx)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the coordinator accept and block in Recv
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator did not unblock after cancellation")
 	}
 }

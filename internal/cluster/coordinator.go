@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"sync"
 
 	"dkcore/internal/core"
 	"dkcore/internal/graph"
@@ -64,23 +66,52 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 // Addr returns the coordinator's bound address for hosts to dial.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
-// Run accepts NumHosts hosts, distributes partitions, drives rounds until
-// global quiescence, and assembles the result. It closes the listener on
-// return.
+// Run is RunContext with a background context.
+//
+// Deprecated: use RunContext, which supports cancellation.
 func (c *Coordinator) Run() (*Result, error) {
-	defer c.ln.Close()
+	return c.RunContext(context.Background())
+}
+
+// RunContext accepts NumHosts hosts, distributes partitions, drives
+// rounds until global quiescence, and assembles the result. It closes
+// the listener on return. Cancelling ctx aborts the run promptly — the
+// listener and every host connection are torn down — and RunContext
+// returns ctx.Err().
+func (c *Coordinator) RunContext(ctx context.Context) (*Result, error) {
+	res, err := c.run(ctx)
+	if err != nil && ctx.Err() != nil {
+		// A cancellation surfaces as whatever I/O error the connection
+		// teardown produced; report the cancellation itself.
+		return nil, ctx.Err()
+	}
+	return res, err
+}
+
+func (c *Coordinator) run(ctx context.Context) (*Result, error) {
 	numHosts := c.cfg.NumHosts
 	g := c.cfg.Graph
 
 	conns := make([]*transport.Conn, numHosts)
 	peerAddrs := make([]string, numHosts)
-	defer func() {
+
+	// The watchdog forces every blocking Accept/Recv to fail as soon as
+	// ctx is cancelled, so cancellation is never stuck behind a slow or
+	// dead host.
+	var connMu sync.Mutex
+	closeAll := func() {
+		connMu.Lock()
+		defer connMu.Unlock()
+		c.ln.Close()
 		for _, conn := range conns {
 			if conn != nil {
 				conn.Close()
 			}
 		}
-	}()
+	}
+	stopWatch := context.AfterFunc(ctx, closeAll)
+	defer stopWatch()
+	defer closeAll()
 
 	// Enrollment: hosts are assigned IDs in connection order.
 	for i := 0; i < numHosts; i++ {
@@ -89,6 +120,13 @@ func (c *Coordinator) Run() (*Result, error) {
 			return nil, fmt.Errorf("cluster: accept host %d: %w", i, err)
 		}
 		conn := transport.NewConn(raw)
+		// Register before the hello round-trip so the watchdog's closeAll
+		// can unblock the Recv below (a connected-but-silent peer must
+		// not pin the coordinator past a cancellation), and so the
+		// deferred closeAll reclaims the conn on validation errors.
+		connMu.Lock()
+		conns[i] = conn
+		connMu.Unlock()
 		typ, payload, err := conn.Recv()
 		if err != nil {
 			return nil, fmt.Errorf("cluster: hello from host %d: %w", i, err)
@@ -100,7 +138,6 @@ func (c *Coordinator) Run() (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: hello from host %d: %w", i, err)
 		}
-		conns[i] = conn
 		peerAddrs[i] = addr
 	}
 
@@ -134,6 +171,9 @@ func (c *Coordinator) Run() (*Result, error) {
 	res := &Result{}
 	var tickBuf [8]byte
 	for round := 1; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if round > c.cfg.MaxRounds {
 			return nil, fmt.Errorf("cluster: exceeded %d rounds without quiescing", c.cfg.MaxRounds)
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -20,11 +21,42 @@ type HostConfig struct {
 	ListenAddr string
 }
 
+// HostResult reports one host worker's share of a networked run — the
+// per-host counterpart of the coordinator's Result, so the cluster path
+// returns structured metrics like every other execution path.
+type HostResult struct {
+	// HostID is the identity the coordinator assigned this worker.
+	HostID int
+	// Coreness maps each owned node to its final coreness estimate.
+	Coreness map[int]int
+	// Rounds is the number of coordinator-driven rounds this host served.
+	Rounds int
+	// BatchesSent is the number of estimate batches shipped to peer hosts.
+	BatchesSent int64
+	// BatchesApplied is the number of peer batches applied locally.
+	BatchesApplied int64
+	// EstimatesSent is the number of (node, estimate) pairs shipped to
+	// peers — this host's share of the Figure-5 overhead numerator.
+	EstimatesSent int64
+}
+
 // RunHost joins the cluster at the given coordinator, serves its partition
-// until the coordinator signals termination, and returns the host's final
-// owned estimates. Every goroutine and connection it creates is cleaned up
-// before it returns.
-func RunHost(cfg HostConfig) (map[int]int, error) {
+// until the coordinator signals termination, and returns the host's result.
+// Every goroutine and connection it creates is cleaned up before it
+// returns. Cancelling ctx tears the connections down promptly and returns
+// ctx.Err().
+func RunHost(ctx context.Context, cfg HostConfig) (*HostResult, error) {
+	res, err := runHost(ctx, cfg)
+	if err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return res, err
+}
+
+func runHost(ctx context.Context, cfg HostConfig) (*HostResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = "127.0.0.1:0"
 	}
@@ -39,6 +71,14 @@ func RunHost(cfg HostConfig) (map[int]int, error) {
 		return nil, err
 	}
 	defer coord.Close()
+
+	// The watchdog unblocks the serve loop's coordinator Recv (and the
+	// peer-mesh Accept during setup) the moment ctx is cancelled.
+	stopWatch := context.AfterFunc(ctx, func() {
+		ln.Close()
+		coord.Close()
+	})
+	defer stopWatch()
 
 	if err := coord.Send(frameHello, transport.EncodeString(nil, ln.Addr().String())); err != nil {
 		return nil, err
@@ -224,8 +264,9 @@ func (h *hostWorker) stopReaders() {
 }
 
 // serve executes the coordinator-driven round loop.
-func (h *hostWorker) serve(coord *transport.Conn) (map[int]int, error) {
+func (h *hostWorker) serve(coord *transport.Conn) (*HostResult, error) {
 	initialized := false
+	rounds := 0
 	for {
 		typ, payload, err := coord.Recv()
 		if err != nil {
@@ -240,6 +281,7 @@ func (h *hostWorker) serve(coord *transport.Conn) (map[int]int, error) {
 			if err := h.runRound(int(round64), &initialized); err != nil {
 				return nil, err
 			}
+			rounds = int(round64)
 			if err := coord.Send(frameDone, encodeDone(doneReport{
 				Round:        int(round64),
 				Changed:      h.lastChanged,
@@ -266,7 +308,14 @@ func (h *hostWorker) serve(coord *transport.Conn) (map[int]int, error) {
 			for _, m := range batch {
 				out[m.Node] = m.Core
 			}
-			return out, nil
+			return &HostResult{
+				HostID:         h.conf.HostID,
+				Coreness:       out,
+				Rounds:         rounds,
+				BatchesSent:    h.sentTotal,
+				BatchesApplied: h.appliedTotal,
+				EstimatesSent:  h.pairsTotal,
+			}, nil
 		default:
 			return nil, fmt.Errorf("cluster: host %d got unexpected frame %d", h.conf.HostID, typ)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"dkcore/internal/gen"
@@ -17,11 +18,11 @@ func TestOneToManyWithOneHostPerNodeEqualsOneToOne(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3} {
 		for _, mode := range []sim.DeliveryMode{sim.DeliverNextRound, sim.DeliverSameRound} {
 			g := gen.GNM(120, 480, 7)
-			one, err := RunOneToOne(g, WithSeed(seed), WithDelivery(mode))
+			one, err := RunOneToOne(context.Background(), g, WithSeed(seed), WithDelivery(mode))
 			if err != nil {
 				t.Fatal(err)
 			}
-			many, err := RunOneToMany(g, ModuloAssignment{H: g.NumNodes()},
+			many, err := RunOneToMany(context.Background(), g, ModuloAssignment{H: g.NumNodes()},
 				WithSeed(seed), WithDelivery(mode), WithDissemination(PointToPoint))
 			if err != nil {
 				t.Fatal(err)
@@ -57,12 +58,12 @@ func TestOneToManyWithOneHostPerNodeEqualsOneToOne(t *testing.T) {
 // accelerate it).
 func TestOneToManyRoundsEquivalentToOneToOne(t *testing.T) {
 	g := gen.BarabasiAlbert(400, 3, 9)
-	base, err := RunOneToOne(g, WithSeed(4))
+	base, err := RunOneToOne(context.Background(), g, WithSeed(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, hosts := range []int{2, 8, 64} {
-		res, err := RunOneToMany(g, ModuloAssignment{H: hosts},
+		res, err := RunOneToMany(context.Background(), g, ModuloAssignment{H: hosts},
 			WithSeed(4), WithDissemination(PointToPoint))
 		if err != nil {
 			t.Fatal(err)

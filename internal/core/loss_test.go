@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"dkcore/internal/gen"
@@ -17,7 +18,7 @@ func TestLossBreaksLivenessButNotSafety(t *testing.T) {
 
 	sawWrong := false
 	for seed := int64(1); seed <= 5; seed++ {
-		res, err := RunOneToOne(g, WithSeed(seed), WithLoss(0.4))
+		res, err := RunOneToOne(context.Background(), g, WithSeed(seed), WithLoss(0.4))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -41,7 +42,7 @@ func TestLossBreaksLivenessButNotSafety(t *testing.T) {
 func TestRetransmissionRestoresExactnessUnderLoss(t *testing.T) {
 	g := gen.GNM(200, 800, 11)
 	truth := kcore.Decompose(g).CorenessValues()
-	res, err := RunOneToOne(g,
+	res, err := RunOneToOne(context.Background(), g,
 		WithSeed(3),
 		WithLoss(0.3),
 		WithRetransmitEvery(2),
@@ -63,7 +64,7 @@ func TestRetransmissionRestoresExactnessUnderLoss(t *testing.T) {
 func TestRetransmissionWithSendOptimization(t *testing.T) {
 	g := gen.GNM(150, 600, 13)
 	truth := kcore.Decompose(g).CorenessValues()
-	res, err := RunOneToOne(g,
+	res, err := RunOneToOne(context.Background(), g,
 		WithSeed(5),
 		WithLoss(0.25),
 		WithRetransmitEvery(3),
@@ -85,7 +86,7 @@ func TestRetransmissionWithSendOptimization(t *testing.T) {
 func TestLossIsCountedAndDeterministic(t *testing.T) {
 	g := gen.GNM(100, 400, 17)
 	run := func() *Result {
-		res, err := RunOneToOne(g, WithSeed(9), WithLoss(0.2))
+		res, err := RunOneToOne(context.Background(), g, WithSeed(9), WithLoss(0.2))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,11 +106,11 @@ func TestLossIsCountedAndDeterministic(t *testing.T) {
 // TestZeroLossMatchesDefault ensures WithLoss(0) is a no-op.
 func TestZeroLossMatchesDefault(t *testing.T) {
 	g := gen.GNM(120, 500, 19)
-	plain, err := RunOneToOne(g, WithSeed(21))
+	plain, err := RunOneToOne(context.Background(), g, WithSeed(21))
 	if err != nil {
 		t.Fatal(err)
 	}
-	lossZero, err := RunOneToOne(g, WithSeed(21), WithLoss(0))
+	lossZero, err := RunOneToOne(context.Background(), g, WithSeed(21), WithLoss(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestZeroLossMatchesDefault(t *testing.T) {
 // quiesces.
 func TestRetransmitRunsFixedBudget(t *testing.T) {
 	g := gen.Chain(30)
-	res, err := RunOneToOne(g, WithRetransmitEvery(1), WithMaxRounds(50))
+	res, err := RunOneToOne(context.Background(), g, WithRetransmitEvery(1), WithMaxRounds(50))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dkcore/internal/graph"
@@ -128,7 +129,9 @@ func buildOptions(g *graph.Graph, opts []Option) options {
 
 // RunOneToOne executes Algorithm 1 on g, one process per node, and returns
 // the computed decomposition along with the paper's performance metrics.
-func RunOneToOne(g *graph.Graph, opts ...Option) (*Result, error) {
+// Cancelling ctx stops the simulation at the next round boundary with
+// ctx.Err().
+func RunOneToOne(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, error) {
 	o := buildOptions(g, opts)
 	n := g.NumNodes()
 	nodes := make([]*oneToOneNode, n)
@@ -155,13 +158,19 @@ func RunOneToOne(g *graph.Graph, opts ...Option) (*Result, error) {
 		sim.WithLoss(o.lossRate),
 	)
 	var simRes sim.Result
+	var err error
 	if o.retransmit > 0 {
 		// Retransmission never quiesces; run the chosen budget exactly.
-		simRes = engine.RunFixed(o.maxRounds)
-	} else {
-		var err error
-		simRes, err = engine.Run(o.maxRounds)
+		simRes, err = engine.RunFixed(ctx, o.maxRounds)
 		if err != nil {
+			return nil, err
+		}
+	} else {
+		simRes, err = engine.Run(ctx, o.maxRounds)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("core: one-to-one on %d nodes: %w", n, err)
 		}
 	}
@@ -180,8 +189,9 @@ func RunOneToOne(g *graph.Graph, opts ...Option) (*Result, error) {
 
 // RunOneToMany executes Algorithm 3 on g over the hosts defined by the
 // assignment and returns the computed decomposition along with the
-// performance metrics.
-func RunOneToMany(g *graph.Graph, assign Assignment, opts ...Option) (*Result, error) {
+// performance metrics. Cancelling ctx stops the simulation at the next
+// round boundary with ctx.Err().
+func RunOneToMany(ctx context.Context, g *graph.Graph, assign Assignment, opts ...Option) (*Result, error) {
 	if assign.NumHosts() < 1 {
 		return nil, fmt.Errorf("core: one-to-many needs at least 1 host, got %d", assign.NumHosts())
 	}
@@ -217,8 +227,11 @@ func RunOneToMany(g *graph.Graph, assign Assignment, opts ...Option) (*Result, e
 		sim.WithDelivery(o.delivery),
 		sim.WithRoundObserver(observer),
 	)
-	simRes, err := engine.Run(o.maxRounds)
+	simRes, err := engine.Run(ctx, o.maxRounds)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("core: one-to-many on %d nodes over %d hosts: %w", n, numHosts, err)
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -30,7 +31,7 @@ func corenessEqual(t *testing.T, got, want []int) {
 }
 
 func TestOneToOnePaperFig2(t *testing.T) {
-	res, err := RunOneToOne(paperFig2(), WithDelivery(sim.DeliverNextRound))
+	res, err := RunOneToOne(context.Background(), paperFig2(), WithDelivery(sim.DeliverNextRound))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestOneToOneMatchesSequentialAcrossFamilies(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			want := kcore.Decompose(g).CorenessValues()
 			for _, mode := range []sim.DeliveryMode{sim.DeliverNextRound, sim.DeliverSameRound} {
-				res, err := RunOneToOne(g, WithDelivery(mode), WithSeed(7))
+				res, err := RunOneToOne(context.Background(), g, WithDelivery(mode), WithSeed(7))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -67,11 +68,11 @@ func TestOneToOneMatchesSequentialAcrossFamilies(t *testing.T) {
 func TestOneToOneSendOptimizationPreservesResult(t *testing.T) {
 	g := gen.BarabasiAlbert(400, 4, 9)
 	want := kcore.Decompose(g).CorenessValues()
-	plain, err := RunOneToOne(g, WithSeed(3))
+	plain, err := RunOneToOne(context.Background(), g, WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := RunOneToOne(g, WithSeed(3), WithSendOptimization(true))
+	opt, err := RunOneToOne(context.Background(), g, WithSeed(3), WithSendOptimization(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestOneToOneRandomGraphsProperty(t *testing.T) {
 		m := (int(density) * n * (n - 1) / 2) / 400
 		g := gen.GNM(n, m, seed)
 		want := kcore.Decompose(g).CorenessValues()
-		res, err := RunOneToOne(g, WithSeed(seed), WithDelivery(sim.DeliverSameRound))
+		res, err := RunOneToOne(context.Background(), g, WithSeed(seed), WithDelivery(sim.DeliverSameRound))
 		if err != nil {
 			return false
 		}
@@ -116,7 +117,7 @@ func TestWorstCaseTakesExactlyNMinusOneRounds(t *testing.T) {
 	// last estimate change happens in round N-2.
 	for _, n := range []int{8, 12, 20, 40, 80} {
 		g := gen.WorstCase(n)
-		res, err := RunOneToOne(g, WithDelivery(sim.DeliverNextRound))
+		res, err := RunOneToOne(context.Background(), g, WithDelivery(sim.DeliverNextRound))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func TestChainTakesCeilHalfNRounds(t *testing.T) {
 	// §4.2: "a linear chain of size N requires ⌈N/2⌉ rounds to converge."
 	for _, n := range []int{2, 3, 10, 11, 50, 51} {
 		g := gen.Chain(n)
-		res, err := RunOneToOne(g, WithDelivery(sim.DeliverNextRound))
+		res, err := RunOneToOne(context.Background(), g, WithDelivery(sim.DeliverNextRound))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +156,7 @@ func TestExecutionTimeWithinTheoremBounds(t *testing.T) {
 	for name, g := range graphs {
 		t.Run(name, func(t *testing.T) {
 			d := kcore.Decompose(g)
-			res, err := RunOneToOne(g, WithDelivery(sim.DeliverNextRound))
+			res, err := RunOneToOne(context.Background(), g, WithDelivery(sim.DeliverNextRound))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -189,7 +190,7 @@ func TestMessageComplexityBound(t *testing.T) {
 		gen.BarabasiAlbert(120, 4, 6),
 		gen.WorstCase(30),
 	} {
-		res, err := RunOneToOne(g, WithDelivery(sim.DeliverNextRound))
+		res, err := RunOneToOne(context.Background(), g, WithDelivery(sim.DeliverNextRound))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,7 +211,7 @@ func TestSafetyInvariantViaSnapshots(t *testing.T) {
 		prev[i] = InfEstimate
 	}
 	violated := false
-	_, err := RunOneToOne(g,
+	_, err := RunOneToOne(context.Background(), g,
 		WithSeed(2),
 		WithSnapshot(func(round int, est []int) {
 			for u, e := range est {
@@ -232,7 +233,7 @@ func TestSafetyInvariantViaSnapshots(t *testing.T) {
 func TestErrorTracesConvergeToZero(t *testing.T) {
 	g := gen.GNM(150, 600, 21)
 	truth := kcore.Decompose(g).CorenessValues()
-	res, err := RunOneToOne(g, WithGroundTruth(truth))
+	res, err := RunOneToOne(context.Background(), g, WithGroundTruth(truth))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestOneToManyMatchesSequential(t *testing.T) {
 	want := kcore.Decompose(g).CorenessValues()
 	for _, hosts := range []int{1, 2, 4, 8, 32, 300} {
 		for _, mode := range []Dissemination{Broadcast, PointToPoint} {
-			res, err := RunOneToMany(g, ModuloAssignment{H: hosts},
+			res, err := RunOneToMany(context.Background(), g, ModuloAssignment{H: hosts},
 				WithDissemination(mode), WithSeed(5))
 			if err != nil {
 				t.Fatalf("hosts=%d mode=%v: %v", hosts, mode, err)
@@ -275,7 +276,7 @@ func TestOneToManyAssignmentPolicies(t *testing.T) {
 	}
 	for name, a := range assigns {
 		t.Run(name, func(t *testing.T) {
-			res, err := RunOneToMany(g, a, WithDissemination(PointToPoint))
+			res, err := RunOneToMany(context.Background(), g, a, WithDissemination(PointToPoint))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -286,7 +287,7 @@ func TestOneToManyAssignmentPolicies(t *testing.T) {
 
 func TestOneToManySingleHostSendsNothing(t *testing.T) {
 	g := gen.GNM(100, 300, 23)
-	res, err := RunOneToMany(g, ModuloAssignment{H: 1})
+	res, err := RunOneToMany(context.Background(), g, ModuloAssignment{H: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,11 +303,11 @@ func TestOneToManyBroadcastCheaperThanPointToPoint(t *testing.T) {
 	// Figure 5: with a broadcast medium the per-node overhead is far
 	// lower than with point-to-point dissemination.
 	g := gen.BarabasiAlbert(400, 4, 41)
-	bc, err := RunOneToMany(g, ModuloAssignment{H: 16}, WithDissemination(Broadcast))
+	bc, err := RunOneToMany(context.Background(), g, ModuloAssignment{H: 16}, WithDissemination(Broadcast))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2p, err := RunOneToMany(g, ModuloAssignment{H: 16}, WithDissemination(PointToPoint))
+	p2p, err := RunOneToMany(context.Background(), g, ModuloAssignment{H: 16}, WithDissemination(PointToPoint))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +323,7 @@ func TestOneToManyRandomProperty(t *testing.T) {
 		m := (int(density) * n * (n - 1) / 2) / 400
 		g := gen.GNM(n, m, seed)
 		want := kcore.Decompose(g).CorenessValues()
-		res, err := RunOneToMany(g, ModuloAssignment{H: hosts},
+		res, err := RunOneToMany(context.Background(), g, ModuloAssignment{H: hosts},
 			WithSeed(seed), WithDissemination(PointToPoint))
 		if err != nil {
 			return false
@@ -341,18 +342,18 @@ func TestOneToManyRandomProperty(t *testing.T) {
 
 func TestRunRejectsZeroHosts(t *testing.T) {
 	g := gen.Chain(5)
-	if _, err := RunOneToMany(g, ModuloAssignment{H: 0}); err == nil {
+	if _, err := RunOneToMany(context.Background(), g, ModuloAssignment{H: 0}); err == nil {
 		t.Fatalf("zero hosts accepted")
 	}
 }
 
 func TestDeterministicGivenSeed(t *testing.T) {
 	g := gen.GNM(150, 600, 2)
-	a, err := RunOneToOne(g, WithSeed(11))
+	a, err := RunOneToOne(context.Background(), g, WithSeed(11))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunOneToOne(g, WithSeed(11))
+	b, err := RunOneToOne(context.Background(), g, WithSeed(11))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,39 @@
 package kcore
 
-import "dkcore/internal/graph"
+import (
+	"context"
+
+	"dkcore/internal/graph"
+)
+
+// cancelCheckStride is how many peel steps DecomposeContext executes
+// between context checks: large enough that the check is free, small
+// enough that cancellation lands within a few microseconds of work.
+const cancelCheckStride = 8192
 
 // Decompose computes the k-core decomposition of g with the
 // Batagelj–Zaversnik bucket algorithm in O(n + m) time: nodes are kept
 // bucket-sorted by current degree and peeled in increasing-degree order,
 // decrementing the effective degree of higher neighbors as they go.
 func Decompose(g *graph.Graph) *Decomposition {
+	d, _ := decompose(context.Background(), g, false)
+	return d
+}
+
+// DecomposeContext is Decompose with cooperative cancellation: the peel
+// checks ctx every cancelCheckStride nodes and returns ctx.Err() if it
+// fired. The sequential algorithm has no rounds, so this is its
+// equivalent of a per-round cancellation point.
+func DecomposeContext(ctx context.Context, g *graph.Graph) (*Decomposition, error) {
+	return decompose(ctx, g, true)
+}
+
+func decompose(ctx context.Context, g *graph.Graph, cancellable bool) (*Decomposition, error) {
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	n := g.NumNodes()
 	deg := make([]int, n)
 	maxDeg := 0
@@ -46,6 +73,11 @@ func Decompose(g *graph.Graph) *Decomposition {
 
 	order := make([]int, 0, n)
 	for i := 0; i < n; i++ {
+		if cancellable && i%cancelCheckStride == cancelCheckStride-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		u := vert[i]
 		order = append(order, u)
 		for _, v := range g.Neighbors(u) {
@@ -67,5 +99,5 @@ func Decompose(g *graph.Graph) *Decomposition {
 		}
 	}
 	// After peeling, deg[u] holds the coreness of u.
-	return &Decomposition{coreness: deg, order: order}
+	return &Decomposition{coreness: deg, order: order}, nil
 }

@@ -18,6 +18,7 @@
 package live
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -109,14 +110,19 @@ func (n *asyncNode) drain(buf []message) []message {
 }
 
 // Decompose runs the asynchronous one-to-one protocol to completion and
-// returns the exact coreness of every node.
+// returns the exact coreness of every node. Cancelling ctx stops the run
+// promptly (the node goroutines are torn down before it returns) with
+// ctx.Err().
 //
 // Termination uses the centralized approach of §3.3: a shared credit
 // counter tracks undelivered messages plus unfinished initial broadcasts;
 // because a process only retires its credit after enqueueing (and
 // crediting) every message it produced, the counter reads zero only at
 // true quiescence.
-func Decompose(g *graph.Graph, opts ...Option) (*Result, error) {
+func Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	o := buildOptions(opts)
 	n := g.NumNodes()
 	nodes := make([]*asyncNode, n)
@@ -195,7 +201,13 @@ func Decompose(g *graph.Graph, opts ...Option) (*Result, error) {
 	if n == 0 {
 		doneOnce.Do(func() { close(done) })
 	}
-	<-done
+	select {
+	case <-done:
+	case <-ctx.Done():
+		close(stop)
+		wg.Wait()
+		return nil, ctx.Err()
+	}
 	close(stop)
 	wg.Wait()
 

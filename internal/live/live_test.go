@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"testing"
 
 	"dkcore/internal/gen"
@@ -33,7 +34,7 @@ func TestAsyncDecomposeMatchesSequential(t *testing.T) {
 	for name, g := range graphs {
 		t.Run(name, func(t *testing.T) {
 			want := kcore.Decompose(g).CorenessValues()
-			res, err := Decompose(g)
+			res, err := Decompose(context.Background(), g)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -43,7 +44,7 @@ func TestAsyncDecomposeMatchesSequential(t *testing.T) {
 }
 
 func TestAsyncDecomposeEmptyGraph(t *testing.T) {
-	res, err := Decompose(graph.NewBuilder(0).Build())
+	res, err := Decompose(context.Background(), graph.NewBuilder(0).Build())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestAsyncDecomposeRepeatedRunsAgree(t *testing.T) {
 	g := gen.BarabasiAlbert(300, 4, 7)
 	want := kcore.Decompose(g).CorenessValues()
 	for i := 0; i < 5; i++ {
-		res, err := Decompose(g)
+		res, err := Decompose(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,11 +69,11 @@ func TestAsyncDecomposeRepeatedRunsAgree(t *testing.T) {
 func TestAsyncSendOptimizationReducesMessages(t *testing.T) {
 	g := gen.GNM(300, 2400, 9)
 	want := kcore.Decompose(g).CorenessValues()
-	plain, err := Decompose(g)
+	plain, err := Decompose(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := Decompose(g, WithSendOptimization(true))
+	opt, err := Decompose(context.Background(), g, WithSendOptimization(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestAsyncSendOptimizationReducesMessages(t *testing.T) {
 func TestDecomposeRoundsConvergesWithBudget(t *testing.T) {
 	g := gen.GNM(200, 1000, 11)
 	want := kcore.Decompose(g).CorenessValues()
-	res, err := DecomposeRounds(g, 10*g.NumNodes())
+	res, err := DecomposeRounds(context.Background(), g, 10*g.NumNodes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +114,11 @@ func TestDecomposeRoundsApproximationImproves(t *testing.T) {
 		}
 		return sum
 	}
-	small, err := DecomposeRounds(g, 2)
+	small, err := DecomposeRounds(context.Background(), g, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	large, err := DecomposeRounds(g, 12)
+	large, err := DecomposeRounds(context.Background(), g, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestDecomposeRoundsApproximationImproves(t *testing.T) {
 }
 
 func TestDecomposeRoundsRejectsZeroBudget(t *testing.T) {
-	if _, err := DecomposeRounds(gen.Chain(4), 0); err == nil {
+	if _, err := DecomposeRounds(context.Background(), gen.Chain(4), 0); err == nil {
 		t.Fatalf("zero budget accepted")
 	}
 }
@@ -139,7 +140,7 @@ func TestDecomposeRoundsRejectsZeroBudget(t *testing.T) {
 func TestDecomposeEpidemicExact(t *testing.T) {
 	g := gen.GNM(200, 1200, 13)
 	want := kcore.Decompose(g).CorenessValues()
-	res, err := DecomposeEpidemic(g, 30)
+	res, err := DecomposeEpidemic(context.Background(), g, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestDecomposeEpidemicOnChain(t *testing.T) {
 	// diameter.
 	g := gen.Chain(60)
 	want := kcore.Decompose(g).CorenessValues()
-	res, err := DecomposeEpidemic(g, 150)
+	res, err := DecomposeEpidemic(context.Background(), g, 150)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestDecomposeEpidemicOnChain(t *testing.T) {
 }
 
 func TestDecomposeEpidemicRejectsBadWindow(t *testing.T) {
-	if _, err := DecomposeEpidemic(gen.Chain(4), 0); err == nil {
+	if _, err := DecomposeEpidemic(context.Background(), gen.Chain(4), 0); err == nil {
 		t.Fatalf("zero quiet window accepted")
 	}
 }
@@ -169,7 +170,7 @@ func TestWorkersOption(t *testing.T) {
 	g := gen.GNM(150, 700, 17)
 	want := kcore.Decompose(g).CorenessValues()
 	for _, workers := range []int{1, 2, 16} {
-		res, err := DecomposeRounds(g, 10*g.NumNodes(), WithWorkers(workers))
+		res, err := DecomposeRounds(context.Background(), g, 10*g.NumNodes(), WithWorkers(workers))
 		if err != nil {
 			t.Fatal(err)
 		}

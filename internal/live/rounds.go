@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -130,8 +131,11 @@ func (c *int64Counter) add(k int64) {
 // step advances one synchronous round: swap inboxes, deliver, tick.
 // It reports whether any node was active (received, changed or sent).
 func (rt *roundRuntime) step(counter *int64Counter) bool {
-	activity := make([]bool, rt.workers)
 	n := len(rt.nodes)
+	if n == 0 {
+		return false
+	}
+	activity := make([]bool, rt.workers)
 	workers := rt.workers
 	if workers > n {
 		workers = n
@@ -225,9 +229,13 @@ func searchInts(xs []int, x int) int {
 // δ-rounds (including the initial broadcast round) and returns the current
 // estimates — the paper's fixed-round termination option, which yields an
 // approximate decomposition when the budget is below the convergence time.
-func DecomposeRounds(g *graph.Graph, rounds int, opts ...Option) (*Result, error) {
+// Cancelling ctx stops the run at the next round boundary with ctx.Err().
+func DecomposeRounds(ctx context.Context, g *graph.Graph, rounds int, opts ...Option) (*Result, error) {
 	if rounds < 1 {
 		return nil, fmt.Errorf("live: rounds = %d, need >= 1", rounds)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	o := buildOptions(opts)
 	rt := newRoundRuntime(g, o)
@@ -237,6 +245,9 @@ func DecomposeRounds(g *graph.Graph, rounds int, opts ...Option) (*Result, error
 	rt.parallel(func(u int) { rt.send(rt.nodes[u], &counter) })
 	executed := 1
 	for r := 2; r <= rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !rt.step(&counter) {
 			break // quiescent: no pending messages, no changes
 		}
@@ -251,9 +262,12 @@ func DecomposeRounds(g *graph.Graph, rounds int, opts ...Option) (*Result, error
 // node's view is at least `quiet` rounds stale. With quiet chosen
 // comfortably above the gossip convergence time (a few dozen rounds on
 // connected graphs), the returned coreness is exact.
-func DecomposeEpidemic(g *graph.Graph, quiet int, opts ...Option) (*Result, error) {
+func DecomposeEpidemic(ctx context.Context, g *graph.Graph, quiet int, opts ...Option) (*Result, error) {
 	if quiet < 1 {
 		return nil, fmt.Errorf("live: quiet window = %d, need >= 1", quiet)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	o := buildOptions(opts)
 	rt := newRoundRuntime(g, o)
@@ -264,6 +278,9 @@ func DecomposeEpidemic(g *graph.Graph, quiet int, opts ...Option) (*Result, erro
 	executed := 1
 	maxRounds := 64 * (g.NumNodes() + quiet + 2)
 	for r := 2; ; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if r > maxRounds {
 			return nil, fmt.Errorf("live: epidemic run exceeded %d rounds", maxRounds)
 		}

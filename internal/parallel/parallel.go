@@ -16,6 +16,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -68,8 +69,9 @@ type Result struct {
 }
 
 // Decompose computes the exact k-core decomposition of g with P
-// concurrent partition workers.
-func Decompose(g *graph.Graph, opts ...Option) (*Result, error) {
+// concurrent partition workers. Cancelling ctx stops the run at the next
+// BSP round barrier with ctx.Err().
+func Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, error) {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
@@ -122,6 +124,9 @@ func Decompose(g *graph.Graph, opts ...Option) (*Result, error) {
 	inbox := make([][]core.Batch, p)
 	next := make([][]core.Batch, p)
 	for round := 0; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if round >= maxRounds {
 			return nil, fmt.Errorf("parallel: no quiescence on %d nodes over %d partitions within %d rounds",
 				n, p, maxRounds)

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestDecomposeMatchesSequential(t *testing.T) {
 	for name, g := range graphs {
 		for _, workers := range []int{1, 2, 3, 8, 1000} {
 			t.Run(fmt.Sprintf("%s/w%d", name, workers), func(t *testing.T) {
-				res, err := Decompose(g, WithWorkers(workers))
+				res, err := Decompose(context.Background(), g, WithWorkers(workers))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -58,7 +59,7 @@ func TestDecomposeAssignments(t *testing.T) {
 	}
 	for name, a := range assigns {
 		t.Run(name, func(t *testing.T) {
-			res, err := Decompose(g, WithAssignment(a))
+			res, err := Decompose(context.Background(), g, WithAssignment(a))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -71,7 +72,7 @@ func TestDecomposeAssignments(t *testing.T) {
 }
 
 func TestDecomposeEdgeCases(t *testing.T) {
-	empty, err := Decompose(graph.FromEdges(0, nil))
+	empty, err := Decompose(context.Background(), graph.FromEdges(0, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,13 +80,13 @@ func TestDecomposeEdgeCases(t *testing.T) {
 		t.Fatalf("empty graph: %+v", empty)
 	}
 
-	isolated, err := Decompose(graph.FromEdges(5, nil), WithWorkers(3))
+	isolated, err := Decompose(context.Background(), graph.FromEdges(5, nil), WithWorkers(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	assertExact(t, graph.FromEdges(5, nil), isolated)
 
-	single, err := Decompose(graph.FromEdges(2, [][2]int{{0, 1}}), WithWorkers(2))
+	single, err := Decompose(context.Background(), graph.FromEdges(2, [][2]int{{0, 1}}), WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,19 +95,19 @@ func TestDecomposeEdgeCases(t *testing.T) {
 
 func TestDecomposeOptionErrors(t *testing.T) {
 	g := gen.GNM(30, 60, 1)
-	if _, err := Decompose(g, WithWorkers(-1)); err == nil {
+	if _, err := Decompose(context.Background(), g, WithWorkers(-1)); err == nil {
 		t.Fatal("negative workers accepted")
 	}
-	if _, err := Decompose(g, WithWorkers(3), WithAssignment(core.ModuloAssignment{H: 4})); err == nil {
+	if _, err := Decompose(context.Background(), g, WithWorkers(3), WithAssignment(core.ModuloAssignment{H: 4})); err == nil {
 		t.Fatal("worker/assignment mismatch accepted")
 	}
-	if _, err := Decompose(g, WithAssignment(core.ModuloAssignment{H: 0})); err == nil {
+	if _, err := Decompose(context.Background(), g, WithAssignment(core.ModuloAssignment{H: 0})); err == nil {
 		t.Fatal("zero-host assignment accepted")
 	}
-	if _, err := Decompose(g, WithAssignment(offByOne{n: g.NumNodes()})); err == nil {
+	if _, err := Decompose(context.Background(), g, WithAssignment(offByOne{n: g.NumNodes()})); err == nil {
 		t.Fatal("out-of-range assignment accepted")
 	}
-	if _, err := Decompose(gen.WorstCase(64), WithWorkers(4), WithMaxRounds(2)); err == nil {
+	if _, err := Decompose(context.Background(), gen.WorstCase(64), WithWorkers(4), WithMaxRounds(2)); err == nil {
 		t.Fatal("impossible round budget did not error")
 	}
 }
@@ -119,12 +120,12 @@ func (offByOne) NumHosts() int { return 2 }
 
 func TestDecomposeDeterministic(t *testing.T) {
 	g := gen.PowerLaw(gen.PowerLawConfig{N: 500, Exponent: 2.2, MinDeg: 2}, 9)
-	first, err := Decompose(g, WithWorkers(8))
+	first, err := Decompose(context.Background(), g, WithWorkers(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for rep := 0; rep < 3; rep++ {
-		again, err := Decompose(g, WithWorkers(8))
+		again, err := Decompose(context.Background(), g, WithWorkers(8))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,6 +14,7 @@
 package pregel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -177,9 +178,13 @@ type Result struct {
 // Run executes supersteps until global quiescence (all vertices halted,
 // no pending messages) or until maxSupersteps, returning ErrMaxSupersteps
 // in the latter case. A vertex program sending to a nonexistent vertex
-// aborts the run with an error.
-func (e *Engine[V, M]) Run(maxSupersteps int) (Result, error) {
+// aborts the run with an error. Cancelling ctx stops the run at the next
+// superstep barrier with ctx.Err().
+func (e *Engine[V, M]) Run(ctx context.Context, maxSupersteps int) (Result, error) {
 	for e.superstep = 0; e.superstep < maxSupersteps; e.superstep++ {
+		if err := ctx.Err(); err != nil {
+			return Result{Supersteps: e.superstep, Messages: e.sentTotal}, err
+		}
 		more, err := e.runSuperstep()
 		if err != nil {
 			return Result{Supersteps: e.superstep, Messages: e.sentTotal}, err

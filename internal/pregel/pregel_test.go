@@ -1,6 +1,7 @@
 package pregel
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -24,7 +25,7 @@ func TestKCoreMatchesSequentialAcrossFamilies(t *testing.T) {
 	for name, g := range graphs {
 		t.Run(name, func(t *testing.T) {
 			want := kcore.Decompose(g).CorenessValues()
-			got, res, err := KCore(g)
+			got, res, err := KCore(context.Background(), g)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -46,7 +47,7 @@ func TestKCoreRandomProperty(t *testing.T) {
 		m := (int(density) * n * (n - 1) / 2) / 400
 		g := gen.GNM(n, m, seed)
 		want := kcore.Decompose(g).CorenessValues()
-		got, _, err := KCore(g)
+		got, _, err := KCore(context.Background(), g)
 		if err != nil {
 			return false
 		}
@@ -66,7 +67,7 @@ func TestKCoreWorkerCountsAgree(t *testing.T) {
 	g := gen.BarabasiAlbert(400, 4, 9)
 	want := kcore.Decompose(g).CorenessValues()
 	for _, workers := range []int{1, 2, 8, 32} {
-		got, _, err := KCore(g, WithWorkers[kcoreState, kcoreMsg](workers))
+		got, _, err := KCore(context.Background(), g, WithKCoreWorkers(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func TestConnectedComponents(t *testing.T) {
 	b.AddEdge(6, 7)
 	b.AddEdge(7, 8)
 	g := b.Build()
-	labels, _, err := ConnectedComponents(g)
+	labels, _, err := ConnectedComponents(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestConnectedComponentsMatchesBFSProperty(t *testing.T) {
 			m = maxM
 		}
 		g := gen.GNM(n, m, seed)
-		gotLabels, _, err := ConnectedComponents(g)
+		gotLabels, _, err := ConnectedComponents(context.Background(), g)
 		if err != nil {
 			return false
 		}
@@ -148,7 +149,7 @@ func pingProg(ctx *Context[struct{}, int], _ *struct{}, msgs []int) {
 func TestMaxSuperstepsExceeded(t *testing.T) {
 	g := gen.Chain(2)
 	eng := NewEngine(g, pingProg, nil)
-	_, err := eng.Run(10)
+	_, err := eng.Run(context.Background(), 10)
 	if !errors.Is(err, ErrMaxSupersteps) {
 		t.Fatalf("err = %v, want ErrMaxSupersteps", err)
 	}
@@ -177,7 +178,7 @@ func TestVoteToHaltAndReactivation(t *testing.T) {
 		ctx.VoteToHalt()
 	}
 	eng := NewEngine(g, compute, nil)
-	if _, err := eng.Run(100); err != nil {
+	if _, err := eng.Run(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	if eng.State(1).wokenAt != 1 {
@@ -199,7 +200,7 @@ func TestCombinerReducesMessages(t *testing.T) {
 		ctx.VoteToHalt()
 	}
 	plain := NewEngine(g, compute, nil, WithWorkers[struct{}, int](2))
-	resPlain, err := plain.Run(10)
+	resPlain, err := plain.Run(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestCombinerReducesMessages(t *testing.T) {
 			}
 			return b
 		}))
-	resComb, err := comb.Run(10)
+	resComb, err := comb.Run(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestCombinerReducesMessages(t *testing.T) {
 
 func TestEmptyGraph(t *testing.T) {
 	g := graph.NewBuilder(0).Build()
-	coreness, res, err := KCore(g)
+	coreness, res, err := KCore(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestSendToInvalidVertexReportsError(t *testing.T) {
 		ctx.Send(99, 1)
 	}
 	eng := NewEngine(g, compute, nil, WithWorkers[struct{}, int](1))
-	if _, err := eng.Run(2); err == nil {
+	if _, err := eng.Run(context.Background(), 2); err == nil {
 		t.Fatalf("invalid destination accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package pregel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -22,13 +23,36 @@ type kcoreMsg struct {
 	core int
 }
 
+// KCoreOption configures a KCore run.
+type KCoreOption func(*kcoreRunOptions)
+
+type kcoreRunOptions struct {
+	workers       int
+	maxSupersteps int
+}
+
+// WithKCoreWorkers bounds KCore's worker parallelism (0 = GOMAXPROCS).
+func WithKCoreWorkers(n int) KCoreOption {
+	return func(o *kcoreRunOptions) { o.workers = n }
+}
+
+// WithKCoreMaxSupersteps overrides KCore's superstep budget (default
+// 8*(N+2), far above the protocol's N-round convergence bound).
+func WithKCoreMaxSupersteps(n int) KCoreOption {
+	return func(o *kcoreRunOptions) { o.maxSupersteps = n }
+}
+
 // KCore runs the paper's protocol as a Pregel vertex program and returns
 // the exact coreness of every node. Superstep 0 broadcasts degrees;
 // afterwards a vertex is woken only by neighbor updates, lowers its
 // estimate with ComputeIndex, re-broadcasts on change, and votes to halt
 // — the one-to-many scenario realized on the framework the paper's
 // conclusions propose.
-func KCore(g *graph.Graph, opts ...Option[kcoreState, kcoreMsg]) ([]int, Result, error) {
+func KCore(ctx context.Context, g *graph.Graph, opts ...KCoreOption) ([]int, Result, error) {
+	var ro kcoreRunOptions
+	for _, opt := range opts {
+		opt(&ro)
+	}
 	compute := func(ctx *Context[kcoreState, kcoreMsg], s *kcoreState, msgs []kcoreMsg) {
 		if ctx.Superstep() == 0 {
 			deg := ctx.Degree()
@@ -63,8 +87,16 @@ func KCore(g *graph.Graph, opts ...Option[kcoreState, kcoreMsg]) ([]int, Result,
 		ctx.VoteToHalt()
 	}
 
-	eng := NewEngine(g, compute, nil, opts...)
-	res, err := eng.Run(8 * (g.NumNodes() + 2))
+	var engOpts []Option[kcoreState, kcoreMsg]
+	if ro.workers != 0 {
+		engOpts = append(engOpts, WithWorkers[kcoreState, kcoreMsg](ro.workers))
+	}
+	budget := ro.maxSupersteps
+	if budget == 0 {
+		budget = 8 * (g.NumNodes() + 2)
+	}
+	eng := NewEngine(g, compute, nil, engOpts...)
+	res, err := eng.Run(ctx, budget)
 	if err != nil {
 		return nil, res, fmt.Errorf("pregel: k-core: %w", err)
 	}
@@ -83,7 +115,7 @@ type ccState struct {
 // ConnectedComponents runs hash-min label propagation: every vertex
 // adopts the smallest vertex ID seen in its component. It demonstrates
 // the framework on a second classic program and uses a min-combiner.
-func ConnectedComponents(g *graph.Graph, opts ...Option[ccState, int]) ([]int, Result, error) {
+func ConnectedComponents(ctx context.Context, g *graph.Graph, opts ...Option[ccState, int]) ([]int, Result, error) {
 	compute := func(ctx *Context[ccState, int], s *ccState, msgs []int) {
 		if ctx.Superstep() == 0 {
 			s.label = ctx.Vertex()
@@ -113,7 +145,7 @@ func ConnectedComponents(g *graph.Graph, opts ...Option[ccState, int]) ([]int, R
 		}),
 	}, opts...)
 	eng := NewEngine(g, compute, nil, all...)
-	res, err := eng.Run(4 * (g.NumNodes() + 2))
+	res, err := eng.Run(ctx, 4*(g.NumNodes()+2))
 	if err != nil {
 		return nil, res, fmt.Errorf("pregel: connected components: %w", err)
 	}

@@ -26,6 +26,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -199,9 +200,15 @@ func (e *Engine[M]) shuffledProcs() []int {
 
 // Run executes the protocol until no messages are pending and a full round
 // passes without sends, or until maxRounds is exceeded (returning
-// ErrMaxRounds). It reports the execution time in the paper's counting.
-func (e *Engine[M]) Run(maxRounds int) (Result, error) {
-	if e.loop(maxRounds, true) {
+// ErrMaxRounds), or until ctx is cancelled (returning ctx.Err() within one
+// round of the cancellation). It reports the execution time in the paper's
+// counting.
+func (e *Engine[M]) Run(ctx context.Context, maxRounds int) (Result, error) {
+	pending, err := e.loop(ctx, maxRounds, true)
+	if err != nil {
+		return e.result(), err
+	}
+	if pending {
 		return e.result(), fmt.Errorf("%w (maxRounds = %d)", ErrMaxRounds, maxRounds)
 	}
 	return e.result(), nil
@@ -212,15 +219,21 @@ func (e *Engine[M]) Run(maxRounds int) (Result, error) {
 // protocols that keep retransmitting — under message loss, for example —
 // and therefore never quiesce on their own. Unlike Run it does not stop
 // on an empty message pool: with loss injection a round can drop every
-// in-flight message while the protocol still intends to retransmit.
-func (e *Engine[M]) RunFixed(rounds int) Result {
-	e.loop(rounds, false)
-	return e.result()
+// in-flight message while the protocol still intends to retransmit. The
+// only error it can return is ctx.Err() on cancellation.
+func (e *Engine[M]) RunFixed(ctx context.Context, rounds int) (Result, error) {
+	_, err := e.loop(ctx, rounds, false)
+	return e.result(), err
 }
 
 // loop drives initialization plus rounds 2..budget; it reports whether
-// messages were still pending when the budget ran out.
-func (e *Engine[M]) loop(budget int, stopOnQuiescence bool) (pendingAtBudget bool) {
+// messages were still pending when the budget ran out. Cancellation is
+// checked at every round boundary, so a cancelled context stops the run
+// within one round.
+func (e *Engine[M]) loop(ctx context.Context, budget int, stopOnQuiescence bool) (pendingAtBudget bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	// Round 1: initialization broadcasts. In same-round mode Init sends
 	// land in the inbox directly but are not consumed until round 2,
 	// preserving the paper's "round 1 is the initial broadcast"
@@ -238,9 +251,12 @@ func (e *Engine[M]) loop(budget int, stopOnQuiescence bool) (pendingAtBudget boo
 	}
 
 	for e.round = 2; e.round <= budget; e.round++ {
+		if err := ctx.Err(); err != nil {
+			return e.anyPending(), err
+		}
 		if !e.anyPending() {
 			if stopOnQuiescence {
-				return false
+				return false, nil
 			}
 			// Keep stepping: Tick handlers may still produce messages
 			// (e.g. periodic retransmission) even with nothing in flight.
@@ -258,7 +274,7 @@ func (e *Engine[M]) loop(budget int, stopOnQuiescence bool) (pendingAtBudget boo
 			e.observer(e.round)
 		}
 	}
-	return e.anyPending()
+	return e.anyPending(), nil
 }
 
 // runSynchronous delivers last round's messages, then ticks every process.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -35,7 +36,7 @@ func TestPingPongTerminates(t *testing.T) {
 			&echoProc{peer: 0, hops: 0},
 		}
 		e := NewEngine(procs, WithDelivery(mode))
-		res, err := e.Run(100)
+		res, err := e.Run(context.Background(), 100)
 		if err != nil {
 			t.Fatalf("mode %v: %v", mode, err)
 		}
@@ -57,7 +58,7 @@ func TestExecutionTimeCountsSendingRounds(t *testing.T) {
 		&echoProc{peer: 0, hops: 0},
 	}
 	e := NewEngine(procs, WithDelivery(DeliverNextRound))
-	res, err := e.Run(100)
+	res, err := e.Run(context.Background(), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestExecutionTimeCountsSendingRounds(t *testing.T) {
 
 func TestQuiescentSystemStopsImmediately(t *testing.T) {
 	procs := []Process[int]{&echoProc{peer: 0, hops: 0}}
-	res, err := NewEngine(procs).Run(10)
+	res, err := NewEngine(procs).Run(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func (p *floodProc) Tick(ctx *Context[int])          { ctx.Send(p.peer, 0) }
 
 func TestMaxRoundsExceeded(t *testing.T) {
 	procs := []Process[int]{&floodProc{peer: 1}, &floodProc{peer: 0}}
-	_, err := NewEngine(procs).Run(5)
+	_, err := NewEngine(procs).Run(context.Background(), 5)
 	if !errors.Is(err, ErrMaxRounds) {
 		t.Fatalf("err = %v, want ErrMaxRounds", err)
 	}
@@ -99,7 +100,7 @@ func TestObserverCalledEveryRound(t *testing.T) {
 	}
 	var rounds []int
 	e := NewEngine(procs, WithRoundObserver(func(r int) { rounds = append(rounds, r) }))
-	if _, err := e.Run(100); err != nil {
+	if _, err := e.Run(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	if len(rounds) == 0 || rounds[0] != 1 {
@@ -119,7 +120,7 @@ func TestSendToInvalidProcessPanics(t *testing.T) {
 		}
 	}()
 	procs := []Process[int]{&echoProc{peer: 7, hops: 1}}
-	_, _ = NewEngine(procs).Run(10)
+	_, _ = NewEngine(procs).Run(context.Background(), 10)
 }
 
 // orderProbe records the round in which it received its first message.
@@ -155,7 +156,7 @@ func TestSameRoundDeliveryCanShortcutChains(t *testing.T) {
 		p2 := &orderProbe{forward: -1}
 		procs := []Process[int]{kicker{}, p1, p2}
 		e := NewEngine(procs, WithDelivery(mode), WithSeed(seed))
-		if _, err := e.Run(10); err != nil {
+		if _, err := e.Run(context.Background(), 10); err != nil {
 			t.Fatal(err)
 		}
 		return p2.firstRound
@@ -181,7 +182,7 @@ func TestDeterministicGivenSeed(t *testing.T) {
 			&echoProc{peer: 0, hops: 2},
 		}
 		e := NewEngine(procs, WithDelivery(DeliverSameRound), WithSeed(seed))
-		res, err := e.Run(100)
+		res, err := e.Run(context.Background(), 100)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +198,10 @@ func TestRunFixedStopsAtBudget(t *testing.T) {
 	// Flooding processes never quiesce; RunFixed must stop at the budget
 	// without an error and report every round as a sending round.
 	procs := []Process[int]{&floodProc{peer: 1}, &floodProc{peer: 0}}
-	res := NewEngine(procs).RunFixed(12)
+	res, err := NewEngine(procs).RunFixed(context.Background(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.ExecutionTime != 12 {
 		t.Fatalf("execution time = %d, want 12", res.ExecutionTime)
 	}
@@ -210,7 +214,10 @@ func TestRunFixedContinuesThroughQuietRounds(t *testing.T) {
 	// A process that sends only every 3rd round produces quiet rounds
 	// with nothing in flight; RunFixed must keep ticking through them.
 	procs := []Process[int]{&sparseSender{peer: 1, every: 3}, &echoProc{peer: 0, hops: 0}}
-	res := NewEngine(procs).RunFixed(10)
+	res, err := NewEngine(procs).RunFixed(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Sends occur at rounds 3, 6, 9 (Init sends nothing).
 	if res.TotalMessages != 3 {
 		t.Fatalf("total messages = %d, want 3", res.TotalMessages)
@@ -243,7 +250,7 @@ func TestLossDropsMessages(t *testing.T) {
 		&echoProc{peer: 0, hops: 0},
 	}
 	e := NewEngine(procs, WithLoss(1.0))
-	res, err := e.Run(50)
+	res, err := e.Run(context.Background(), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +273,7 @@ func TestPartialLossIsSeeded(t *testing.T) {
 			&echoProc{peer: 0, hops: 0},
 		}
 		e := NewEngine(procs, WithSeed(5), WithLoss(0.5))
-		res, err := e.Run(200)
+		res, err := e.Run(context.Background(), 200)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -23,6 +23,7 @@
 package stream
 
 import (
+	"fmt"
 	"sort"
 
 	"dkcore/internal/graph"
@@ -58,9 +59,16 @@ type Maintainer struct {
 // NewMaintainer returns a Maintainer seeded with g's edges and the exact
 // decomposition of g (computed once with the Batagelj–Zaversnik peel).
 func NewMaintainer(g *graph.Graph) *Maintainer {
+	return newSeeded(g, kcore.Decompose(g).CorenessValues())
+}
+
+// newSeeded is the shared constructor: g's edges plus a caller-owned
+// coreness slice the Maintainer takes over.
+func newSeeded(g *graph.Graph, coreness []int) *Maintainer {
 	n := g.NumNodes()
 	mt := &Maintainer{
 		adj:  make([][]int, n),
+		core: coreness,
 		m:    g.NumEdges(),
 		mark: make([]int, n),
 		cand: make([]int, n),
@@ -70,8 +78,40 @@ func NewMaintainer(g *graph.Graph) *Maintainer {
 		ns := g.Neighbors(u)
 		mt.adj[u] = append(make([]int, 0, len(ns)), ns...)
 	}
-	mt.core = kcore.Decompose(g).CorenessValues()
 	return mt
+}
+
+// NewMaintainerFromCoreness returns a Maintainer seeded with g's edges
+// and an externally computed coreness assignment — typically one produced
+// by a distributed engine — avoiding the sequential recomputation that
+// NewMaintainer performs. The assignment is checked against Theorem 1's
+// local fixpoint equations, which rejects shape mismatches, overestimates,
+// and locally inconsistent values. The check cannot reject a consistent
+// underestimate (a fixpoint smaller than the true coreness, e.g. all-ones
+// on a cycle) without redoing the full peel, so callers must supply
+// values from a source that converges to the true coreness — every
+// engine in this module does, since the protocol's estimates approach the
+// largest fixpoint from above.
+func NewMaintainerFromCoreness(g *graph.Graph, coreness []int) (*Maintainer, error) {
+	if len(coreness) != g.NumNodes() {
+		return nil, fmt.Errorf("stream: %d coreness values for %d nodes", len(coreness), g.NumNodes())
+	}
+	if err := kcore.VerifyLocality(g, coreness); err != nil {
+		return nil, fmt.Errorf("stream: seed coreness rejected: %w", err)
+	}
+	return newSeeded(g, append(make([]int, 0, len(coreness)), coreness...)), nil
+}
+
+// CoreMembers returns the sorted IDs of every node in the k-core, i.e.
+// with coreness >= k. k <= 0 returns every node.
+func (mt *Maintainer) CoreMembers(k int) []int {
+	var out []int
+	for u, c := range mt.core {
+		if c >= k {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // NumNodes returns the current node count.

@@ -1,6 +1,7 @@
 package dkcore_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -146,6 +147,21 @@ func TestCrossScenarioEquivalence(t *testing.T) {
 				return true
 			})
 			assertSame(t, "maintainer-replay", truth, mt.CorenessValues())
+
+			// Unified facade: all eight engine kinds through Engine.Run
+			// must agree with the native legs above (the cluster kind
+			// runs a real TCP-loopback deployment).
+			for _, kind := range dkcore.EngineKinds() {
+				eng, err := dkcore.NewEngine(kind, engineOptsFor(kind)...)
+				if err != nil {
+					t.Fatalf("engine/%s: %v", kind, err)
+				}
+				rep, err := eng.Run(context.Background(), g)
+				if err != nil {
+					t.Fatalf("engine/%s: %v", kind, err)
+				}
+				assertSame(t, "engine/"+kind.String(), truth, rep.Coreness)
+			}
 
 			if err := dkcore.VerifyLocality(g, truth); err != nil {
 				t.Fatalf("locality: %v", err)

@@ -1,0 +1,141 @@
+package dkcore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"dkcore/internal/stream"
+)
+
+// Session is a long-lived query handle over one graph's decomposition —
+// the serving building block: decompose once with any engine kind, then
+// keep the decomposition exact under edge insertions and deletions (via
+// the streaming maintainer) while concurrently answering coreness
+// queries.
+//
+// A Session is safe for concurrent use. Queries (Coreness, KCoreMembers,
+// Degeneracy, ...) take a read lock and run in parallel with each other;
+// mutations (InsertEdge, DeleteEdge, ApplyEvent) take the write lock and
+// update only the bounded region the mutation can affect.
+type Session struct {
+	mu      sync.RWMutex
+	mt      *stream.Maintainer
+	initial *Report
+}
+
+// NewSession decomposes g on the engine's execution path and wraps the
+// result in a Session. The engine runs exactly once — the Session's
+// incremental maintenance takes over from there — and its Report stays
+// available via InitialReport.
+func (e *Engine) NewSession(ctx context.Context, g *Graph) (*Session, error) {
+	rep, err := e.Run(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	mt, err := stream.NewMaintainerFromCoreness(g, rep.Coreness)
+	if err != nil {
+		return nil, fmt.Errorf("dkcore: Engine(%s).NewSession: %w", e.kind, err)
+	}
+	return &Session{mt: mt, initial: rep}, nil
+}
+
+// NewSession decomposes g with the Sequential engine and returns a query
+// Session over the result; use Engine.NewSession to decompose with a
+// different engine kind.
+func NewSession(ctx context.Context, g *Graph) (*Session, error) {
+	eng, err := NewEngine(Sequential)
+	if err != nil {
+		return nil, err
+	}
+	return eng.NewSession(ctx, g)
+}
+
+// InitialReport returns the Report of the engine run that seeded this
+// Session. It reflects the graph as of session creation, not later
+// mutations.
+func (s *Session) InitialReport() *Report { return s.initial }
+
+// Coreness returns the exact coreness of node u under the current edge
+// set, or 0 for unknown nodes.
+func (s *Session) Coreness(u int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mt.Coreness(u)
+}
+
+// CorenessValues returns a copy of the current per-node coreness array.
+func (s *Session) CorenessValues() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mt.CorenessValues()
+}
+
+// KCoreMembers returns the sorted IDs of the nodes in the current k-core
+// (coreness >= k); k <= 0 returns every node.
+func (s *Session) KCoreMembers(k int) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mt.CoreMembers(k)
+}
+
+// Degeneracy returns the maximum coreness of the current graph.
+func (s *Session) Degeneracy() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mt.MaxCoreness()
+}
+
+// NumNodes returns the current node count.
+func (s *Session) NumNodes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mt.NumNodes()
+}
+
+// NumEdges returns the current undirected edge count.
+func (s *Session) NumEdges() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mt.NumEdges()
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (s *Session) HasEdge(u, v int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mt.HasEdge(u, v)
+}
+
+// Snapshot materializes the current edge set as an immutable Graph.
+func (s *Session) Snapshot() *Graph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mt.Graph()
+}
+
+// InsertEdge adds the undirected edge {u, v} and updates the decomposition
+// exactly, growing the node set if an endpoint is new. It reports whether
+// the edge was added; self-loops, negative endpoints, and already-present
+// edges leave the session unchanged.
+func (s *Session) InsertEdge(u, v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mt.InsertEdge(u, v)
+}
+
+// DeleteEdge removes the undirected edge {u, v} and updates the
+// decomposition exactly. It reports whether the edge was present.
+func (s *Session) DeleteEdge(u, v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mt.DeleteEdge(u, v)
+}
+
+// ApplyEvent applies one edge event, returning whether it changed the
+// graph.
+func (s *Session) ApplyEvent(ev EdgeEvent) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mt.Apply(ev)
+}
