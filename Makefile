@@ -6,6 +6,8 @@
 #   make race        run the test suite under the race detector
 #   make fuzz-short  run each native fuzz target briefly
 #   make bench       run every benchmark once (smoke) — use BENCHTIME=2s for numbers
+#   make bench-partition  run only BenchmarkPartitionSetup (the O(n+m)
+#                    partition-setup gate; flat-in-p cost is the contract)
 #   make ci          build + vet (incl. gofmt gate) + apicheck + test + race + fuzz-short
 #
 # .github/workflows/ci.yml runs build+vet+test as the fast lane and
@@ -15,7 +17,7 @@ GO        ?= go
 FUZZTIME  ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all build vet apicheck test race fuzz-short bench ci
+.PHONY: all build vet apicheck test race fuzz-short bench bench-partition ci
 
 all: build
 
@@ -49,7 +51,16 @@ fuzz-short: build
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzCodec -fuzztime $(FUZZTIME) ./internal/transport
 
+# bench runs every benchmark, BenchmarkPartitionSetup included, so the
+# BENCH_*.json trajectory always carries the partition-setup series.
 bench: build
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...
+
+# bench-partition isolates the partition-setup benchmark: its per-p
+# series must stay near-constant at fixed graph size (PartitionAll is a
+# single O(n+m) pass); CI's benchmark-smoke lane runs it explicitly so a
+# setup regression cannot hide in the full run's noise.
+bench-partition: build
+	$(GO) test -run '^$$' -bench BenchmarkPartitionSetup -benchtime $(BENCHTIME) .
 
 ci: build vet apicheck test race fuzz-short

@@ -347,6 +347,37 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionSetup measures the cost of sharding a fixed graph
+// into p partitions and building every partition's protocol state — the
+// setup each sharded engine (parallel, cluster, one-to-many simulator)
+// pays before its first round. core.PartitionAll is a single O(n+m)
+// bucketing pass for all partitions at once, so total setup cost must
+// stay near-constant as p grows at fixed graph size; the per-partition
+// rescan it replaced was O(n·p). A sustained upward trend across the
+// p-series in the BENCH_*.json trajectory is a regression.
+func BenchmarkPartitionSetup(b *testing.B) {
+	g := dkcore.GeneratePowerLaw(dkcore.PowerLawConfig{N: 10000, Exponent: 2.2, MinDeg: 2}, 1)
+	for _, p := range []int{1, 4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			assign := core.ModuloAssignment{H: p}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				parts, err := core.PartitionAll(g, assign)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for x := 0; x < p; x++ {
+					if parts.NewPartitionState(x) == nil {
+						b.Fatal("nil partition state")
+					}
+				}
+			}
+			b.ReportMetric(float64(p), "partitions")
+		})
+	}
+}
+
 // BenchmarkComputeIndex micro-benchmarks Algorithm 2, the per-message hot
 // path of every protocol variant.
 func BenchmarkComputeIndex(b *testing.B) {

@@ -10,10 +10,13 @@
 //	kcore-bench -exp fig5 -datasets astroph,berkstan
 //	kcore-bench -exp parallel -json      # machine-readable results
 //
-// With -json the tool emits one JSON document on stdout instead of the
-// text tables: an array of {experiment, seconds, data} records whose data
-// payload is the experiment's row structs — the format the repo's
-// BENCH_*.json perf trajectory records.
+// With -json the tool emits one JSON record per line on stdout instead
+// of the text tables: {experiment, title, seconds, data} objects whose
+// data payload is the experiment's row structs — the format the repo's
+// BENCH_*.json perf trajectory records. Records stream as experiments
+// complete, and a failing experiment still emits a well-formed record
+// (with an "error" field and no data) before the tool exits non-zero, so
+// consumers never see torn or partial JSON.
 package main
 
 import (
@@ -134,12 +137,26 @@ func experimentNames() []string {
 	return names
 }
 
-// jsonRecord is one experiment's machine-readable result.
+// jsonRecord is one experiment's machine-readable result — one line of
+// the -json stream. Exactly one of Data and Error is set.
 type jsonRecord struct {
 	Experiment string  `json:"experiment"`
 	Title      string  `json:"title"`
 	Seconds    float64 `json:"seconds"`
-	Data       any     `json:"data"`
+	Data       any     `json:"data,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// emitRecord writes one complete JSON record line. The record is
+// marshaled to a buffer first so a marshal failure can never leave a
+// torn object on the stream.
+func emitRecord(w io.Writer, rec jsonRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("marshal %s record: %w", rec.Experiment, err)
+	}
+	_, err = w.Write(append(line, '\n'))
+	return err
 }
 
 func run(args []string, w io.Writer) error {
@@ -174,7 +191,6 @@ func run(args []string, w io.Writer) error {
 		selected = append(selected, e)
 	}
 
-	var records []jsonRecord
 	for _, e := range selected {
 		if !*asJSON {
 			// Header first: long experiments would otherwise leave stdout
@@ -188,28 +204,37 @@ func run(args []string, w io.Writer) error {
 		}
 		start := time.Now()
 		data, err := e.run(cfg, *step)
+		elapsed := time.Since(start)
 		if err != nil {
+			if *asJSON {
+				// The failure itself is a record: every line on the stream
+				// stays parseable even when the tool exits non-zero.
+				if emitErr := emitRecord(w, jsonRecord{
+					Experiment: e.name,
+					Title:      e.title,
+					Seconds:    elapsed.Seconds(),
+					Error:      err.Error(),
+				}); emitErr != nil {
+					return emitErr
+				}
+			}
 			return err
 		}
-		elapsed := time.Since(start)
 		if *asJSON {
-			records = append(records, jsonRecord{
+			if err := emitRecord(w, jsonRecord{
 				Experiment: e.name,
 				Title:      e.title,
 				Seconds:    elapsed.Seconds(),
 				Data:       data,
-			})
+			}); err != nil {
+				return err
+			}
 			continue
 		}
 		if err := e.write(w, data); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "\n[%s done in %v]\n", e.name, elapsed.Round(time.Millisecond))
-	}
-	if *asJSON {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(records)
 	}
 	return nil
 }

@@ -57,21 +57,37 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 	}
 }
 
+// benchRecord mirrors kcore-bench's per-line -json record for tests.
+type benchRecord struct {
+	Experiment string          `json:"experiment"`
+	Title      string          `json:"title"`
+	Seconds    float64         `json:"seconds"`
+	Data       json.RawMessage `json:"data"`
+	Error      string          `json:"error"`
+}
+
+// parseJSONLines asserts every emitted line is a complete, well-formed
+// JSON record and returns them.
+func parseJSONLines(t *testing.T, out string) []benchRecord {
+	t.Helper()
+	var records []benchRecord
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		var rec benchRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not a JSON record: %v\n%s", i+1, err, line)
+		}
+		records = append(records, rec)
+	}
+	return records
+}
+
 func TestRunJSONOutput(t *testing.T) {
 	var out bytes.Buffer
 	args := []string{"-exp", "worstcase,parallel", "-scale", "0.04", "-reps", "1", "-json"}
 	if err := run(args, &out); err != nil {
 		t.Fatal(err)
 	}
-	var records []struct {
-		Experiment string          `json:"experiment"`
-		Title      string          `json:"title"`
-		Seconds    float64         `json:"seconds"`
-		Data       json.RawMessage `json:"data"`
-	}
-	if err := json.Unmarshal(out.Bytes(), &records); err != nil {
-		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
-	}
+	records := parseJSONLines(t, out.String())
 	if len(records) != 2 {
 		t.Fatalf("got %d records, want 2", len(records))
 	}
@@ -82,9 +98,44 @@ func TestRunJSONOutput(t *testing.T) {
 		if len(records[i].Data) == 0 || string(records[i].Data) == "null" {
 			t.Fatalf("record %d has empty data payload", i)
 		}
+		if records[i].Error != "" {
+			t.Fatalf("record %d carries error %q", i, records[i].Error)
+		}
 	}
 	// JSON mode must not interleave text tables into the stream.
 	if strings.Contains(out.String(), "===") {
 		t.Fatalf("JSON output contains text table header:\n%s", out.String())
+	}
+}
+
+// TestRunJSONFailingExperiment pins the error-path contract of -json: a
+// failing experiment must still produce a stream where every emitted
+// line is a well-formed record — the completed experiments with data,
+// the failed one with an error field — and run must report the failure.
+func TestRunJSONFailingExperiment(t *testing.T) {
+	var out bytes.Buffer
+	// worstcase is configless and succeeds; table1 then fails on the
+	// unknown dataset key.
+	args := []string{"-exp", "worstcase,table1", "-reps", "1", "-datasets", "no-such-dataset", "-json"}
+	err := run(args, &out)
+	if err == nil {
+		t.Fatalf("run with bogus dataset succeeded:\n%s", out.String())
+	}
+	records := parseJSONLines(t, out.String())
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2:\n%s", len(records), out.String())
+	}
+	if records[0].Experiment != "worstcase" || records[0].Error != "" || len(records[0].Data) == 0 {
+		t.Fatalf("completed record malformed: %+v", records[0])
+	}
+	last := records[1]
+	if last.Experiment != "table1" {
+		t.Fatalf("failure record experiment = %q, want table1", last.Experiment)
+	}
+	if last.Error == "" || !strings.Contains(err.Error(), last.Error) {
+		t.Fatalf("failure record error %q does not match run error %q", last.Error, err)
+	}
+	if len(last.Data) != 0 && string(last.Data) != "null" {
+		t.Fatalf("failure record carries data: %s", last.Data)
 	}
 }

@@ -93,6 +93,51 @@ func TestEngineRunAllKinds(t *testing.T) {
 	}
 }
 
+// TestEngineShardedKindsDegenerateGraphs pins down the zero-partition
+// edge cases for the sharded kinds: an empty graph resolves to zero
+// partitions under Parallel's worker cap and a single-node graph leaves
+// most Cluster hosts with empty partitions. Both must return promptly
+// with exact (trivial) coreness — the same failure class as the
+// empty-graph divide-by-zero once fixed in the live runtime, so each run
+// is bounded by a deadline that turns a hang into a test failure.
+func TestEngineShardedKindsDegenerateGraphs(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *dkcore.Graph
+	}{
+		{"empty", dkcore.FromEdges(0, nil)},
+		{"single-node", dkcore.FromEdges(1, nil)},
+		{"single-edge", dkcore.FromEdges(2, [][2]int{{0, 1}})},
+	}
+	for _, kind := range []dkcore.EngineKind{dkcore.Parallel, dkcore.Cluster} {
+		for _, tc := range graphs {
+			kind, tc := kind, tc
+			t.Run(kind.String()+"/"+tc.name, func(t *testing.T) {
+				t.Parallel()
+				eng, err := dkcore.NewEngine(kind, engineOptsFor(kind)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				rep, err := eng.Run(ctx, tc.g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := dkcore.Decompose(tc.g).CorenessValues()
+				if len(rep.Coreness) != len(want) {
+					t.Fatalf("%d coreness entries, want %d", len(rep.Coreness), len(want))
+				}
+				for u := range want {
+					if rep.Coreness[u] != want[u] {
+						t.Fatalf("node %d: coreness %d, want %d", u, rep.Coreness[u], want[u])
+					}
+				}
+			})
+		}
+	}
+}
+
 func TestEngineRunNilGraph(t *testing.T) {
 	eng, err := dkcore.NewEngine(dkcore.Sequential)
 	if err != nil {

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"net"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -12,6 +14,7 @@ import (
 	"dkcore/internal/gen"
 	"dkcore/internal/graph"
 	"dkcore/internal/kcore"
+	"dkcore/internal/transport"
 )
 
 // runCluster spins up a coordinator plus numHosts hosts over TCP loopback
@@ -133,11 +136,9 @@ func TestConfigRoundTrip(t *testing.T) {
 		NumNodes:  10,
 		PeerAddrs: []string{"a:1", "b:2", "c:3"},
 		Owned:     []int{2, 5, 8},
-		Adj: map[int][]int{
-			2: {0, 5, 9},
-			5: {2},
-			8: nil,
-		},
+		// CSR form of {2: [0 5 9], 5: [2], 8: []}.
+		AdjOff:  []int{0, 3, 4, 4},
+		AdjFlat: []int{0, 5, 9, 2},
 	}
 	out, err := decodeConfig(encodeConfig(in))
 	if err != nil {
@@ -151,15 +152,106 @@ func TestConfigRoundTrip(t *testing.T) {
 			t.Fatalf("peer addr %d mismatch", i)
 		}
 	}
-	for _, u := range in.Owned {
-		if len(out.Adj[u]) != len(in.Adj[u]) {
-			t.Fatalf("adjacency of %d mismatch: %v vs %v", u, out.Adj[u], in.Adj[u])
+	if !slices.Equal(out.Owned, in.Owned) {
+		t.Fatalf("owned mismatch: %v vs %v", out.Owned, in.Owned)
+	}
+	if !slices.Equal(out.AdjOff, in.AdjOff) {
+		t.Fatalf("offsets mismatch: %v vs %v", out.AdjOff, in.AdjOff)
+	}
+	if !slices.Equal(out.AdjFlat, in.AdjFlat) {
+		t.Fatalf("adjacency mismatch: %v vs %v", out.AdjFlat, in.AdjFlat)
+	}
+}
+
+// TestConfigDecodeRejectsHostileDegrees crafts a raw config frame whose
+// degree uvarint is 2^64-1: the int conversion would wrap the offset
+// prefix sum negative, slip past the total-length check, and panic the
+// host inside NewHostState. decodeConfig must reject it (and any degree
+// sum beyond the payload) as corrupt.
+func TestConfigDecodeRejectsHostileDegrees(t *testing.T) {
+	payload := binary.AppendUvarint(nil, 0) // HostID
+	payload = binary.AppendUvarint(payload, 1)
+	payload = binary.AppendUvarint(payload, 3)
+	payload = transport.EncodeString(payload, "a:1")
+	payload = append(payload, transport.EncodeIntSlice([]int{0, 1})...) // Owned
+	payload = binary.AppendUvarint(payload, ^uint64(0))                 // degree of node 0: 2^64-1
+	payload = binary.AppendUvarint(payload, 2)                          // degree of node 1
+	payload = append(payload, transport.EncodeIntSlice([]int{1})...)    // one flat entry
+	if c, err := decodeConfig(payload); err == nil {
+		t.Fatalf("hostile degree accepted: %+v", c)
+	}
+}
+
+// TestConfigDecodeRejectsBadOwnedSets enforces NewHostState's owned-set
+// contract at the trust boundary: out-of-range, duplicate, and unsorted
+// owned lists must all fail to decode.
+func TestConfigDecodeRejectsBadOwnedSets(t *testing.T) {
+	base := func(owned []int) config {
+		off := make([]int, len(owned)+1)
+		return config{
+			HostID: 0, NumHosts: 1, NumNodes: 4,
+			PeerAddrs: []string{"a:1"},
+			Owned:     owned, AdjOff: off,
 		}
-		for i := range in.Adj[u] {
-			if out.Adj[u][i] != in.Adj[u][i] {
-				t.Fatalf("adjacency of %d mismatch at %d", u, i)
-			}
+	}
+	for name, owned := range map[string][]int{
+		"out-of-range": {0, 9},
+		"negative":     {-1, 2},
+		"duplicate":    {1, 1},
+		"unsorted":     {2, 1},
+	} {
+		if _, err := decodeConfig(encodeConfig(base(owned))); err == nil {
+			t.Fatalf("%s owned set accepted", name)
 		}
+	}
+}
+
+// TestConfigDecodeRejectsHostileHeaders covers the header trust
+// boundary: a zero or payload-exceeding host count (allocation bomb /
+// modulo-by-zero), a host ID outside the host set, and an adjacency
+// entry naming a node outside the graph (phantom mesh peer) must all
+// fail to decode.
+func TestConfigDecodeRejectsHostileHeaders(t *testing.T) {
+	encode := func(hostID, numHosts, numNodes uint64, rest ...byte) []byte {
+		payload := binary.AppendUvarint(nil, hostID)
+		payload = binary.AppendUvarint(payload, numHosts)
+		payload = binary.AppendUvarint(payload, numNodes)
+		return append(payload, rest...)
+	}
+	cases := map[string][]byte{
+		"zero hosts":      encode(0, 0, 3),
+		"huge host count": encode(0, 1<<40, 3),
+		"overflow hosts":  encode(0, 1<<63, 3),
+		"host id too big": append(encode(2, 1, 3), transport.EncodeString(nil, "a:1")...),
+	}
+	for name, payload := range cases {
+		if c, err := decodeConfig(payload); err == nil {
+			t.Fatalf("%s accepted: %+v", name, c)
+		}
+	}
+	if _, err := decodeConfig(encodeConfig(config{
+		HostID: 0, NumHosts: 1, NumNodes: 3,
+		PeerAddrs: []string{"a:1"},
+		Owned:     []int{0},
+		AdjOff:    []int{0, 1},
+		AdjFlat:   []int{7}, // neighbor outside [0, 3)
+	})); err == nil {
+		t.Fatalf("out-of-range neighbor accepted")
+	}
+}
+
+func TestConfigDecodeRejectsDegreeMismatch(t *testing.T) {
+	in := config{
+		HostID:    0,
+		NumHosts:  1,
+		NumNodes:  3,
+		PeerAddrs: []string{"a:1"},
+		Owned:     []int{0, 1},
+		AdjOff:    []int{0, 2, 3}, // degrees sum to 3 ...
+		AdjFlat:   []int{1, 2},    // ... but only 2 entries shipped
+	}
+	if _, err := decodeConfig(encodeConfig(in)); err == nil {
+		t.Fatalf("degree/adjacency length mismatch accepted")
 	}
 }
 

@@ -141,8 +141,12 @@ func (c *Coordinator) run(ctx context.Context) (*Result, error) {
 		peerAddrs[i] = addr
 	}
 
-	// Partition and configure.
-	assign := core.ModuloAssignment{H: numHosts}
+	// Partition and configure: one O(n+m) bucketing pass for all hosts,
+	// then each host's flat CSR view is shipped as-is.
+	parts, err := core.PartitionAll(g, core.ModuloAssignment{H: numHosts})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: partition: %w", err)
+	}
 	for id := 0; id < numHosts; id++ {
 		cfg := config{
 			HostID:    id,
@@ -150,7 +154,14 @@ func (c *Coordinator) run(ctx context.Context) (*Result, error) {
 			NumNodes:  g.NumNodes(),
 			PeerAddrs: peerAddrs,
 		}
-		cfg.Owned, cfg.Adj = core.Partition(g, assign, id)
+		owned, off, flat := parts.CSR(id)
+		cfg.Owned = owned
+		base := off[0]
+		cfg.AdjOff = make([]int, len(off))
+		for i, o := range off {
+			cfg.AdjOff[i] = o - base
+		}
+		cfg.AdjFlat = flat[base : base+cfg.AdjOff[len(owned)]]
 		if err := conns[id].Send(frameConfig, encodeConfig(cfg)); err != nil {
 			return nil, fmt.Errorf("cluster: config to host %d: %w", id, err)
 		}

@@ -97,7 +97,7 @@ func runHost(ctx context.Context, cfg HostConfig) (*HostResult, error) {
 
 	h := &hostWorker{
 		conf:  conf,
-		state: core.NewHostState(conf.HostID, conf.Owned, conf.Adj, moduloOwner(conf.NumHosts)),
+		state: core.NewHostState(conf.HostID, conf.NumNodes, conf.Owned, conf.AdjOff, conf.AdjFlat, moduloOwner(conf.NumHosts)),
 		peers: make([]*transport.Conn, conf.NumHosts),
 		inbox: make(chan batchPayload, 4*conf.NumHosts),
 	}

@@ -31,14 +31,21 @@ const (
 	frameBatch                   // host → host: estimate batch
 )
 
-// config is the coordinator→host configuration payload.
+// config is the coordinator→host configuration payload. The partition
+// ships in flat CSR form: Owned is the host's sorted node set and the
+// global-ID neighbors of Owned[i] are AdjFlat[AdjOff[i]:AdjOff[i+1]] —
+// exactly the shape core.NewHostState consumes, so the host never
+// rebuilds a per-node map. On the wire the offsets travel as per-node
+// degrees (small uvarints); decodeConfig reconstructs AdjOff by prefix
+// sum, which validates the flat array's length as a side effect.
 type config struct {
 	HostID    int
 	NumHosts  int
 	NumNodes  int
 	PeerAddrs []string
 	Owned     []int
-	Adj       map[int][]int
+	AdjOff    []int // len(Owned)+1, AdjOff[0] == 0
+	AdjFlat   []int
 }
 
 func encodeConfig(c config) []byte {
@@ -49,11 +56,11 @@ func encodeConfig(c config) []byte {
 	for _, addr := range c.PeerAddrs {
 		buf = transport.EncodeString(buf, addr)
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(c.Owned)))
-	for _, u := range c.Owned {
-		buf = binary.AppendUvarint(buf, uint64(u))
-		buf = append(buf, transport.EncodeIntSlice(c.Adj[u])...)
+	buf = append(buf, transport.EncodeIntSlice(c.Owned)...)
+	for i := range c.Owned {
+		buf = binary.AppendUvarint(buf, uint64(c.AdjOff[i+1]-c.AdjOff[i]))
 	}
+	buf = append(buf, transport.EncodeIntSlice(c.AdjFlat)...)
 	return buf
 }
 
@@ -66,8 +73,21 @@ func decodeConfig(data []byte) (config, error) {
 		if n <= 0 {
 			return c, fmt.Errorf("cluster: decode config: field %d truncated", i)
 		}
-		*f = int(v)
+		if *f = int(v); *f < 0 {
+			return c, fmt.Errorf("cluster: decode config: field %d overflows", i)
+		}
 		off += n
+	}
+	// Header sanity before any header-sized allocation: every peer
+	// address costs at least one payload byte, so a host count beyond the
+	// remaining bytes is corrupt (and would otherwise pre-allocate an
+	// attacker-chosen slice); the host ID must name one of those hosts,
+	// and a zero host count would divide by zero in the modulo owner.
+	if c.NumHosts < 1 || c.NumHosts > len(data)-off {
+		return c, fmt.Errorf("cluster: decode config: host count %d exceeds payload", c.NumHosts)
+	}
+	if c.HostID >= c.NumHosts {
+		return c, fmt.Errorf("cluster: decode config: host id %d outside [0, %d)", c.HostID, c.NumHosts)
 	}
 	c.PeerAddrs = make([]string, c.NumHosts)
 	for i := range c.PeerAddrs {
@@ -78,28 +98,59 @@ func decodeConfig(data []byte) (config, error) {
 		c.PeerAddrs[i] = s
 		off += n
 	}
-	numOwned, n := binary.Uvarint(data[off:])
-	if n <= 0 {
-		return c, fmt.Errorf("cluster: decode config: owned count truncated")
+	owned, n, err := transport.DecodeIntSlice(data[off:])
+	if err != nil {
+		return c, fmt.Errorf("cluster: decode config: owned set: %w", err)
+	}
+	// The owned set feeds core.NewHostState, whose contract requires a
+	// sorted, duplicate-free node list within the graph; enforce it here
+	// where untrusted bytes enter.
+	for i, u := range owned {
+		if u < 0 || u >= c.NumNodes {
+			return c, fmt.Errorf("cluster: decode config: owned node %d outside [0, %d)", u, c.NumNodes)
+		}
+		if i > 0 && owned[i-1] >= u {
+			return c, fmt.Errorf("cluster: decode config: owned set not strictly increasing at %d", u)
+		}
+	}
+	c.Owned = owned
+	off += n
+	c.AdjOff = make([]int, len(owned)+1)
+	for i := range owned {
+		deg, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return c, fmt.Errorf("cluster: decode config: degree of node %d truncated", owned[i])
+		}
+		off += n
+		// Every adjacency entry costs at least one payload byte, so a
+		// degree sum beyond the remaining bytes is corrupt; rejecting it
+		// here also keeps the prefix sum from ever wrapping into negative
+		// offsets (a hostile 2^64-1 degree would otherwise slip past the
+		// total-length check below and panic the host in NewHostState).
+		rem := uint64(len(data) - off)
+		if deg > rem || uint64(c.AdjOff[i])+deg > rem {
+			return c, fmt.Errorf("cluster: decode config: degree %d of node %d exceeds payload", deg, owned[i])
+		}
+		c.AdjOff[i+1] = c.AdjOff[i] + int(deg)
+	}
+	flat, n, err := transport.DecodeIntSlice(data[off:])
+	if err != nil {
+		return c, fmt.Errorf("cluster: decode config: adjacency: %w", err)
 	}
 	off += n
-	c.Adj = make(map[int][]int, numOwned)
-	c.Owned = make([]int, 0, numOwned)
-	for i := uint64(0); i < numOwned; i++ {
-		u64, n := binary.Uvarint(data[off:])
-		if n <= 0 {
-			return c, fmt.Errorf("cluster: decode config: node %d truncated", i)
-		}
-		off += n
-		ns, n, err := transport.DecodeIntSlice(data[off:])
-		if err != nil {
-			return c, fmt.Errorf("cluster: decode config: adjacency of %d: %w", u64, err)
-		}
-		off += n
-		u := int(u64)
-		c.Owned = append(c.Owned, u)
-		c.Adj[u] = ns
+	if len(flat) != c.AdjOff[len(owned)] {
+		return c, fmt.Errorf("cluster: decode config: %d adjacency entries, degrees sum to %d",
+			len(flat), c.AdjOff[len(owned)])
 	}
+	// Neighbor IDs feed the owner function and the peer mesh; an
+	// out-of-range entry would produce a phantom host that the mesh
+	// waits on forever or indexes out of bounds.
+	for _, v := range flat {
+		if v < 0 || v >= c.NumNodes {
+			return c, fmt.Errorf("cluster: decode config: neighbor %d outside [0, %d)", v, c.NumNodes)
+		}
+	}
+	c.AdjFlat = flat
 	if off != len(data) {
 		return c, fmt.Errorf("cluster: decode config: %d trailing bytes", len(data)-off)
 	}

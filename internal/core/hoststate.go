@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // HostState is the transport-agnostic protocol state machine of a
 // one-to-many host (Algorithms 3–5). It is shared by the simulator
@@ -29,7 +32,11 @@ type HostState struct {
 	nodes []int       // local → global ID
 	local map[int]int // global → local index
 
-	adj         [][]int // owned local → local adjacency; nil for externals
+	// Flat local adjacency: the local-index neighbors of owned local l
+	// are adjFlat[adjOff[l]:adjOff[l+1]] — one contiguous array per
+	// partition, owned by the HostState (never aliasing the graph).
+	adjOff      []int
+	adjFlat     []int
 	revExt      [][]int // external local → adjacent owned locals
 	hostsOf     [][]int // owned local → neighboring hosts owning one of its neighbors
 	est         []int   // per local; meaningful after InitEstimates
@@ -52,42 +59,60 @@ type HostState struct {
 // ownedLocal reports whether local index l is an owned node.
 func (s *HostState) ownedLocal(l int) bool { return l < len(s.owned) }
 
-// NewHostState builds the state machine for host selfID owning the given
-// nodes. adj maps every owned node to its full (global) adjacency list;
-// owner maps any node ID to its responsible host.
-func NewHostState(selfID int, owned []int, adj map[int][]int, owner func(node int) int) *HostState {
+// NewHostState builds the state machine for host selfID from flat CSR
+// partition state: owned is the host's node set (sorted ascending,
+// global IDs) within a graph of numNodes nodes, and the global-ID
+// neighbors of owned[i] are flat[off[i]:off[i+1]] — exactly the views
+// Partitions.CSR returns (off[0] need not be zero). owner maps any node
+// ID to its responsible host; partitions built by PartitionAll pass the
+// table lookup. The inputs are translated into private local-index
+// state; the HostState never mutates them.
+func NewHostState(selfID, numNodes int, owned, off, flat []int, owner func(node int) int) *HostState {
 	s := &HostState{
 		selfID: selfID,
-		owned:  append([]int(nil), owned...),
+		owned:  owned,
 	}
-	sort.Ints(s.owned)
-
+	nOwned := len(owned)
 	totalDeg := 0
-	for _, u := range s.owned {
-		totalDeg += len(adj[u])
+	if nOwned > 0 {
+		totalDeg = off[nOwned] - off[0]
 	}
 
 	// Owned nodes take the first local indices; externals are appended
-	// as the adjacency scan discovers them.
-	s.nodes = make([]int, len(s.owned), len(s.owned)+totalDeg/2+1)
-	s.local = make(map[int]int, len(s.owned)*2)
-	for l, u := range s.owned {
+	// as the adjacency scan discovers them. The tracked-node count is
+	// bounded by nOwned plus the externals, which cannot exceed either
+	// the arc count or the non-owned remainder of the graph; pre-sizing
+	// the translation map to that bound trades a bounded memory
+	// overshoot for never rehashing on the per-arc hot path of
+	// partition setup.
+	extCap := totalDeg
+	if rest := numNodes - nOwned; rest >= 0 && rest < extCap {
+		extCap = rest
+	}
+	s.nodes = make([]int, nOwned, nOwned+extCap)
+	s.local = make(map[int]int, nOwned+extCap)
+	for l, u := range owned {
 		s.nodes[l] = u
 		s.local[u] = l
 	}
 
-	s.adj = make([][]int, len(s.owned))
-	s.hostsOf = make([][]int, len(s.owned))
-	flat := make([]int, 0, totalDeg)
+	s.adjOff = make([]int, nOwned+1)
+	s.adjFlat = make([]int, totalDeg)
+	s.hostsOf = make([][]int, nOwned)
 	maxDeg := 0
-	seenHost := make(map[int]bool)
-	for lu, u := range s.owned {
-		ns := adj[u]
+	pos := 0
+	// Border hosts are deduplicated by sort-and-compact on a reused
+	// scratch slice — O(d log d) per node with one exact-size allocation
+	// per border node, where a per-arc set would pay a map operation per
+	// cross-partition arc.
+	var borderScratch, allBorders []int
+	for lu := range owned {
+		ns := flat[off[lu]:off[lu+1]]
 		if len(ns) > maxDeg {
 			maxDeg = len(ns)
 		}
-		start := len(flat)
-		var seenBorder map[int]bool
+		s.adjOff[lu] = pos
+		borderScratch = borderScratch[:0]
 		for _, v := range ns {
 			lv, ok := s.local[v]
 			if !ok {
@@ -95,28 +120,25 @@ func NewHostState(selfID int, owned []int, adj map[int][]int, owner func(node in
 				s.nodes = append(s.nodes, v)
 				s.local[v] = lv
 			}
-			flat = append(flat, lv)
-			hv := owner(v)
-			if hv == selfID {
-				continue
-			}
-			seenHost[hv] = true
-			if seenBorder == nil {
-				seenBorder = make(map[int]bool)
-			}
-			if !seenBorder[hv] {
-				seenBorder[hv] = true
-				s.hostsOf[lu] = append(s.hostsOf[lu], hv)
+			s.adjFlat[pos] = lv
+			pos++
+			if hv := owner(v); hv != selfID {
+				borderScratch = append(borderScratch, hv)
 			}
 		}
-		s.adj[lu] = flat[start:len(flat):len(flat)]
-		sort.Ints(s.hostsOf[lu])
+		if len(borderScratch) > 0 {
+			sort.Ints(borderScratch)
+			uniq := slices.Compact(borderScratch)
+			s.hostsOf[lu] = append(make([]int, 0, len(uniq)), uniq...)
+			allBorders = append(allBorders, uniq...)
+		}
 	}
+	s.adjOff[nOwned] = pos
 
 	n := len(s.nodes)
 	s.revExt = make([][]int, n)
-	for lu := range s.owned {
-		for _, lv := range s.adj[lu] {
+	for lu := 0; lu < nOwned; lu++ {
+		for _, lv := range s.adjFlat[s.adjOff[lu]:s.adjOff[lu+1]] {
 			if !s.ownedLocal(lv) {
 				s.revExt[lv] = append(s.revExt[lv], lu)
 			}
@@ -126,10 +148,10 @@ func NewHostState(selfID int, owned []int, adj map[int][]int, owner func(node in
 	s.changed = make([]bool, len(s.owned))
 	s.inQueue = make([]bool, len(s.owned))
 
-	for hv := range seenHost {
-		s.neighborHosts = append(s.neighborHosts, hv)
+	if len(allBorders) > 0 {
+		sort.Ints(allBorders)
+		s.neighborHosts = slices.Compact(allBorders)
 	}
-	sort.Ints(s.neighborHosts)
 	s.count = make([]int, maxDeg+1)
 	s.ests = make([]int, 0, maxDeg)
 	return s
@@ -142,7 +164,7 @@ func NewHostState(selfID int, owned []int, adj map[int][]int, owner func(node in
 func (s *HostState) InitEstimates() {
 	for l := range s.est {
 		if s.ownedLocal(l) {
-			s.est[l] = len(s.adj[l])
+			s.est[l] = s.adjOff[l+1] - s.adjOff[l]
 		} else {
 			s.est[l] = InfEstimate
 		}
@@ -204,8 +226,9 @@ func (s *HostState) Improve() {
 		if ku <= 0 {
 			continue
 		}
+		neighbors := s.adjFlat[s.adjOff[lu]:s.adjOff[lu+1]]
 		s.ests = s.ests[:0]
-		for _, lv := range s.adj[lu] {
+		for _, lv := range neighbors {
 			s.ests = append(s.ests, s.est[lv])
 		}
 		k := ComputeIndex(s.ests, ku, s.count)
@@ -214,7 +237,7 @@ func (s *HostState) Improve() {
 		}
 		s.est[lu] = k
 		s.markChanged(lu)
-		for _, lv := range s.adj[lu] {
+		for _, lv := range neighbors {
 			// Only a neighbor whose estimate still exceeds u's new value
 			// can be lowered by this drop.
 			if s.ownedLocal(lv) && s.est[lv] > k {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"dkcore/internal/graph"
 	"dkcore/internal/sim"
 )
 
@@ -34,10 +33,12 @@ type oneToManyHost struct {
 
 var _ sim.Process[Batch] = (*oneToManyHost)(nil)
 
-// newOneToManyHost builds the host with ID id under the given assignment.
-func newOneToManyHost(g *graph.Graph, id int, assign Assignment, mode Dissemination) *oneToManyHost {
+// newOneToManyHost builds the host with ID id from the shared partition
+// product (so host setup across the whole simulation is one O(n+m) pass,
+// not one graph scan per host).
+func newOneToManyHost(parts *Partitions, id int, mode Dissemination) *oneToManyHost {
 	return &oneToManyHost{
-		state: NewPartitionState(g, assign, id),
+		state: parts.NewPartitionState(id),
 		mode:  mode,
 	}
 }

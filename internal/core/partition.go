@@ -1,27 +1,137 @@
 package core
 
-import "dkcore/internal/graph"
+import (
+	"fmt"
 
-// Partition returns host id's node set V(x) and the global adjacency of
-// those nodes under the given assignment — exactly the inputs NewHostState
-// expects. It is the single partitioning routine shared by the simulator
-// adapter (onetomany.go), the networked coordinator (internal/cluster),
-// and the shared-memory engine (internal/parallel), so the deployments
-// cannot drift in how they shard a graph.
-func Partition(g *graph.Graph, assign Assignment, id int) (owned []int, adj map[int][]int) {
-	adj = make(map[int][]int)
-	for u := 0; u < g.NumNodes(); u++ {
-		if assign.Host(u) == id {
-			owned = append(owned, u)
-			adj[u] = g.Neighbors(u)
-		}
+	"dkcore/internal/graph"
+)
+
+// Partitions is the flat, immutable product of partitioning a graph over
+// every host of an assignment at once: a node→host table plus, per host,
+// a dense sorted owned slice and a concatenated CSR-style adjacency copy.
+// It is built by PartitionAll in a single O(n+m+p) pass and is the one
+// partitioning product shared by the simulator adapter (onetomany.go),
+// the networked coordinator (internal/cluster), and the shared-memory
+// engine (internal/parallel), so the deployments cannot drift in how
+// they shard a graph.
+//
+// All adjacency data is copied out of the source graph at construction:
+// mutating a partition view can never corrupt the graph's internal CSR
+// storage, and the graph may be released once its Partitions exist.
+type Partitions struct {
+	hostOf []int // node → host table (the precomputed assignment)
+
+	// Owned nodes of host x are ownedFlat[ownedOff[x]:ownedOff[x+1]],
+	// sorted ascending (nodes are bucketed in ID order).
+	ownedFlat []int
+	ownedOff  []int // len NumParts()+1
+
+	// The neighbors of ownedFlat[i] are adjFlat[adjOff[i]:adjOff[i+1]] —
+	// one concatenated adjacency array for all partitions, in ownedFlat
+	// order, copied from the graph.
+	adjFlat []int
+	adjOff  []int // len n+1
+}
+
+// PartitionTable materializes assign as a dense node→host table over n
+// nodes, validating that every node lands in [0, NumHosts()). It is the
+// single validation point for user-supplied assignments; the table
+// replaces repeated assign.Host interface calls on hot paths.
+func PartitionTable(n int, assign Assignment) ([]int, error) {
+	p := assign.NumHosts()
+	if p < 1 {
+		return nil, fmt.Errorf("assignment reports %d hosts", p)
 	}
-	return owned, adj
+	hostOf := make([]int, n)
+	for u := 0; u < n; u++ {
+		h := assign.Host(u)
+		if h < 0 || h >= p {
+			return nil, fmt.Errorf("assignment sends node %d to host %d, want [0, %d)", u, h, p)
+		}
+		hostOf[u] = h
+	}
+	return hostOf, nil
+}
+
+// PartitionAll buckets g's nodes over every host of assign in one
+// O(n+m+p) pass — one node scan to build and validate the table, one
+// counting-sort bucketing, and one adjacency copy — rather than the
+// O(n·p) of scanning the full node set once per host.
+func PartitionAll(g *graph.Graph, assign Assignment) (*Partitions, error) {
+	n := g.NumNodes()
+	hostOf, err := PartitionTable(n, assign)
+	if err != nil {
+		return nil, err
+	}
+	p := assign.NumHosts()
+
+	// Counting sort of nodes by host: ascending node order within each
+	// bucket keeps every owned slice sorted with no comparison sort.
+	ownedOff := make([]int, p+1)
+	for _, h := range hostOf {
+		ownedOff[h+1]++
+	}
+	for x := 0; x < p; x++ {
+		ownedOff[x+1] += ownedOff[x]
+	}
+	ownedFlat := make([]int, n)
+	cursor := make([]int, p)
+	copy(cursor, ownedOff[:p])
+	for u := 0; u < n; u++ {
+		h := hostOf[u]
+		ownedFlat[cursor[h]] = u
+		cursor[h]++
+	}
+
+	// One adjacency copy in ownedFlat order; partition x's adjacency is
+	// the contiguous range delimited by its owned range's offsets.
+	adjOff := make([]int, n+1)
+	adjFlat := make([]int, g.NumArcs())
+	pos := 0
+	for i, u := range ownedFlat {
+		adjOff[i] = pos
+		pos += copy(adjFlat[pos:], g.Neighbors(u))
+	}
+	adjOff[n] = pos
+
+	return &Partitions{
+		hostOf:    hostOf,
+		ownedFlat: ownedFlat,
+		ownedOff:  ownedOff,
+		adjFlat:   adjFlat,
+		adjOff:    adjOff,
+	}, nil
+}
+
+// NumParts returns the number of partitions.
+func (p *Partitions) NumParts() int { return len(p.ownedOff) - 1 }
+
+// NumNodes returns the number of nodes partitioned.
+func (p *Partitions) NumNodes() int { return len(p.hostOf) }
+
+// HostOf returns the host owning node u — the precomputed assignment
+// table lookup.
+func (p *Partitions) HostOf(u int) int { return p.hostOf[u] }
+
+// Owned returns host x's sorted node set (shared slice — do not modify).
+func (p *Partitions) Owned(x int) []int {
+	return p.ownedFlat[p.ownedOff[x]:p.ownedOff[x+1]]
+}
+
+// CSR returns host x's flat partition state: its sorted owned nodes, the
+// offsets delimiting each node's neighbors, and the concatenated
+// neighbor array, such that the neighbors of owned[i] are
+// flat[off[i]:off[i+1]]. The slices are views into the Partitions'
+// storage (which never aliases the source graph); treat them as
+// read-only unless this Partitions is dedicated to the caller.
+func (p *Partitions) CSR(x int) (owned, off, flat []int) {
+	lo, hi := p.ownedOff[x], p.ownedOff[x+1]
+	return p.ownedFlat[lo:hi], p.adjOff[lo : hi+1], p.adjFlat
 }
 
 // NewPartitionState builds the protocol state machine for host id's
-// partition of g under assign.
-func NewPartitionState(g *graph.Graph, assign Assignment, id int) *HostState {
-	owned, adj := Partition(g, assign, id)
-	return NewHostState(id, owned, adj, assign.Host)
+// partition.
+func (p *Partitions) NewPartitionState(id int) *HostState {
+	owned, off, flat := p.CSR(id)
+	return NewHostState(id, p.NumNodes(), owned, off, flat, p.HostOf)
 }

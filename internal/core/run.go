@@ -198,15 +198,19 @@ func RunOneToMany(ctx context.Context, g *graph.Graph, assign Assignment, opts .
 	o := buildOptions(g, opts)
 	n := g.NumNodes()
 	numHosts := assign.NumHosts()
+	parts, err := PartitionAll(g, assign)
+	if err != nil {
+		return nil, fmt.Errorf("core: one-to-many: %w", err)
+	}
 	hosts := make([]*oneToManyHost, numHosts)
 	procs := make([]sim.Process[Batch], numHosts)
 	for x := 0; x < numHosts; x++ {
-		hosts[x] = newOneToManyHost(g, x, assign, o.mode)
+		hosts[x] = newOneToManyHost(parts, x, o.mode)
 		procs[x] = hosts[x]
 	}
 	owner := make([]*oneToManyHost, n)
 	for u := 0; u < n; u++ {
-		owner[u] = hosts[assign.Host(u)]
+		owner[u] = hosts[parts.HostOf(u)]
 	}
 
 	res := &Result{}
@@ -239,7 +243,7 @@ func RunOneToMany(ctx context.Context, g *graph.Graph, assign Assignment, opts .
 	for u := 0; u < n; u++ {
 		e, ok := owner[u].Estimate(u)
 		if !ok {
-			return nil, fmt.Errorf("core: host %d has no estimate for owned node %d", assign.Host(u), u)
+			return nil, fmt.Errorf("core: host %d has no estimate for owned node %d", parts.HostOf(u), u)
 		}
 		coreness[u] = e
 	}

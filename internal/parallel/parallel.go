@@ -92,11 +92,6 @@ func Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, er
 		if p < 1 {
 			return nil, fmt.Errorf("parallel: assignment reports %d hosts", p)
 		}
-		for u := 0; u < n; u++ {
-			if h := assign.Host(u); h < 0 || h >= p {
-				return nil, fmt.Errorf("parallel: assignment sends node %d to host %d, want [0, %d)", u, h, p)
-			}
-		}
 	} else {
 		if p < 0 {
 			return nil, fmt.Errorf("parallel: negative worker count %d", p)
@@ -114,9 +109,15 @@ func Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, er
 		maxRounds = defaultMaxRoundsSlack * (n + 1)
 	}
 
+	// One O(n+m) bucketing pass for all partitions; PartitionAll also
+	// validates user-supplied assignments, so no separate node scan.
+	parts, err := core.PartitionAll(g, assign)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
+	}
 	states := make([]*core.HostState, p)
 	parFor(p, func(x int) {
-		states[x] = core.NewPartitionState(g, assign, x)
+		states[x] = parts.NewPartitionState(x)
 	})
 
 	res := &Result{Workers: p}

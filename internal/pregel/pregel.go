@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sync"
 
+	"dkcore/internal/core"
 	"dkcore/internal/graph"
 )
 
@@ -104,15 +105,25 @@ type Engine[V, M any] struct {
 	// merge them at the barrier.
 	in [][]M
 
+	// Vertex sharding, fixed at construction: shards is the worker count
+	// capped at the vertex count and partOf is the dense vertex→shard
+	// table (core.PartitionTable over a block assignment — the same
+	// partitioning the sharded engines share). Workers route outgoing
+	// messages by destination shard, so the barrier merge runs one
+	// goroutine per destination with no cross-worker locking.
+	shards int
+	partOf []int
+
 	superstep int
 	sentTotal int64
 }
 
-// worker owns a shard of vertices and a private outbox, merged at the
-// end of each superstep to avoid cross-worker locking on the hot path.
+// worker owns a shard of vertices and a private outbox per destination
+// shard, merged at the end of each superstep without cross-worker
+// locking on the hot path.
 type worker[V, M any] struct {
 	eng  *Engine[V, M]
-	out  map[int][]M
+	out  []map[int][]M // destination shard → vertex → pending messages
 	sent int64
 	err  error
 }
@@ -127,15 +138,21 @@ func (w *worker[V, M]) send(dst int, msg M) {
 		}
 		return
 	}
+	shard := w.eng.partOf[dst]
+	out := w.out[shard]
+	if out == nil {
+		out = make(map[int][]M)
+		w.out[shard] = out
+	}
 	if w.eng.combiner != nil {
-		if cur, ok := w.out[dst]; ok && len(cur) == 1 {
+		if cur, ok := out[dst]; ok && len(cur) == 1 {
 			// Combined in place: no additional message crosses the wire.
 			cur[0] = w.eng.combiner(cur[0], msg)
 			return
 		}
 	}
 	w.sent++
-	w.out[dst] = append(w.out[dst], msg)
+	out[dst] = append(out[dst], msg)
 }
 
 // NewEngine builds an engine over topology g with initial vertex states
@@ -163,6 +180,21 @@ func NewEngine[V, M any](g *graph.Graph, compute Compute[V, M], initState func(v
 	}
 	if e.workers < 1 {
 		e.workers = 1
+	}
+	e.shards = e.workers
+	if e.shards > n {
+		e.shards = n
+	}
+	if n > 0 {
+		// The block assignment's contiguous ranges coincide with the
+		// per-worker compute chunks, so a worker's own shard is its own
+		// vertex range. The table cannot fail for a block policy; guard
+		// anyway so a future policy change surfaces loudly.
+		partOf, err := core.PartitionTable(n, core.BlockAssignment{N: n, H: e.shards})
+		if err != nil {
+			panic("pregel: " + err.Error())
+		}
+		e.partOf = partOf
 	}
 	return e
 }
@@ -222,10 +254,7 @@ func (e *Engine[V, M]) runSuperstep() (bool, error) {
 		return false, nil
 	}
 
-	workers := e.workers
-	if workers > n {
-		workers = n
-	}
+	workers := e.shards
 	ws := make([]*worker[V, M], workers)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -237,7 +266,7 @@ func (e *Engine[V, M]) runSuperstep() (bool, error) {
 		if lo >= hi {
 			break
 		}
-		w := &worker[V, M]{eng: e, out: make(map[int][]M)}
+		w := &worker[V, M]{eng: e, out: make([]map[int][]M, workers)}
 		ws[i] = w
 		wg.Add(1)
 		go func(w *worker[V, M], lo, hi int) {
@@ -261,8 +290,10 @@ func (e *Engine[V, M]) runSuperstep() (bool, error) {
 	}
 	wg.Wait()
 
-	// Barrier: merge worker outboxes into next-superstep inboxes.
-	work := false
+	// Barrier: merge worker outboxes into next-superstep inboxes. The
+	// outboxes are already bucketed by destination shard, so the merge
+	// runs one goroutine per destination; distinct destinations own
+	// disjoint vertex sets, so no inbox is touched by two goroutines.
 	for _, w := range ws {
 		if w == nil {
 			continue
@@ -271,13 +302,34 @@ func (e *Engine[V, M]) runSuperstep() (bool, error) {
 			return false, w.err
 		}
 		e.sentTotal += w.sent
-		for dst, msgs := range w.out {
-			if e.combiner != nil && len(e.in[dst]) == 1 && len(msgs) == 1 {
-				e.in[dst][0] = e.combiner(e.in[dst][0], msgs[0])
-			} else {
-				e.in[dst] = append(e.in[dst], msgs...)
+	}
+	shardWork := make([]bool, workers)
+	var mwg sync.WaitGroup
+	for x := 0; x < workers; x++ {
+		mwg.Add(1)
+		go func(x int) {
+			defer mwg.Done()
+			for _, w := range ws {
+				if w == nil || w.out[x] == nil {
+					continue
+				}
+				for dst, msgs := range w.out[x] {
+					if e.combiner != nil && len(e.in[dst]) == 1 && len(msgs) == 1 {
+						e.in[dst][0] = e.combiner(e.in[dst][0], msgs[0])
+					} else {
+						e.in[dst] = append(e.in[dst], msgs...)
+					}
+					shardWork[x] = true
+				}
 			}
+		}(x)
+	}
+	mwg.Wait()
+	work := false
+	for _, b := range shardWork {
+		if b {
 			work = true
+			break
 		}
 	}
 	if !work {

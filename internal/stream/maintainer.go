@@ -178,7 +178,12 @@ func (mt *Maintainer) Graph() *graph.Graph {
 	return b.Build()
 }
 
-// Apply applies one event, returning whether it changed the graph.
+// Apply applies one event, returning whether it changed the graph. It
+// inherits InsertEdge's and DeleteEdge's tolerance contracts: an event
+// that cannot apply (self-loop, negative endpoint, duplicate insert,
+// delete of an absent edge or of endpoints beyond the current node set)
+// is a no-op returning false, never a panic — so replaying an arbitrary
+// or partially stale event stream is always safe.
 func (mt *Maintainer) Apply(ev Event) bool {
 	if ev.Op == OpDelete {
 		return mt.DeleteEdge(ev.U, ev.V)
@@ -263,7 +268,11 @@ func (mt *Maintainer) InsertEdge(u, v int) bool {
 }
 
 // DeleteEdge removes the undirected edge {u, v} and updates coreness
-// exactly. It reports whether the edge was present.
+// exactly. It reports whether the edge was present; deleting an absent
+// edge — including self-loops, negative endpoints, and endpoints beyond
+// the current node count — is a documented no-op returning false, never
+// a panic, so deletions arriving ahead of (or instead of) their inserts
+// cannot crash a replay.
 func (mt *Maintainer) DeleteEdge(u, v int) bool {
 	if !mt.HasEdge(u, v) || u == v {
 		return false

@@ -77,6 +77,80 @@ func TestMaintainerRejectsInvalid(t *testing.T) {
 	}
 }
 
+// TestMaintainerOutOfRangeDeletesAreNoOps pins the tolerance contract:
+// deleting with endpoints beyond the current node count, with negative
+// endpoints, or for an absent edge must be a silent no-op — never a
+// panic, never a node-set growth — whether issued directly or replayed
+// through Apply.
+func TestMaintainerOutOfRangeDeletesAreNoOps(t *testing.T) {
+	mt := stream.NewMaintainer(graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}}))
+	deletes := [][2]int{
+		{0, 99},    // v beyond node count
+		{99, 0},    // u beyond node count
+		{100, 200}, // both beyond node count
+		{-1, 1},    // negative u
+		{1, -1},    // negative v
+		{-5, -6},   // both negative
+		{0, 2},     // absent edge between known nodes
+		{3, 3},     // self-loop on a known node
+		{500, 500}, // self-loop beyond node count
+		{0, 0},     // self-loop on node 0
+	}
+	for _, d := range deletes {
+		if mt.DeleteEdge(d[0], d[1]) {
+			t.Fatalf("DeleteEdge(%d, %d) reported a change", d[0], d[1])
+		}
+		if mt.Apply(stream.Event{Op: stream.OpDelete, U: d[0], V: d[1]}) {
+			t.Fatalf("Apply(delete %d %d) reported a change", d[0], d[1])
+		}
+	}
+	if mt.NumNodes() != 4 || mt.NumEdges() != 2 {
+		t.Fatalf("no-op deletes drifted state: n=%d m=%d, want 4/2", mt.NumNodes(), mt.NumEdges())
+	}
+	checkExact(t, mt, "after no-op deletes")
+}
+
+// TestMaintainerDeleteReinsertRoundTrip deletes every edge of a graph in
+// one order and reinserts in another: after the round trip the coreness
+// must match the original decomposition exactly, and a second delete of
+// an already-deleted edge mid-stream must stay a no-op.
+func TestMaintainerDeleteReinsertRoundTrip(t *testing.T) {
+	g := gen.GNM(60, 220, 13)
+	mt := stream.NewMaintainer(g)
+	want := kcore.Decompose(g).CorenessValues()
+
+	var edges [][2]int
+	g.Edges(func(u, v int) bool { edges = append(edges, [2]int{u, v}); return true })
+	for _, e := range edges {
+		if !mt.DeleteEdge(e[0], e[1]) {
+			t.Fatalf("delete %v rejected", e)
+		}
+		if mt.DeleteEdge(e[0], e[1]) {
+			t.Fatalf("double delete %v reported a change", e)
+		}
+	}
+	if mt.NumEdges() != 0 {
+		t.Fatalf("%d edges left after deleting all", mt.NumEdges())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if mt.Coreness(u) != 0 {
+			t.Fatalf("node %d has coreness %d on the empty edge set", u, mt.Coreness(u))
+		}
+	}
+	// Reinsert back-to-front through the event path.
+	for i := len(edges) - 1; i >= 0; i-- {
+		if !mt.Apply(stream.Event{Op: stream.OpInsert, U: edges[i][0], V: edges[i][1]}) {
+			t.Fatalf("reinsert %v rejected", edges[i])
+		}
+	}
+	for u, w := range want {
+		if mt.Coreness(u) != w {
+			t.Fatalf("after round trip node %d: coreness %d, want %d", u, mt.Coreness(u), w)
+		}
+	}
+	checkExact(t, mt, "after delete-then-reinsert round trip")
+}
+
 func TestMaintainerGrowsNodeSet(t *testing.T) {
 	mt := stream.NewMaintainer(graph.FromEdges(2, [][2]int{{0, 1}}))
 	if !mt.InsertEdge(7, 3) {
