@@ -63,4 +63,19 @@ bench: build
 bench-partition: build
 	$(GO) test -run '^$$' -bench BenchmarkPartitionSetup -benchtime $(BENCHTIME) .
 
+# bench-hotpath isolates the refinement hot-path benchmark: incremental
+# support-counter refinement vs the retained recompute-from-scratch
+# oracle on the power-law hub stress (the ≥2x throughput contract), with
+# allocation reporting.
+bench-hotpath: build
+	$(GO) test -run '^$$' -bench BenchmarkRefineHotPath -benchtime $(BENCHTIME) -benchmem .
+
+# bench-allocs is the allocation-regression gate CI's benchmark-smoke
+# lane runs: steady-state rounds of the parallel engine (and the
+# HostState refinement loop beneath it) must re-run a warmed state with
+# zero allocations. Deterministic tests, not benchmark-output parsing.
+bench-allocs: build
+	$(GO) test -run TestSteadyStateRoundAllocs -count=1 ./internal/parallel
+	$(GO) test -run TestRefineSteadyStateAllocs -count=1 .
+
 ci: build vet apicheck test race fuzz-short

@@ -37,6 +37,7 @@ func BenchmarkTable1(b *testing.B) {
 		b.Run(key, func(b *testing.B) {
 			g := benchGraph(b, key)
 			var rounds, msgsPerNode float64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := dkcore.DecomposeOneToOne(g, dkcore.WithSeed(int64(i+1)))
@@ -55,6 +56,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkTable2 reproduces the per-core convergence measurement on the
 // web-BerkStan analogue.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.Table2(bench.Config{Scale: benchScale, Reps: 1, Seed: int64(i + 1)}, 10)
 		if err != nil {
@@ -70,6 +72,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkFigure4(b *testing.B) {
 	g := benchGraph(b, "gnutella")
 	truth := dkcore.Decompose(g).CorenessValues()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := dkcore.DecomposeOneToOne(g,
@@ -105,6 +108,7 @@ func BenchmarkFigure5(b *testing.B) {
 		b.Run(m.name, func(b *testing.B) {
 			g := benchGraph(b, "astroph")
 			var overhead float64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := dkcore.DecomposeOneToMany(g, dkcore.ModuloAssignment{H: 64},
@@ -122,6 +126,7 @@ func BenchmarkFigure5(b *testing.B) {
 // BenchmarkWorstCase validates and times the §4.2 exact-round-count runs.
 func BenchmarkWorstCase(b *testing.B) {
 	g := dkcore.GenerateWorstCase(128)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := dkcore.DecomposeOneToOne(g, dkcore.WithDelivery(dkcore.DeliverNextRound))
@@ -140,6 +145,7 @@ func BenchmarkWorstCase(b *testing.B) {
 func BenchmarkSendOptimizationAblation(b *testing.B) {
 	g := benchGraph(b, "condmat")
 	var reduction float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		seed := dkcore.WithSeed(int64(i + 1))
@@ -171,6 +177,7 @@ func BenchmarkAssignmentAblation(b *testing.B) {
 	}
 	for _, p := range policies {
 		b.Run(p.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var overhead float64
 			for i := 0; i < b.N; i++ {
 				res, err := dkcore.DecomposeOneToMany(g, p.assign,
@@ -192,6 +199,7 @@ func BenchmarkSequentialBaseline(b *testing.B) {
 	for _, key := range []string{"astroph", "berkstan", "roadnet"} {
 		b.Run(key, func(b *testing.B) {
 			g := benchGraph(b, key)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				kcore.Decompose(g)
@@ -204,6 +212,7 @@ func BenchmarkSequentialBaseline(b *testing.B) {
 // BenchmarkLiveAsync times the goroutine-per-node asynchronous runtime.
 func BenchmarkLiveAsync(b *testing.B) {
 	g := benchGraph(b, "gnutella")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := dkcore.DecomposeLive(g, dkcore.WithLiveSendOptimization(true))
@@ -218,6 +227,7 @@ func BenchmarkLiveAsync(b *testing.B) {
 // work) against the same workload as the simulator benchmarks.
 func BenchmarkPregelKCore(b *testing.B) {
 	g := benchGraph(b, "gnutella")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		coreness, supersteps, err := dkcore.DecomposePregel(g)
@@ -234,6 +244,7 @@ func BenchmarkPregelKCore(b *testing.B) {
 func BenchmarkLossRecovery(b *testing.B) {
 	g := benchGraph(b, "gnutella")
 	truth := dkcore.Decompose(g).CorenessValues()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := dkcore.DecomposeOneToOne(g,
@@ -274,6 +285,7 @@ func BenchmarkStreamMaintenance(b *testing.B) {
 
 	b.Run("incremental", func(b *testing.B) {
 		mt := dkcore.NewMaintainer(g)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			// The batch restores the graph, so every iteration sees the
@@ -290,6 +302,7 @@ func BenchmarkStreamMaintenance(b *testing.B) {
 	b.Run("full-recompute", func(b *testing.B) {
 		// The recompute pipeline pays for a fresh decomposition of the
 		// post-batch graph; decomposing g measures exactly that cost.
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			dec := dkcore.Decompose(g)
@@ -308,9 +321,10 @@ const victimStride = 997
 // counts, on the 10k-node power-law generator (the degree profile of the
 // paper's web/social datasets) and the §4.2 worst-case family (the
 // round-count adversary: long dependency chains, minimal per-round
-// parallel work). The engine target is >1.5× over the simulator at 8
-// workers on the power-law graph; the worst case documents the regime
-// where barrier overhead eats the gain.
+// parallel work). The engine must hold ≥1.9× over the simulator at 8
+// workers on the power-law graph — even on one CPU, where the gain is
+// purely algorithmic (incremental cascades, peer-local addressing,
+// allocation-free rounds), not parallelism.
 func BenchmarkParallelSpeedup(b *testing.B) {
 	graphs := []struct {
 		name string
@@ -321,6 +335,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	}
 	for _, tc := range graphs {
 		b.Run(tc.name+"/sim", func(b *testing.B) {
+			b.ReportAllocs()
 			var rounds float64
 			for i := 0; i < b.N; i++ {
 				res, err := dkcore.DecomposeOneToOne(tc.g, dkcore.WithSeed(int64(i+1)))
@@ -333,6 +348,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 		})
 		for _, w := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/parallel-w%d", tc.name, w), func(b *testing.B) {
+				b.ReportAllocs()
 				var rounds float64
 				for i := 0; i < b.N; i++ {
 					res, err := dkcore.DecomposeParallel(tc.g, dkcore.WithWorkers(w))
@@ -386,6 +402,7 @@ func BenchmarkComputeIndex(b *testing.B) {
 		est[i] = (i * 7) % 40
 	}
 	count := make([]int, 41)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.ComputeIndex(est, 40, count)

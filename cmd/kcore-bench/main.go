@@ -118,6 +118,14 @@ var experiments = []experiment{
 			return bench.WriteParallel(w, data.([]bench.ParallelRow))
 		},
 	},
+	{
+		name:  "hotpath",
+		title: "extension: refinement hot path — incremental support counters vs recompute oracle",
+		run:   func(cfg bench.Config, _ int) (any, error) { return bench.HotPath(cfg) },
+		write: func(w io.Writer, data any) error {
+			return bench.WriteHotPath(w, data.([]bench.HotPathRow))
+		},
+	},
 }
 
 func lookupExperiment(name string) (experiment, bool) {

@@ -19,6 +19,7 @@ func TestRunTinyExperiments(t *testing.T) {
 		{"worstcase", "want N-1"},
 		{"ablation", "reduction"},
 		{"assignment", "modulo (paper)"},
+		{"hotpath", "hoststate-incremental"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.exp, func(t *testing.T) {

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"dkcore/internal/core"
+	"dkcore/internal/gen"
+	"dkcore/internal/graph"
+	"dkcore/internal/live"
+	"dkcore/internal/parallel"
+	"dkcore/internal/pregel"
+	"dkcore/internal/stats"
+)
+
+// HotPathRow is one engine kind's refinement-hot-path measurement on the
+// power-law hub stress: how fast estimate messages are applied (or, for
+// whole-engine rows, how long a full decomposition takes and how many
+// estimate messages it moved), and how much the steady state allocates.
+// These rows seed the BENCH_*.json perf trajectory so later PRs can
+// regress against them.
+type HotPathRow struct {
+	Engine      string        `json:"engine"`
+	Mean        time.Duration `json:"mean_ns"`
+	MsgsPerSec  float64       `json:"msgs_per_sec"`
+	AllocsPerOp float64       `json:"allocs_per_op"`
+	Rounds      int           `json:"rounds"`
+	// SpeedupVsOracle is set on the hoststate-incremental row: its
+	// refinement throughput over the recompute-from-scratch oracle's on
+	// the identical schedule — the tentpole's ≥2× claim.
+	SpeedupVsOracle float64 `json:"speedup_vs_oracle,omitempty"`
+}
+
+// hubGraph is the hot-path workload: a 10k-node (scaled) power law with
+// the degree cap lifted so genuine hubs exist — the nodes whose
+// re-enqueue × degree cost the incremental support counters eliminate.
+func hubGraph(cfg Config) *graph.Graph {
+	n := int(float64(10000) * cfg.Scale)
+	if n < 64 {
+		n = 64
+	}
+	maxDeg := n / 8
+	if maxDeg < 16 {
+		maxDeg = 16
+	}
+	return gen.PowerLaw(gen.PowerLawConfig{N: n, Exponent: 2.0, MinDeg: 2, MaxDeg: maxDeg}, cfg.Seed)
+}
+
+// measureAllocs runs fn reps times, returning mean wall time and mean
+// heap allocations per run.
+func measureAllocs(reps int, fn func() error) (time.Duration, float64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed / time.Duration(reps), float64(after.Mallocs-before.Mallocs) / float64(reps), nil
+}
+
+// DriveRefinement runs one full fine-grained refinement — init plus BSP
+// rounds to quiescence, every estimate message applied and cascaded
+// individually (the δ→0 regime of the per-node engines, and the hub
+// stress where recompute-from-scratch hits its O(re-enqueues × degree)
+// worst case) — over warmed partition states on a single goroutine,
+// counting the messages applied. InitEstimates is idempotent and the
+// inboxes drain at quiescence, so the same states and buffers re-run
+// allocation-free; it is shared by the hotpath experiment and
+// BenchmarkRefineHotPath so both measure identical semantics.
+func DriveRefinement(states []*core.HostState, inbox, next [][]core.Batch, single core.Batch) (applied int64, rounds int) {
+	for round := 0; ; round++ {
+		active := false
+		for x, s := range states {
+			if round == 0 {
+				s.InitEstimates()
+			} else {
+				for _, b := range inbox[x] {
+					for _, m := range b {
+						single[0] = m
+						s.Apply(single)
+						s.ImproveIfDirty()
+						applied++
+					}
+				}
+				inbox[x] = inbox[x][:0]
+			}
+			for dest, batch := range s.CollectPointToPoint() {
+				next[dest] = append(next[dest], batch)
+				active = true
+			}
+		}
+		if !active {
+			return applied, round + 1
+		}
+		inbox, next = next, inbox
+	}
+}
+
+// HotPath measures the refinement hot path across engine kinds on the
+// hub-stress graph: the HostState incremental path against its retained
+// recompute oracle on an identical schedule (their ratio is the
+// tentpole's refinement-throughput claim), then each full engine.
+func HotPath(cfg Config) ([]HotPathRow, error) {
+	cfg = cfg.WithDefaults()
+	g := hubGraph(cfg)
+	const hosts = 8
+	ctx := context.Background()
+
+	var rows []HotPathRow
+	var oracleRate float64
+	for _, mode := range []struct {
+		name   string
+		oracle bool
+	}{
+		{"hoststate-oracle", true},
+		{"hoststate-incremental", false},
+	} {
+		parts, err := core.PartitionAll(g, core.ModuloAssignment{H: hosts})
+		if err != nil {
+			return nil, fmt.Errorf("bench: hotpath: %w", err)
+		}
+		states := make([]*core.HostState, hosts)
+		for x := 0; x < hosts; x++ {
+			states[x] = parts.NewPartitionState(x)
+			if mode.oracle {
+				states[x].SetOracleRefine(true)
+			}
+		}
+		inbox := make([][]core.Batch, hosts)
+		next := make([][]core.Batch, hosts)
+		single := make(core.Batch, 1)
+		var applied int64
+		var rounds int
+		applied, rounds = DriveRefinement(states, inbox, next, single) // warm both buffer parities
+		DriveRefinement(states, inbox, next, single)
+		mean, allocs, err := measureAllocs(cfg.Reps, func() error {
+			DriveRefinement(states, inbox, next, single)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rate := float64(applied) / mean.Seconds()
+		row := HotPathRow{
+			Engine: mode.name, Mean: mean, MsgsPerSec: rate,
+			AllocsPerOp: allocs, Rounds: rounds,
+		}
+		if mode.oracle {
+			oracleRate = rate
+		} else if oracleRate > 0 {
+			row.SpeedupVsOracle = rate / oracleRate
+		}
+		rows = append(rows, row)
+	}
+
+	type engineRun struct {
+		name string
+		run  func() (msgs int64, rounds int, err error)
+	}
+	engines := []engineRun{
+		{"parallel", func() (int64, int, error) {
+			res, err := parallel.Decompose(ctx, g, parallel.WithWorkers(hosts))
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.EstimatesSent, res.Rounds, nil
+		}},
+		{"pregel", func() (int64, int, error) {
+			_, res, err := pregel.KCore(ctx, g)
+			return res.Messages, res.Supersteps, err
+		}},
+		{"onetomany", func() (int64, int, error) {
+			res, err := core.RunOneToMany(ctx, g, core.ModuloAssignment{H: hosts},
+				core.WithSeed(cfg.Seed), core.WithDissemination(core.PointToPoint))
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.TotalMessages, res.ExecutionTime, nil
+		}},
+		{"live", func() (int64, int, error) {
+			res, err := live.Decompose(ctx, g)
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.Messages, res.Rounds, nil
+		}},
+	}
+	for _, e := range engines {
+		var msgs int64
+		var rounds int
+		mean, allocs, err := measureAllocs(cfg.Reps, func() error {
+			m, r, err := e.run()
+			msgs, rounds = m, r
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: hotpath %s: %w", e.name, err)
+		}
+		rows = append(rows, HotPathRow{
+			Engine: e.name, Mean: mean,
+			MsgsPerSec:  float64(msgs) / mean.Seconds(),
+			AllocsPerOp: allocs, Rounds: rounds,
+		})
+	}
+	return rows, nil
+}
+
+// WriteHotPath renders the hot-path table.
+func WriteHotPath(w io.Writer, rows []HotPathRow) error {
+	tab := stats.NewTable("engine", "mean", "msgs/s", "allocs/op", "rounds", "vs oracle")
+	for _, r := range rows {
+		speedup := ""
+		if r.SpeedupVsOracle > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.SpeedupVsOracle)
+		}
+		tab.AddRow(
+			r.Engine,
+			r.Mean.Round(10*time.Microsecond).String(),
+			fmt.Sprintf("%.0f", r.MsgsPerSec),
+			fmt.Sprintf("%.1f", r.AllocsPerOp),
+			fmt.Sprintf("%d", r.Rounds),
+			speedup,
+		)
+	}
+	return tab.Render(w)
+}

@@ -257,7 +257,7 @@ func TestConfigDecodeRejectsDegreeMismatch(t *testing.T) {
 
 func TestDoneRoundTrip(t *testing.T) {
 	in := doneReport{Round: 7, Changed: 3, SentTotal: 100, AppliedTotal: 99, PairsTotal: 512}
-	out, err := decodeDone(encodeDone(in))
+	out, err := decodeDone(appendDone(nil, in))
 	if err != nil {
 		t.Fatal(err)
 	}

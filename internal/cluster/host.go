@@ -130,6 +130,13 @@ type hostWorker struct {
 	appliedTotal int64
 	pairsTotal   int64
 	lastChanged  int // owned estimate changes in the most recent round
+
+	// Reused per-round encode buffers: batches and done-reports are
+	// serialized into retained storage (Conn.Send copies into its write
+	// buffer before returning), so steady-state rounds encode without
+	// allocating once the buffers warm to the largest batch.
+	encBuf  []byte
+	doneBuf []byte
 }
 
 // connectMesh establishes one framed connection per neighboring host:
@@ -282,13 +289,14 @@ func (h *hostWorker) serve(coord *transport.Conn) (*HostResult, error) {
 				return nil, err
 			}
 			rounds = int(round64)
-			if err := coord.Send(frameDone, encodeDone(doneReport{
+			h.doneBuf = appendDone(h.doneBuf[:0], doneReport{
 				Round:        int(round64),
 				Changed:      h.lastChanged,
 				SentTotal:    h.sentTotal,
 				AppliedTotal: h.appliedTotal,
 				PairsTotal:   h.pairsTotal,
-			})); err != nil {
+			})
+			if err := coord.Send(frameDone, h.doneBuf); err != nil {
 				return nil, err
 			}
 		case frameStop:
@@ -357,7 +365,11 @@ drained:
 		if conn == nil {
 			return fmt.Errorf("cluster: host %d has no connection to neighbor %d", h.conf.HostID, y)
 		}
-		if err := conn.Send(frameBatch, transport.EncodeBatch(batch)); err != nil {
+		// AppendBatch reorders the batch in place, which is safe here: the
+		// host is the collect buffer's only consumer and the HostState
+		// truncates it on reuse.
+		h.encBuf = transport.AppendBatch(h.encBuf[:0], batch)
+		if err := conn.Send(frameBatch, h.encBuf); err != nil {
 			return err
 		}
 		h.sentTotal++

@@ -167,8 +167,9 @@ type doneReport struct {
 	PairsTotal   int64 // cumulative (node, estimate) pairs shipped
 }
 
-func encodeDone(r doneReport) []byte {
-	buf := make([]byte, 0, 20)
+// appendDone appends r's encoding to buf; per-round senders reuse the
+// buffer.
+func appendDone(buf []byte, r doneReport) []byte {
 	buf = binary.AppendUvarint(buf, uint64(r.Round))
 	buf = binary.AppendUvarint(buf, uint64(r.Changed))
 	buf = binary.AppendUvarint(buf, uint64(r.SentTotal))

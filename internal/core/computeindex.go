@@ -31,13 +31,21 @@ type Batch []EstimateMsg
 // largest value i <= k such that at least i neighbor estimates are >= i.
 //
 // est is indexed by neighbor position; values above k (including
-// InfEstimate) saturate at k. count is scratch space of length >= k+1; it
-// is zeroed and reused to keep the per-message cost allocation-free.
+// InfEstimate) saturate at k. count is scratch space, ideally of capacity
+// >= k+1; it is zeroed and reused to keep the per-message cost
+// allocation-free. A scratch too small for k — callers typically size it
+// by their degree while k may arrive from an external estimate — is grown
+// locally instead of sliced past its capacity, so an oversized bound
+// degrades to one allocation rather than a panic.
 func ComputeIndex(est []int, k int, count []int) int {
 	if k <= 0 {
 		return 0
 	}
-	count = count[:k+1]
+	if k+1 > cap(count) {
+		count = make([]int, k+1)
+	} else {
+		count = count[:k+1]
+	}
 	for i := range count {
 		count[i] = 0
 	}

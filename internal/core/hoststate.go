@@ -1,8 +1,8 @@
 package core
 
 import (
+	"math/bits"
 	"slices"
-	"sort"
 )
 
 // HostState is the transport-agnostic protocol state machine of a
@@ -17,30 +17,56 @@ import (
 // follow — so per-node state lives in dense slices sized by the
 // partition, not the graph, and the cascade's hot loop never touches a
 // map; global IDs are translated only at the batch boundary. The cascade
-// itself is worklist-driven: Apply enqueues only the owned nodes
-// adjacent to an estimate that actually dropped, and Improve recomputes
-// exactly the enqueued nodes (re-enqueueing neighbors a drop can still
-// affect) until the worklist drains. Per-round work is thus proportional
-// to the affected region, not the partition — the property that lets the
-// parallel engine scale past the simulator.
+// itself is worklist-driven and incremental: every owned node maintains a
+// histogram of its neighbors' estimates clamped to its own (see
+// refine.go), updated in O(1) per neighbor drop, so Apply enqueues only
+// the owned nodes whose support actually fell below their estimate, and
+// Improve recomputes an enqueued node by walking its histogram downward —
+// O(levels dropped), never O(degree). Total refinement work is
+// proportional to the sum of estimate drops, not re-enqueues × degree —
+// the property that keeps power-law hubs cheap. The recompute-from-
+// scratch path survives behind SetOracleRefine as the executable
+// specification for differential tests and benchmarks.
+//
+// Buffer-reuse contract: CollectBroadcast and CollectPointToPoint return
+// double-buffered storage owned by the HostState — a returned batch (and
+// the point-to-point map) stays valid until the second-following Collect
+// call, after which it is overwritten. Engines that collect once per
+// round and deliver by the next round (every engine in this module) are
+// therefore always safe; callers that buffer batches longer must copy.
 type HostState struct {
 	selfID int
 	owned  []int // V(x), global IDs, sorted
 
 	// Local-index node space: owned nodes first (in sorted global
-	// order), then external neighbors in first-seen order.
+	// order), then external neighbors in first-seen order. The
+	// global→local map is materialized lazily (see lookup): the
+	// shared-memory engine resolves everything positionally and never
+	// pays for it.
 	nodes []int       // local → global ID
-	local map[int]int // global → local index
+	local map[int]int // global → local index; nil until first needed
 
 	// Flat local adjacency: the local-index neighbors of owned local l
 	// are adjFlat[adjOff[l]:adjOff[l+1]] — one contiguous array per
 	// partition, owned by the HostState (never aliasing the graph).
-	adjOff      []int
-	adjFlat     []int
-	revExt      [][]int // external local → adjacent owned locals
-	hostsOf     [][]int // owned local → neighboring hosts owning one of its neighbors
+	// adjOff[0] is always 0.
+	adjOff  []int
+	adjFlat []int
+	// Reverse adjacency of externals, flattened: the owned locals
+	// adjacent to external local l are revFlat[revOff[i]:revOff[i+1]]
+	// with i = l - len(owned).
+	revOff      []int32
+	revFlat     []int32
+	borderPos   [][]int // owned local → positions into neighborHosts of hosts owning one of its neighbors; views into one arena
 	est         []int   // per local; meaningful after InitEstimates
 	initialized bool
+
+	// histBuf holds every owned node's clamped neighbor-estimate
+	// histogram in one flat array: owned local l's buckets are
+	// histBuf[adjOff[l]+l : adjOff[l+1]+l+1] (degree+1 buckets, indexed
+	// by clamped estimate). Maintained by Apply/Improve unless the
+	// oracle path is selected.
+	histBuf []int
 
 	changed     []bool // owned local marked since last collection
 	changedList []int
@@ -52,12 +78,45 @@ type HostState struct {
 
 	neighborHosts []int
 
-	count []int
-	ests  []int
+	// Double-buffered collection storage (see the type comment's
+	// buffer-reuse contract). flip selects the half to overwrite next.
+	bcast     [2]Batch
+	bcastFlip int
+	ptpOut    [2]map[int]Batch
+	ptpBufs   [2][]Batch // indexed by neighborHosts position
+	ptpFlip   int
+
+	// Peer-local addressing (LinkPeerLocals): peerIdx[l][j] is owned
+	// local l's local index at the host at position borderPos[l][j] —
+	// resolved once at setup so in-process engines ship batches whose
+	// Node fields are receiver-local indices, and the receiver's Apply
+	// needs no global→local map lookup per message. nil when unlinked
+	// (the simulator and the networked cluster stay on global IDs).
+	peerIdx [][]int32
+
+	// Oracle refinement (SetOracleRefine): recompute-from-scratch via
+	// ComputeIndex, kept as the differential-testing specification.
+	oracle bool
+	count  []int // ComputeIndex scratch (oracle only)
+	ests   []int // neighbor-estimate gather scratch (oracle only)
 }
 
 // ownedLocal reports whether local index l is an owned node.
 func (s *HostState) ownedLocal(l int) bool { return l < len(s.owned) }
+
+// hist returns owned local l's clamped neighbor-estimate histogram.
+func (s *HostState) hist(l int) []int {
+	return s.histBuf[s.adjOff[l]+l : s.adjOff[l+1]+l+1]
+}
+
+// revOf returns the owned locals adjacent to external local l.
+func (s *HostState) revOf(l int) []int32 {
+	i := l - len(s.owned)
+	return s.revFlat[s.revOff[i]:s.revOff[i+1]]
+}
+
+// degreeOf returns owned local l's degree.
+func (s *HostState) degreeOf(l int) int { return s.adjOff[l+1] - s.adjOff[l] }
 
 // NewHostState builds the state machine for host selfID from flat CSR
 // partition state: owned is the host's node set (sorted ascending,
@@ -81,92 +140,448 @@ func NewHostState(selfID, numNodes int, owned, off, flat []int, owner func(node 
 	// Owned nodes take the first local indices; externals are appended
 	// as the adjacency scan discovers them. The tracked-node count is
 	// bounded by nOwned plus the externals, which cannot exceed either
-	// the arc count or the non-owned remainder of the graph; pre-sizing
-	// the translation map to that bound trades a bounded memory
-	// overshoot for never rehashing on the per-arc hot path of
-	// partition setup.
+	// the arc count or the non-owned remainder of the graph.
 	extCap := totalDeg
 	if rest := numNodes - nOwned; rest >= 0 && rest < extCap {
 		extCap = rest
 	}
 	s.nodes = make([]int, nOwned, nOwned+extCap)
-	s.local = make(map[int]int, nOwned+extCap)
-	for l, u := range owned {
-		s.nodes[l] = u
-		s.local[u] = l
+	copy(s.nodes, owned)
+
+	// Translation during construction: a dense global→local scratch when
+	// the graph is at most a constant factor larger than the partition
+	// (the per-arc cost becomes one array read instead of a hashed map
+	// operation — the dominant setup cost for engine-sized partition
+	// counts), a pre-sized map otherwise (many tiny partitions, or a
+	// hostile NumNodes from an untrusted cluster config, where an
+	// O(numNodes) scratch per partition would re-create the O(n·p) setup
+	// this module removed). The global→local map itself is built lazily
+	// (see lookup); positional engines never need it.
+	const denseFactor = 8
+	var loc []int32
+	if numNodes <= denseFactor*(nOwned+totalDeg+1) {
+		loc = make([]int32, numNodes)
+		for l, u := range owned {
+			loc[u] = int32(l) + 1
+		}
+	} else {
+		s.local = make(map[int]int, nOwned+extCap)
+		for l, u := range owned {
+			s.local[u] = l
+		}
 	}
 
 	s.adjOff = make([]int, nOwned+1)
 	s.adjFlat = make([]int, totalDeg)
-	s.hostsOf = make([][]int, nOwned)
-	maxDeg := 0
 	pos := 0
-	// Border hosts are deduplicated by sort-and-compact on a reused
-	// scratch slice — O(d log d) per node with one exact-size allocation
-	// per border node, where a per-arc set would pay a map operation per
-	// cross-partition arc.
-	var borderScratch, allBorders []int
+	// Border hosts are deduplicated per node with a bitmask when host
+	// IDs fit one word (they do for every engine-sized partition count)
+	// — O(1) per arc with no sorting and two allocations total; the
+	// sort-and-compact scratch remains as the fallback for p > 64.
+	var (
+		masks        []uint64 // per owned node, host-ID bits (wide == false)
+		allMask      uint64
+		wide         bool
+		flipAt       = -1    // first node processed in wide mode
+		borderLists  [][]int // per owned node (wide == true)
+		wideScratch  []int
+		wideAll      []int
+		totalBorders int
+	)
+	if selfID < 64 {
+		masks = make([]uint64, nOwned)
+	} else {
+		wide = true
+	}
 	for lu := range owned {
 		ns := flat[off[lu]:off[lu+1]]
-		if len(ns) > maxDeg {
-			maxDeg = len(ns)
-		}
 		s.adjOff[lu] = pos
-		borderScratch = borderScratch[:0]
+		if wide {
+			wideScratch = wideScratch[:0]
+		}
+		var mask uint64
 		for _, v := range ns {
-			lv, ok := s.local[v]
-			if !ok {
-				lv = len(s.nodes)
-				s.nodes = append(s.nodes, v)
-				s.local[v] = lv
+			var lv int
+			if loc != nil {
+				if loc[v] == 0 {
+					lv = len(s.nodes)
+					s.nodes = append(s.nodes, v)
+					loc[v] = int32(lv) + 1
+				} else {
+					lv = int(loc[v]) - 1
+				}
+			} else {
+				l, ok := s.local[v]
+				if !ok {
+					l = len(s.nodes)
+					s.nodes = append(s.nodes, v)
+					s.local[v] = l
+				}
+				lv = l
 			}
 			s.adjFlat[pos] = lv
 			pos++
 			if hv := owner(v); hv != selfID {
-				borderScratch = append(borderScratch, hv)
+				if wide {
+					wideScratch = append(wideScratch, hv)
+				} else if hv < 64 {
+					mask |= uint64(1) << hv
+				} else {
+					// First host ID past the mask: this node and all
+					// later ones switch to sorted lists; nodes already
+					// finished keep their (complete, sub-64) masks and
+					// are folded into lists after the loop.
+					wide = true
+					flipAt = lu
+				}
 			}
 		}
-		if len(borderScratch) > 0 {
-			sort.Ints(borderScratch)
-			uniq := slices.Compact(borderScratch)
-			s.hostsOf[lu] = append(make([]int, 0, len(uniq)), uniq...)
-			allBorders = append(allBorders, uniq...)
+		if !wide {
+			masks[lu] = mask
+			allMask |= mask
+			totalBorders += bits.OnesCount64(mask)
+			continue
+		}
+		if flipAt == lu {
+			// The flip happened mid-node: this node's earlier arcs went
+			// to the mask, so rescan its border hosts from scratch.
+			wideScratch = wideScratch[:0]
+			for _, v := range ns {
+				if hv := owner(v); hv != selfID {
+					wideScratch = append(wideScratch, hv)
+				}
+			}
+		}
+		if borderLists == nil {
+			borderLists = make([][]int, nOwned)
+		}
+		if len(wideScratch) > 0 {
+			slices.Sort(wideScratch)
+			uniq := slices.Compact(wideScratch)
+			borderLists[lu] = append(make([]int, 0, len(uniq)), uniq...)
+			wideAll = append(wideAll, uniq...)
 		}
 	}
 	s.adjOff[nOwned] = pos
+	if wide && flipAt > 0 {
+		// Fold the pre-flip masks into the list representation.
+		for lu := 0; lu < flipAt; lu++ {
+			m := masks[lu]
+			if m == 0 {
+				continue
+			}
+			row := make([]int, 0, bits.OnesCount64(m))
+			for ; m != 0; m &= m - 1 {
+				row = append(row, bits.TrailingZeros64(m))
+			}
+			if borderLists == nil {
+				borderLists = make([][]int, nOwned)
+			}
+			borderLists[lu] = row
+			wideAll = append(wideAll, row...)
+		}
+	}
 
 	n := len(s.nodes)
-	s.revExt = make([][]int, n)
+	// Reverse adjacency of externals, flattened by counting sort: count
+	// each external's owned-neighbor degree, prefix-sum, fill.
+	nExt := n - nOwned
+	s.revOff = make([]int32, nExt+1)
+	for _, lv := range s.adjFlat {
+		if lv >= nOwned {
+			s.revOff[lv-nOwned+1]++
+		}
+	}
+	for i := 0; i < nExt; i++ {
+		s.revOff[i+1] += s.revOff[i]
+	}
+	s.revFlat = make([]int32, s.revOff[nExt])
+	cursor := make([]int32, nExt)
 	for lu := 0; lu < nOwned; lu++ {
 		for _, lv := range s.adjFlat[s.adjOff[lu]:s.adjOff[lu+1]] {
-			if !s.ownedLocal(lv) {
-				s.revExt[lv] = append(s.revExt[lv], lu)
+			if lv >= nOwned {
+				i := lv - nOwned
+				s.revFlat[s.revOff[i]+cursor[i]] = int32(lu)
+				cursor[i]++
 			}
 		}
 	}
-	s.est = make([]int, n)
-	s.changed = make([]bool, len(s.owned))
-	s.inQueue = make([]bool, len(s.owned))
 
-	if len(allBorders) > 0 {
-		sort.Ints(allBorders)
-		s.neighborHosts = slices.Compact(allBorders)
+	s.est = make([]int, n)
+	s.histBuf = make([]int, totalDeg+nOwned)
+	s.changed = make([]bool, nOwned)
+	s.inQueue = make([]bool, nOwned)
+
+	// neighborHosts and per-node border positions. Mask bits enumerate
+	// ascending, so both come out sorted for free; the wide path sorts.
+	if !wide && allMask != 0 {
+		s.neighborHosts = make([]int, 0, bits.OnesCount64(allMask))
+		var posOf [64]int32
+		for m := allMask; m != 0; m &= m - 1 {
+			h := bits.TrailingZeros64(m)
+			posOf[h] = int32(len(s.neighborHosts))
+			s.neighborHosts = append(s.neighborHosts, h)
+		}
+		s.borderPos = make([][]int, nOwned)
+		arena := make([]int, totalBorders)
+		used := 0
+		for lu, m := range masks {
+			if m == 0 {
+				continue
+			}
+			row := arena[used : used : used+bits.OnesCount64(m)]
+			for ; m != 0; m &= m - 1 {
+				row = append(row, int(posOf[bits.TrailingZeros64(m)]))
+			}
+			used += len(row)
+			s.borderPos[lu] = row
+		}
+	} else if wide && len(wideAll) > 0 {
+		slices.Sort(wideAll)
+		s.neighborHosts = slices.Compact(wideAll)
+		s.borderPos = borderLists
+		// Dense host-ID→position table: one O(maxID) scratch beats a
+		// binary search per (node, host) pair.
+		posOf := make([]int32, s.neighborHosts[len(s.neighborHosts)-1]+1)
+		for i, h := range s.neighborHosts {
+			posOf[h] = int32(i)
+		}
+		for lu := range s.borderPos {
+			for i, id := range s.borderPos[lu] {
+				s.borderPos[lu][i] = int(posOf[id])
+			}
+		}
+	} else {
+		s.borderPos = make([][]int, nOwned)
 	}
-	s.count = make([]int, maxDeg+1)
-	s.ests = make([]int, 0, maxDeg)
+	// The double-buffered collection storage (ptpBufs/ptpOut) is
+	// allocated on first collect: paying for it here would put an
+	// O(neighborHosts) cost on every partition of a setup that may never
+	// ship a batch, visible in the flat-in-p partition-setup gate.
 	return s
 }
 
+// lookup resolves a global node ID to its local index. Owned nodes
+// resolve by binary search without materializing the translation map;
+// the first external lookup builds it (once) — the positional engine
+// paths never reach this.
+func (s *HostState) lookup(u int) (int, bool) {
+	if s.local == nil {
+		if l, ok := slices.BinarySearch(s.owned, u); ok {
+			return l, true
+		}
+		s.local = make(map[int]int, len(s.nodes))
+		for l, g := range s.nodes {
+			s.local[g] = l
+		}
+	}
+	l, ok := s.local[u]
+	return l, ok
+}
+
+// LinkPeerLocals wires peer-local addressing across the partition states
+// of one PartitionAll product, all living in the same address space
+// (states[x] must be partition x's state). For every external node e
+// tracked by a state y, the owner's state learns e's local index at y,
+// so CollectPeerLocal can ship batches whose Node fields are
+// receiver-local indices and ApplyPeerLocal can skip the global→local
+// map lookup that otherwise costs a hashed cache miss per message on the
+// engine hot path. Resolution itself is map-free: externals are
+// enumerated receiver-side and located in the owner's sorted owned set
+// by binary search — O(border × log) once, against O(messages) lookups
+// per run. Call before the first round; the networked cluster cannot
+// link (its peers are remote) and stays on global addressing.
+func LinkPeerLocals(parts *Partitions, states []*HostState) {
+	// One flat backing array for all peerIdx rows, mirroring borderPos.
+	for _, s := range states {
+		total := 0
+		for _, hosts := range s.borderPos {
+			total += len(hosts)
+		}
+		if total == 0 {
+			continue
+		}
+		flat := make([]int32, total)
+		s.peerIdx = make([][]int32, len(s.borderPos))
+		pos := 0
+		for l, hosts := range s.borderPos {
+			s.peerIdx[l] = flat[pos : pos+len(hosts)]
+			pos += len(hosts)
+		}
+	}
+	// rank[u] is u's index within its owner's owned set and posAt[x*p+h]
+	// is host h's position in state x's neighborHosts — two dense tables
+	// that make the resolution loop below pure array reads (a binary
+	// search per external here costs as much as the map lookups being
+	// eliminated). O(n + p²) space, transient.
+	p := len(states)
+	rank := make([]int32, parts.NumNodes())
+	for _, s := range states {
+		for l, u := range s.owned {
+			rank[u] = int32(l)
+		}
+	}
+	posAt := make([]int32, p*p)
+	for x, s := range states {
+		for i, h := range s.neighborHosts {
+			posAt[x*p+h] = int32(i)
+		}
+	}
+	for _, y := range states {
+		for le := len(y.owned); le < len(y.nodes); le++ {
+			e := y.nodes[le]
+			x := parts.HostOf(e)
+			sx := states[x]
+			lu := int(rank[e])
+			pos := posAt[x*p+y.selfID]
+			for j, bp := range sx.borderPos[lu] {
+				if bp == int(pos) {
+					sx.peerIdx[lu][j] = int32(le)
+					break
+				}
+			}
+		}
+	}
+}
+
+// ApplyPeerLocal is Apply for peer-local batches (LinkPeerLocals): Node
+// fields are this host's own external local indices, so the per-message
+// translation disappears. Only externals are addressable — an engine
+// peer only ever ships estimates of nodes it owns, which this host
+// tracks as externals.
+func (s *HostState) ApplyPeerLocal(batch Batch) bool {
+	if !s.initialized {
+		return false
+	}
+	improved := false
+	nOwned := len(s.owned)
+	for _, m := range batch {
+		lu := m.Node
+		if lu < nOwned || lu >= len(s.est) || m.Core < 0 || m.Core >= s.est[lu] {
+			continue
+		}
+		a, b := s.est[lu], m.Core
+		s.est[lu] = b
+		s.dirty = true
+		improved = true
+		if s.oracle {
+			for _, lo := range s.revOf(lu) {
+				if s.est[lo] > b {
+					s.enqueue(int(lo))
+				}
+			}
+		} else {
+			for _, lo := range s.revOf(lu) {
+				s.lowerOwned(int(lo), a, b)
+			}
+		}
+	}
+	return improved
+}
+
+// CollectPeerLocal is CollectPointToPoint for linked states: the
+// returned slice is aligned with NeighborHosts (empty batches for hosts
+// with no relevant changes), batches carry receiver-local indices, and
+// no per-round map is touched. The same double-buffer contract applies:
+// the slice and its batches are valid until the second-following Collect
+// call. Returns nil when nothing changed.
+func (s *HostState) CollectPeerLocal() []Batch {
+	if len(s.changedList) == 0 || len(s.neighborHosts) == 0 {
+		// A borderless state (single partition, or an island) never
+		// links and never ships; clearing keeps the changed set tidy.
+		s.clearChanged()
+		return nil
+	}
+	if s.peerIdx == nil {
+		panic("core: CollectPeerLocal without LinkPeerLocals")
+	}
+	s.ptpFlip ^= 1
+	bufs := s.flipBufs()
+	any := false
+	for _, l := range s.changedList {
+		hosts := s.borderPos[l]
+		if len(hosts) == 0 {
+			continue
+		}
+		e := s.est[l]
+		pi := s.peerIdx[l]
+		for j, p := range hosts {
+			bufs[p] = append(bufs[p], EstimateMsg{Node: int(pi[j]), Core: e})
+		}
+		any = true
+	}
+	s.clearChanged()
+	if !any {
+		return nil
+	}
+	return bufs
+}
+
+// flipBufs returns the current flip's per-host batch buffers, truncated,
+// allocating the double buffer on first use.
+func (s *HostState) flipBufs() []Batch {
+	if s.ptpBufs[s.ptpFlip] == nil {
+		s.ptpBufs[s.ptpFlip] = make([]Batch, len(s.neighborHosts))
+		return s.ptpBufs[s.ptpFlip]
+	}
+	bufs := s.ptpBufs[s.ptpFlip]
+	for i := range bufs {
+		bufs[i] = bufs[i][:0]
+	}
+	return bufs
+}
+
+// SetOracleRefine switches the host between incremental support-counter
+// refinement (the default) and the recompute-from-scratch ComputeIndex
+// path it replaced. The oracle exists as the executable specification:
+// differential tests drive both modes in lockstep and the hot-path
+// benchmark quantifies the gap. Must be called before InitEstimates.
+func (s *HostState) SetOracleRefine(on bool) {
+	if s.initialized {
+		panic("core: SetOracleRefine after InitEstimates")
+	}
+	s.oracle = on
+	if on && s.count == nil {
+		maxDeg := 0
+		for l := range s.owned {
+			if d := s.degreeOf(l); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		s.count = make([]int, maxDeg+1)
+		s.ests = make([]int, 0, maxDeg)
+	}
+}
+
 // InitEstimates sets est[u] = d(u) for owned nodes and +∞ for external
-// neighbors, runs the local cascade, and marks every owned node changed so
-// the first collection ships all initial estimates (Algorithm 3's
-// initialization).
+// neighbors, builds the support histograms, runs the local cascade, and
+// marks every owned node changed so the first collection ships all
+// initial estimates (Algorithm 3's initialization). It is idempotent and
+// allocation-free after the first call, so warmed state can be re-run
+// (the hot-path benchmark's reset).
 func (s *HostState) InitEstimates() {
 	for l := range s.est {
 		if s.ownedLocal(l) {
-			s.est[l] = s.adjOff[l+1] - s.adjOff[l]
+			s.est[l] = s.degreeOf(l)
 		} else {
 			s.est[l] = InfEstimate
+		}
+	}
+	if !s.oracle {
+		clear(s.histBuf)
+		for lu := range s.owned {
+			k := s.degreeOf(lu)
+			if k == 0 {
+				continue
+			}
+			cnt := s.hist(lu)
+			for _, lv := range s.adjFlat[s.adjOff[lu]:s.adjOff[lu+1]] {
+				j := s.est[lv]
+				if j > k {
+					j = k
+				}
+				cnt[j]++
+			}
 		}
 	}
 	s.initialized = true
@@ -179,8 +594,10 @@ func (s *HostState) InitEstimates() {
 	}
 }
 
-// Apply lowers known estimates from an incoming batch, enqueueing the
-// owned nodes a drop can affect. It reports whether any entry improved.
+// Apply lowers known estimates from an incoming batch, updating the
+// affected owned nodes' support histograms in O(1) per (neighbor, drop)
+// and enqueueing only the nodes whose support actually fell below their
+// estimate. It reports whether any entry improved.
 func (s *HostState) Apply(batch Batch) bool {
 	if !s.initialized {
 		// Estimates do not exist yet; Algorithm 3's initialization will
@@ -192,32 +609,116 @@ func (s *HostState) Apply(batch Batch) bool {
 		if m.Core < 0 {
 			continue
 		}
-		lu, ok := s.local[m.Node]
+		lu, ok := s.lookup(m.Node)
 		if !ok || m.Core >= s.est[lu] {
 			continue
 		}
-		s.est[lu] = m.Core
+		a, b := s.est[lu], m.Core
+		s.est[lu] = b
 		s.dirty = true
 		improved = true
 		if s.ownedLocal(lu) {
-			s.enqueue(lu)
-		} else {
-			for _, lo := range s.revExt[lu] {
-				if s.est[lo] > m.Core {
-					s.enqueue(lo)
+			// A remote authority lowered an owned estimate directly (no
+			// well-behaved peer does this, but the protocol tolerates
+			// it): re-clamp the node's own histogram to the new bound
+			// and treat the drop like any other for its neighbors. The
+			// owned neighbors must hear about the drop too — the
+			// pre-histogram code forgot them here, leaving their
+			// estimates stale at an overestimate until unrelated traffic
+			// happened to re-enqueue them (found by the differential
+			// fuzzer); both paths now propagate.
+			if s.oracle {
+				for _, lv := range s.adjFlat[s.adjOff[lu]:s.adjOff[lu+1]] {
+					if s.ownedLocal(lv) && s.est[lv] > b {
+						s.enqueue(lv)
+					}
 				}
+			} else {
+				if a > 0 {
+					supportFold(s.hist(lu), a, b)
+				}
+				s.propagateDrop(lu, a, b)
+			}
+			s.enqueue(lu)
+		} else if s.oracle {
+			for _, lo := range s.revOf(lu) {
+				if s.est[lo] > b {
+					s.enqueue(int(lo))
+				}
+			}
+		} else {
+			for _, lo := range s.revOf(lu) {
+				s.lowerOwned(int(lo), a, b)
 			}
 		}
 	}
 	return improved
 }
 
-// Improve is Algorithm 4: cascade ComputeIndex over the enqueued owned
+// lowerOwned records neighbor drop a→b in owned local lu's histogram and
+// enqueues lu when its support fell below its estimate. O(1).
+func (s *HostState) lowerOwned(lu, a, b int) {
+	k := s.est[lu]
+	if k <= 0 {
+		return
+	}
+	cnt := s.hist(lu)
+	if supportLower(cnt, k, a, b) && cnt[k] < k {
+		s.enqueue(lu)
+	}
+}
+
+// propagateDrop pushes owned local lv's estimate drop a→b into the
+// histograms of its owned neighbors.
+func (s *HostState) propagateDrop(lv, a, b int) {
+	for _, lu := range s.adjFlat[s.adjOff[lv]:s.adjOff[lv+1]] {
+		if s.ownedLocal(lu) {
+			s.lowerOwned(lu, a, b)
+		}
+	}
+}
+
+// Improve is Algorithm 4: cascade refinement over the enqueued owned
 // nodes until the worklist drains. The fixpoint is the same as a full
 // sweep (estimates are monotone non-increasing), only cheaper. FIFO
 // order lets a node absorb every pending neighbor drop before its own
-// recomputation, so chains converge in one pass per level.
+// recomputation, so chains converge in one pass per level. Each
+// recomputation walks the node's support histogram downward from its
+// current estimate — O(levels dropped) — instead of rescanning its
+// adjacency; nodes whose support is still intact are skipped in O(1).
 func (s *HostState) Improve() {
+	if s.oracle {
+		s.improveOracle()
+		return
+	}
+	for s.qhead < len(s.queue) {
+		lu := s.queue[s.qhead]
+		s.qhead++
+		s.inQueue[lu] = false
+		k := s.est[lu]
+		if k <= 0 {
+			continue
+		}
+		cnt := s.hist(lu)
+		if cnt[k] >= k {
+			continue // support intact; nothing to recompute
+		}
+		nk := supportRefine(cnt, k)
+		if nk >= k {
+			continue // at the floor of 1; cannot drop further
+		}
+		s.est[lu] = nk
+		s.markChanged(lu)
+		s.propagateDrop(lu, k, nk)
+	}
+	s.queue = s.queue[:0]
+	s.qhead = 0
+	s.dirty = false
+}
+
+// improveOracle is the retained pre-histogram cascade: gather every
+// neighbor estimate and re-run ComputeIndex — O(deg) per enqueued node.
+func (s *HostState) improveOracle() {
 	for s.qhead < len(s.queue) {
 		lu := s.queue[s.qhead]
 		s.qhead++
@@ -281,41 +782,62 @@ func (s *HostState) ChangedCount() int { return len(s.changedList) }
 
 // CollectBroadcast returns one batch with every changed owned estimate and
 // clears the changed set (the §3.2.1 broadcast policy). It returns nil
-// when nothing changed.
+// when nothing changed. The batch aliases double-buffered storage: it is
+// valid until the second-following Collect call (see the type comment),
+// so steady-state rounds ship estimates without allocating.
 func (s *HostState) CollectBroadcast() Batch {
 	if len(s.changedList) == 0 {
 		return nil
 	}
-	batch := make(Batch, 0, len(s.changedList))
+	s.bcastFlip ^= 1
+	batch := s.bcast[s.bcastFlip][:0]
 	for _, l := range s.changedList {
 		batch = append(batch, EstimateMsg{Node: s.nodes[l], Core: s.est[l]})
 	}
+	s.bcast[s.bcastFlip] = batch
 	s.clearChanged()
 	return batch
 }
 
 // CollectPointToPoint returns, per neighboring host, the batch of changed
 // border estimates relevant to it (Algorithm 5), then clears the changed
-// set. Hosts with no relevant changes are absent from the map.
+// set. Hosts with no relevant changes are absent from the map. The map
+// and its batches alias double-buffered storage valid until the
+// second-following Collect call (see the type comment); steady-state
+// rounds reuse both, allocating nothing.
 func (s *HostState) CollectPointToPoint() map[int]Batch {
-	if len(s.changedList) == 0 {
+	if len(s.changedList) == 0 || len(s.neighborHosts) == 0 {
+		s.clearChanged()
 		return nil
 	}
-	var out map[int]Batch
+	s.ptpFlip ^= 1
+	bufs := s.flipBufs()
+	any := false
 	for _, l := range s.changedList {
-		hosts := s.hostsOf[l]
+		hosts := s.borderPos[l]
 		if len(hosts) == 0 {
 			continue
 		}
 		msg := EstimateMsg{Node: s.nodes[l], Core: s.est[l]}
-		if out == nil {
-			out = make(map[int]Batch)
+		for _, p := range hosts {
+			bufs[p] = append(bufs[p], msg)
 		}
-		for _, y := range hosts {
-			out[y] = append(out[y], msg)
-		}
+		any = true
 	}
 	s.clearChanged()
+	if !any {
+		return nil
+	}
+	if s.ptpOut[s.ptpFlip] == nil {
+		s.ptpOut[s.ptpFlip] = make(map[int]Batch, len(s.neighborHosts))
+	}
+	out := s.ptpOut[s.ptpFlip]
+	clear(out)
+	for p, b := range bufs {
+		if len(b) > 0 {
+			out[s.neighborHosts[p]] = b
+		}
+	}
 	return out
 }
 
@@ -332,7 +854,7 @@ func (s *HostState) Estimate(u int) (int, bool) {
 	if !s.initialized {
 		return 0, false
 	}
-	l, ok := s.local[u]
+	l, ok := s.lookup(u)
 	if !ok {
 		return 0, false
 	}

@@ -13,18 +13,21 @@ import (
 // State follows the paper exactly: core is the local coreness estimate
 // (initialized to the degree), est holds the most recent estimate received
 // from each neighbor (initialized to +∞), and changed marks whether core
-// was lowered since the last periodic send.
+// was lowered since the last periodic send. ref mirrors est as a clamped
+// support histogram so a received drop costs O(1) and a recomputation
+// costs the levels walked, not the degree (see refine.go) — the node
+// computes exactly what per-message ComputeIndex would, cheaper.
 type oneToOneNode struct {
 	id        int
 	neighbors []int // sorted adjacency, aliases the graph's storage
 	core      int
 	est       []int // est[i] is the last estimate received from neighbors[i]
+	ref       Refiner
 	changed   bool
 	sendOpt   bool // §3.1.2: send to v only when core < est[v]
 	// retransmit > 0 rebroadcasts the current estimate every that many
 	// rounds even when unchanged, the loss-tolerance extension.
 	retransmit int
-	count      []int // scratch for computeIndex
 }
 
 var _ sim.Process[EstimateMsg] = (*oneToOneNode)(nil)
@@ -36,14 +39,15 @@ func newOneToOneNode(g *graph.Graph, id int, sendOpt bool) *oneToOneNode {
 		est[i] = InfEstimate
 	}
 	deg := len(ns)
-	return &oneToOneNode{
+	n := &oneToOneNode{
 		id:        id,
 		neighbors: ns,
 		core:      deg,
 		est:       est,
 		sendOpt:   sendOpt,
-		count:     make([]int, deg+1),
 	}
+	n.ref.Rebuild(deg, est)
+	return n
 }
 
 // Init broadcasts ⟨u, d(u)⟩ to every neighbor.
@@ -64,10 +68,13 @@ func (n *oneToOneNode) Deliver(_ *sim.Context[EstimateMsg], from int, msg Estima
 	if msg.Core >= n.est[i] {
 		return
 	}
+	old := n.est[i]
 	n.est[i] = msg.Core
-	if t := ComputeIndex(n.est, n.core, n.count); t < n.core {
-		n.core = t
-		n.changed = true
+	if n.ref.Lower(old, msg.Core) {
+		if t := n.ref.Refine(); t < n.core {
+			n.core = t
+			n.changed = true
+		}
 	}
 }
 

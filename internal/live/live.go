@@ -81,7 +81,7 @@ type asyncNode struct {
 	neighbors []int
 	est       []int
 	core      int
-	count     []int
+	ref       core.Refiner
 	// coreChangedSinceSend marks a lowered estimate not yet sent out; only
 	// the owning goroutine touches it.
 	coreChangedSinceSend bool
@@ -137,9 +137,9 @@ func Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, er
 			neighbors: ns,
 			est:       est,
 			core:      len(ns),
-			count:     make([]int, len(ns)+1),
 			notify:    make(chan struct{}, 1),
 		}
+		nodes[u].ref.Rebuild(len(ns), est)
 	}
 
 	var (
@@ -226,9 +226,12 @@ func (n *asyncNode) deliver(m message) {
 	if m.core >= n.est[i] {
 		return
 	}
+	old := n.est[i]
 	n.est[i] = m.core
-	if t := core.ComputeIndex(n.est, n.core, n.count); t < n.core {
-		n.core = t
-		n.coreChangedSinceSend = true
+	if n.ref.Lower(old, m.core) {
+		if t := n.ref.Refine(); t < n.core {
+			n.core = t
+			n.coreChangedSinceSend = true
+		}
 	}
 }

@@ -225,6 +225,10 @@ func (m *Mutable) applyInsert(u, v int) {
 	nu, nv := m.rt.nodes[u], m.rt.nodes[v]
 	addNeighbor(nu, v)
 	addNeighbor(nv, u)
+	// Resync the endpoints now: the region below may be empty, in which
+	// case no later rebuild would cover their grown estimate vectors.
+	nu.ref.Rebuild(nu.core, nu.est)
+	nv.ref.Rebuild(nv.core, nv.est)
 
 	k := nu.core
 	if nv.core < k {
@@ -290,6 +294,22 @@ func (m *Mutable) applyInsert(u, v int) {
 			ny.est[searchInts(ny.neighbors, x)] = nx.core
 		}
 	}
+	// The direct estimate edits above bypass the refiners' O(1) Lower
+	// path (they raise entries, which only Rebuild may do): resync every
+	// neighbor of the region from its refreshed estimate vector, each
+	// exactly once — a boundary hub adjacent to many region nodes must
+	// not pay one O(deg) rebuild per region neighbor. Region nodes
+	// themselves are resynced by the recompute below.
+	resynced := make(map[int]bool)
+	for x := range inRegion {
+		for _, y := range m.rt.nodes[x].neighbors {
+			if !inRegion[y] && !resynced[y] {
+				resynced[y] = true
+				ny := m.rt.nodes[y]
+				ny.ref.Rebuild(ny.core, ny.est)
+			}
+		}
+	}
 	// Immediately re-tighten each region node against its (upper-bound)
 	// estimates so nodes that cannot actually rise don't linger at K+1,
 	// then mark them for rebroadcast.
@@ -301,16 +321,15 @@ func (m *Mutable) applyInsert(u, v int) {
 	m.quiescent = false
 }
 
-// recompute re-derives nd's index from its current estimates, marking it
-// changed when the estimate dropped.
+// recompute re-derives nd's index from its current estimates — rebuilding
+// its refiner, since mutation paths edit adjacency and estimates directly
+// — marking it changed when the estimate dropped.
 func (m *Mutable) recompute(nd *roundNode) {
-	// ComputeIndex never returns below 1; an isolated node has coreness 0.
+	// Refine never returns below 1; an isolated node has coreness 0.
 	t := 0
+	nd.ref.Rebuild(nd.core, nd.est)
 	if len(nd.neighbors) > 0 {
-		if cap(nd.count) < nd.core+1 {
-			nd.count = make([]int, nd.core+1)
-		}
-		t = core.ComputeIndex(nd.est, nd.core, nd.count)
+		t = nd.ref.Refine()
 	}
 	if t < nd.core {
 		nd.core = t
@@ -319,7 +338,8 @@ func (m *Mutable) recompute(nd *roundNode) {
 }
 
 // addNeighbor inserts v into nd's sorted adjacency with an initial
-// +∞ estimate, resizing the scratch counter.
+// +∞ estimate. Callers resync nd.ref (via Rebuild or recompute) before
+// the next round runs.
 func addNeighbor(nd *roundNode, v int) {
 	i := sort.SearchInts(nd.neighbors, v)
 	nd.neighbors = append(nd.neighbors, 0)
@@ -328,7 +348,6 @@ func addNeighbor(nd *roundNode, v int) {
 	nd.est = append(nd.est, 0)
 	copy(nd.est[i+1:], nd.est[i:])
 	nd.est[i] = core.InfEstimate
-	nd.count = make([]int, len(nd.neighbors)+1)
 }
 
 // removeNeighbor deletes v from nd's sorted adjacency and estimate

@@ -19,7 +19,7 @@ type roundNode struct {
 	id            int
 	neighbors     []int
 	est           []int
-	count         []int
+	ref           core.Refiner
 	core          int
 	changed       bool // estimate changed in the current round
 	sentOrChanged bool // activity marker for the epidemic detector
@@ -41,6 +41,7 @@ type roundRuntime struct {
 	workers  int
 	messages int64
 	sendOpt  bool
+	activity []bool // per-worker activity flags, reused every round
 }
 
 func newRoundRuntime(g *graph.Graph, o options) *roundRuntime {
@@ -53,6 +54,7 @@ func newRoundRuntime(g *graph.Graph, o options) *roundRuntime {
 	if rt.workers <= 0 {
 		rt.workers = runtime.GOMAXPROCS(0)
 	}
+	rt.activity = make([]bool, rt.workers)
 	for u := 0; u < n; u++ {
 		ns := g.Neighbors(u)
 		est := make([]int, len(ns))
@@ -63,9 +65,9 @@ func newRoundRuntime(g *graph.Graph, o options) *roundRuntime {
 			id:        u,
 			neighbors: ns,
 			est:       est,
-			count:     make([]int, len(ns)+1),
 			core:      len(ns),
 		}
+		rt.nodes[u].ref.Rebuild(len(ns), est)
 	}
 	return rt
 }
@@ -135,7 +137,8 @@ func (rt *roundRuntime) step(counter *int64Counter) bool {
 	if n == 0 {
 		return false
 	}
-	activity := make([]bool, rt.workers)
+	activity := rt.activity
+	clear(activity)
 	workers := rt.workers
 	if workers > n {
 		workers = n
@@ -202,10 +205,13 @@ func (n *roundNode) deliverRound(m message) {
 	if i < 0 || m.core >= n.est[i] {
 		return
 	}
+	old := n.est[i]
 	n.est[i] = m.core
-	if t := core.ComputeIndex(n.est, n.core, n.count); t < n.core {
-		n.core = t
-		n.changed = true
+	if n.ref.Lower(old, m.core) {
+		if t := n.ref.Refine(); t < n.core {
+			n.core = t
+			n.changed = true
+		}
 	}
 }
 

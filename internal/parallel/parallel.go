@@ -3,16 +3,21 @@
 // partitions by an assignment policy; one worker goroutine per partition
 // runs the local estimate cascade (Algorithm 4) concurrently with the
 // others, and cross-partition estimate updates are exchanged between
-// rounds as batched per-destination deltas: a node's new estimate is
-// shipped at most once per round per destination partition, and only to
-// partitions actually hosting one of its neighbors (Algorithm 5, the
-// paper's §5 message-reduction policy).
+// rounds as batched per-destination per-round-deduplicated deltas: a
+// node's new estimate is shipped at most once per round per destination
+// partition, and only to partitions actually hosting one of its
+// neighbors (Algorithm 5, the paper's §5 message-reduction policy).
 //
 // Unlike the simulator in internal/sim, which interleaves every process
 // on one goroutine to measure protocol metrics, this engine exists to
-// decompose large graphs as fast as the hardware allows; the round
+// decompose large graphs as fast as the hardware allows. The round
 // structure is strict BSP (updates collected in round r are visible in
-// round r+1), so results are deterministic regardless of scheduling.
+// round r+1), so results are deterministic regardless of scheduling, and
+// the steady-state round loop allocates nothing: workers are persistent
+// goroutines signalled over reusable channels (not respawned per round),
+// partition cascades refine incrementally via support histograms, and
+// collected batches live in the HostState's double-buffered storage —
+// exactly the one-round-handoff pattern its reuse contract permits.
 package parallel
 
 import (
@@ -68,6 +73,138 @@ type Result struct {
 	Batches int64
 }
 
+// engine is a reusable BSP runner: P persistent worker goroutines around
+// P partition states, driven round by round from run. Everything a round
+// touches — inboxes, outboxes, the start/done channels, the HostState's
+// collection buffers — is allocated once here, so a warmed engine re-runs
+// with zero allocations (the property the allocation-regression test
+// pins down).
+type engine struct {
+	p         int
+	n         int
+	maxRounds int
+	states    []*core.HostState
+
+	inbox  [][]core.Batch
+	next   [][]core.Batch
+	outbox [][]core.Batch // per state, aligned with its NeighborHosts
+
+	start []chan int // per-worker round signal; closed by close()
+	done  chan int
+
+	estimatesSent int64
+	batches       int64
+}
+
+// newEngine builds partition states, links peer-local addressing between
+// them (batches carry receiver-local indices, so applying a message
+// costs array indexing instead of a map lookup), and launches the worker
+// pool. The caller must close() the engine to release the workers.
+func newEngine(parts *core.Partitions, p, n, maxRounds int) *engine {
+	e := &engine{
+		p:         p,
+		n:         n,
+		maxRounds: maxRounds,
+		states:    make([]*core.HostState, p),
+		inbox:     make([][]core.Batch, p),
+		next:      make([][]core.Batch, p),
+		outbox:    make([][]core.Batch, p),
+		start:     make([]chan int, p),
+		done:      make(chan int, p),
+	}
+	parFor(p, func(x int) {
+		e.states[x] = parts.NewPartitionState(x)
+	})
+	core.LinkPeerLocals(parts, e.states)
+	for x := 0; x < p; x++ {
+		e.start[x] = make(chan int, 1)
+		go func(x int) {
+			s := e.states[x]
+			for round := range e.start[x] {
+				if round == 0 {
+					s.InitEstimates()
+				} else {
+					for _, b := range e.inbox[x] {
+						s.ApplyPeerLocal(b)
+					}
+					e.inbox[x] = e.inbox[x][:0]
+					s.ImproveIfDirty()
+				}
+				e.outbox[x] = s.CollectPeerLocal()
+				e.done <- x
+			}
+		}(x)
+	}
+	return e
+}
+
+// run drives BSP rounds until quiescence, returning the round count
+// (including the final quiet round). The channel handoffs publish the
+// coordinator's inbox swaps to the workers and the workers' outboxes
+// back, so the loop is race-free without locks. After a successful run
+// the engine may be re-run (InitEstimates is idempotent); after an error
+// the inboxes may hold undelivered batches and the engine must be
+// discarded.
+func (e *engine) run(ctx context.Context) (int, error) {
+	e.estimatesSent = 0
+	e.batches = 0
+	for round := 0; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if round >= e.maxRounds {
+			return 0, fmt.Errorf("parallel: no quiescence on %d nodes over %d partitions within %d rounds",
+				e.n, e.p, e.maxRounds)
+		}
+		for x := 0; x < e.p; x++ {
+			e.start[x] <- round
+		}
+		for i := 0; i < e.p; i++ {
+			<-e.done
+		}
+		// Barrier passed: route this round's deltas. Apply is a pointwise
+		// minimum, so delivery order within a round cannot affect results.
+		active := false
+		for x := 0; x < e.p; x++ {
+			nh := e.states[x].NeighborHosts()
+			for i, batch := range e.outbox[x] {
+				if len(batch) == 0 {
+					continue
+				}
+				e.next[nh[i]] = append(e.next[nh[i]], batch)
+				e.estimatesSent += int64(len(batch))
+				e.batches++
+				active = true
+			}
+		}
+		if !active {
+			return round + 1, nil
+		}
+		e.inbox, e.next = e.next, e.inbox
+	}
+}
+
+// coreness gathers the final owned estimates from every partition.
+func (e *engine) coreness() []int {
+	out := make([]int, e.n)
+	parFor(e.p, func(x int) {
+		s := e.states[x]
+		for _, u := range s.Owned() {
+			c, _ := s.Estimate(u)
+			out[u] = c
+		}
+	})
+	return out
+}
+
+// close releases the worker goroutines. Must not be called while a run
+// is in flight.
+func (e *engine) close() {
+	for _, ch := range e.start {
+		close(ch)
+	}
+}
+
 // Decompose computes the exact k-core decomposition of g with P
 // concurrent partition workers. Cancelling ctx stops the run at the next
 // BSP round barrier with ctx.Err().
@@ -115,64 +252,19 @@ func Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, er
 	if err != nil {
 		return nil, fmt.Errorf("parallel: %w", err)
 	}
-	states := make([]*core.HostState, p)
-	parFor(p, func(x int) {
-		states[x] = parts.NewPartitionState(x)
-	})
-
-	res := &Result{Workers: p}
-	outbox := make([]map[int]core.Batch, p)
-	inbox := make([][]core.Batch, p)
-	next := make([][]core.Batch, p)
-	for round := 0; ; round++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if round >= maxRounds {
-			return nil, fmt.Errorf("parallel: no quiescence on %d nodes over %d partitions within %d rounds",
-				n, p, maxRounds)
-		}
-		parFor(p, func(x int) {
-			s := states[x]
-			if round == 0 {
-				s.InitEstimates()
-			} else {
-				for _, b := range inbox[x] {
-					s.Apply(b)
-				}
-				inbox[x] = inbox[x][:0]
-				s.ImproveIfDirty()
-			}
-			outbox[x] = s.CollectPointToPoint()
-		})
-		// Barrier passed: route this round's deltas. Apply is a pointwise
-		// minimum, so delivery order within a round cannot affect results.
-		active := false
-		for x := 0; x < p; x++ {
-			for dest, batch := range outbox[x] {
-				next[dest] = append(next[dest], batch)
-				res.EstimatesSent += int64(len(batch))
-				res.Batches++
-				active = true
-			}
-		}
-		if !active {
-			res.Rounds = round + 1
-			break
-		}
-		inbox, next = next, inbox
+	e := newEngine(parts, p, n, maxRounds)
+	defer e.close()
+	rounds, err := e.run(ctx)
+	if err != nil {
+		return nil, err
 	}
-
-	coreness := make([]int, n)
-	parFor(p, func(x int) {
-		s := states[x]
-		for _, u := range s.Owned() {
-			e, _ := s.Estimate(u)
-			coreness[u] = e
-		}
-	})
-	res.Coreness = coreness
-	return res, nil
+	return &Result{
+		Coreness:      e.coreness(),
+		Rounds:        rounds,
+		Workers:       p,
+		EstimatesSent: e.estimatesSent,
+		Batches:       e.batches,
+	}, nil
 }
 
 // parFor runs fn(0..p-1) on p goroutines and waits for all of them; with

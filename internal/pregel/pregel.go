@@ -102,7 +102,9 @@ type Engine[V, M any] struct {
 
 	// Per-superstep message state: in[v] are messages readable by v this
 	// superstep; workers accumulate next-superstep messages locally and
-	// merge them at the barrier.
+	// merge them at the barrier. Inbox slices are truncated, not
+	// discarded, after each superstep, so steady-state supersteps reuse
+	// their capacity.
 	in [][]M
 
 	// Vertex sharding, fixed at construction: shards is the worker count
@@ -114,18 +116,28 @@ type Engine[V, M any] struct {
 	shards int
 	partOf []int
 
+	// Pooled superstep state: workers (with their per-destination
+	// outboxes) and the merge activity flags persist across supersteps
+	// instead of being rebuilt, so a superstep's allocation cost is the
+	// messages it actually grows, not the scaffolding.
+	ws        []*worker[V, M]
+	shardWork []bool
+
 	superstep int
 	sentTotal int64
 }
 
-// worker owns a shard of vertices and a private outbox per destination
-// shard, merged at the end of each superstep without cross-worker
-// locking on the hot path.
+// worker owns a fixed shard of vertices ([lo, hi)) and a private outbox
+// per destination shard, merged at the end of each superstep without
+// cross-worker locking on the hot path. Outbox message slices are handed
+// back truncated after every merge, so a warmed worker sends without
+// allocating.
 type worker[V, M any] struct {
-	eng  *Engine[V, M]
-	out  []map[int][]M // destination shard → vertex → pending messages
-	sent int64
-	err  error
+	eng    *Engine[V, M]
+	lo, hi int
+	out    []map[int][]M // destination shard → vertex → pending messages
+	sent   int64
+	err    error
 }
 
 func (w *worker[V, M]) send(dst int, msg M) {
@@ -195,6 +207,20 @@ func NewEngine[V, M any](g *graph.Graph, compute Compute[V, M], initState func(v
 			panic("pregel: " + err.Error())
 		}
 		e.partOf = partOf
+
+		e.ws = make([]*worker[V, M], e.shards)
+		e.shardWork = make([]bool, e.shards)
+		chunk := (n + e.shards - 1) / e.shards
+		for i := 0; i < e.shards; i++ {
+			lo, hi := i*chunk, (i+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			e.ws[i] = &worker[V, M]{eng: e, lo: lo, hi: hi, out: make([]map[int][]M, e.shards)}
+		}
 	}
 	return e
 }
@@ -254,24 +280,16 @@ func (e *Engine[V, M]) runSuperstep() (bool, error) {
 		return false, nil
 	}
 
-	workers := e.shards
-	ws := make([]*worker[V, M], workers)
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for i := 0; i < workers; i++ {
-		lo, hi := i*chunk, (i+1)*chunk
-		if hi > n {
-			hi = n
+	for _, w := range e.ws {
+		if w == nil {
+			continue
 		}
-		if lo >= hi {
-			break
-		}
-		w := &worker[V, M]{eng: e, out: make([]map[int][]M, workers)}
-		ws[i] = w
+		w.sent = 0
 		wg.Add(1)
-		go func(w *worker[V, M], lo, hi int) {
+		go func(w *worker[V, M]) {
 			defer wg.Done()
-			for v := lo; v < hi; v++ {
+			for v := w.lo; v < w.hi; v++ {
 				msgs := e.in[v]
 				if len(msgs) > 0 {
 					e.active[v] = true
@@ -281,12 +299,12 @@ func (e *Engine[V, M]) runSuperstep() (bool, error) {
 				}
 				ctx := Context[V, M]{eng: e, worker: w, vertex: v}
 				e.compute(&ctx, &e.state[v], msgs)
-				e.in[v] = nil
+				e.in[v] = e.in[v][:0]
 				if ctx.halted {
 					e.active[v] = false
 				}
 			}
-		}(w, lo, hi)
+		}(w)
 	}
 	wg.Wait()
 
@@ -294,7 +312,9 @@ func (e *Engine[V, M]) runSuperstep() (bool, error) {
 	// outboxes are already bucketed by destination shard, so the merge
 	// runs one goroutine per destination; distinct destinations own
 	// disjoint vertex sets, so no inbox is touched by two goroutines.
-	for _, w := range ws {
+	// Each drained outbox slice is handed back truncated for the next
+	// superstep's sends.
+	for _, w := range e.ws {
 		if w == nil {
 			continue
 		}
@@ -303,30 +323,34 @@ func (e *Engine[V, M]) runSuperstep() (bool, error) {
 		}
 		e.sentTotal += w.sent
 	}
-	shardWork := make([]bool, workers)
+	clear(e.shardWork)
 	var mwg sync.WaitGroup
-	for x := 0; x < workers; x++ {
+	for x := 0; x < e.shards; x++ {
 		mwg.Add(1)
 		go func(x int) {
 			defer mwg.Done()
-			for _, w := range ws {
+			for _, w := range e.ws {
 				if w == nil || w.out[x] == nil {
 					continue
 				}
 				for dst, msgs := range w.out[x] {
+					if len(msgs) == 0 {
+						continue
+					}
 					if e.combiner != nil && len(e.in[dst]) == 1 && len(msgs) == 1 {
 						e.in[dst][0] = e.combiner(e.in[dst][0], msgs[0])
 					} else {
 						e.in[dst] = append(e.in[dst], msgs...)
 					}
-					shardWork[x] = true
+					w.out[x][dst] = msgs[:0]
+					e.shardWork[x] = true
 				}
 			}
 		}(x)
 	}
 	mwg.Wait()
 	work := false
-	for _, b := range shardWork {
+	for _, b := range e.shardWork {
 		if b {
 			work = true
 			break

@@ -10,11 +10,12 @@ import (
 )
 
 // kcoreState is the vertex state of the k-core program: the mirror of
-// Algorithm 1's per-node variables in vertex-program form.
+// Algorithm 1's per-node variables in vertex-program form, with the
+// incremental support counter standing in for per-message ComputeIndex.
 type kcoreState struct {
 	coreEst int
 	est     []int // aligned with the vertex's sorted adjacency
-	count   []int // ComputeIndex scratch
+	ref     core.Refiner
 }
 
 // kcoreMsg is the ⟨u, core⟩ update.
@@ -61,7 +62,7 @@ func KCore(ctx context.Context, g *graph.Graph, opts ...KCoreOption) ([]int, Res
 			for i := range s.est {
 				s.est[i] = core.InfEstimate
 			}
-			s.count = make([]int, deg+1)
+			s.ref.Rebuild(deg, s.est)
 			if deg > 0 {
 				ctx.SendToNeighbors(kcoreMsg{from: ctx.Vertex(), core: deg})
 			}
@@ -75,10 +76,13 @@ func KCore(ctx context.Context, g *graph.Graph, opts ...KCoreOption) ([]int, Res
 			if i >= len(ns) || ns[i] != m.from || m.core >= s.est[i] {
 				continue
 			}
+			old := s.est[i]
 			s.est[i] = m.core
-			if t := core.ComputeIndex(s.est, s.coreEst, s.count); t < s.coreEst {
-				s.coreEst = t
-				changed = true
+			if s.ref.Lower(old, m.core) {
+				if t := s.ref.Refine(); t < s.coreEst {
+					s.coreEst = t
+					changed = true
+				}
 			}
 		}
 		if changed {

@@ -20,6 +20,11 @@
 // bounds only inside that region on insertion and propagates decreases
 // from the endpoints on deletion, giving exact coreness after every event
 // in time proportional to the affected region rather than the graph.
+// Both traversals qualify nodes through an incrementally maintained
+// support counter (neighbors with coreness >= own — the same primitive
+// the distributed engines keep per estimate), so merely sighting a node
+// on an equal-coreness plateau costs O(1); adjacency walks happen only
+// where coreness actually changes.
 package stream
 
 import (
@@ -45,11 +50,25 @@ type Maintainer struct {
 	core []int   // exact coreness under the current edge set
 	m    int     // number of undirected edges
 
+	// supp[u] is the number of neighbors v with core[v] >= core[u] —
+	// the same support counter the distributed engines maintain per
+	// estimate (internal/core's histogram top bucket), kept exact across
+	// every mutation. It makes the two hot questions of both traversals
+	// O(1): "can this coreness-k node fall?" (supp < k) on deletion, and
+	// "can this coreness-k node rise or transmit a rise?" (supp > k) on
+	// insertion — where a per-visit adjacency recount previously paid
+	// O(deg) per node sighted, the dominant cost on the equal-coreness
+	// plateaus of dense graphs. Adjacency walks remain only where a node
+	// actually changes level (recomputing its own support at the new
+	// threshold), so work stays proportional to the genuinely affected
+	// region.
+	supp []int
+
 	// scratch state reused across updates to keep small mutations
 	// allocation-free once warm.
 	mark    []int // visit stamp per node (compared against stamp)
 	cand    []int // candidate stamp per node (insertion traversal)
-	cnt     []int // per-node support count, valid where mark == stamp
+	cnt     []int // per-node peel support, valid where cand == stamp
 	stamp   int
 	queue   []int
 	region  []int
@@ -70,6 +89,7 @@ func newSeeded(g *graph.Graph, coreness []int) *Maintainer {
 		adj:  make([][]int, n),
 		core: coreness,
 		m:    g.NumEdges(),
+		supp: make([]int, n),
 		mark: make([]int, n),
 		cand: make([]int, n),
 		cnt:  make([]int, n),
@@ -77,6 +97,13 @@ func newSeeded(g *graph.Graph, coreness []int) *Maintainer {
 	for u := 0; u < n; u++ {
 		ns := g.Neighbors(u)
 		mt.adj[u] = append(make([]int, 0, len(ns)), ns...)
+		c := 0
+		for _, v := range ns {
+			if coreness[v] >= coreness[u] {
+				c++
+			}
+		}
+		mt.supp[u] = c
 	}
 	return mt
 }
@@ -205,14 +232,21 @@ func (mt *Maintainer) InsertEdge(u, v int) bool {
 	insertSorted(&mt.adj[u], v)
 	insertSorted(&mt.adj[v], u)
 	mt.m++
+	if mt.core[v] >= mt.core[u] {
+		mt.supp[u]++
+	}
+	if mt.core[u] >= mt.core[v] {
+		mt.supp[v]++
+	}
 
 	// Only nodes of coreness K = min(core(u), core(v)) connected to the
 	// new edge through coreness-K nodes can rise, and only to K+1.
 	// Candidate pruning (the purecore refinement): a node can rise — or
 	// transmit a rise — only if more than K of its neighbors have
-	// coreness >= K, so the traversal expands through qualifying nodes
-	// only. This keeps the walk off the vast equal-coreness plateaus of
-	// skewed graphs.
+	// coreness >= K — its maintained support counter, read in O(1) — so
+	// the traversal expands through qualifying nodes only and pays O(1),
+	// not O(deg), per plateau node it merely sights. This keeps the walk
+	// off the vast equal-coreness plateaus of skewed graphs.
 	k := mt.core[u]
 	if mt.core[v] < k {
 		k = mt.core[v]
@@ -264,6 +298,27 @@ func (mt *Maintainer) InsertEdge(u, v int) bool {
 			mt.core[x] = k + 1
 		}
 	}
+	// Repair the support counters around the risers: each riser's own
+	// support is recomputed at its new threshold (its neighbors' levels
+	// are final by now), and every non-riser neighbor already sitting at
+	// K+1 gains the riser's newly-counting contribution. Neighbors at or
+	// below K are unaffected (the riser counted for them before and
+	// still does), as are neighbors above K+1.
+	for _, x := range mt.region {
+		if mt.cnt[x] == removed {
+			continue
+		}
+		c := 0
+		for _, y := range mt.adj[x] {
+			if mt.core[y] >= k+1 {
+				c++
+				if mt.core[y] == k+1 && !(mt.cand[y] == mt.stamp && mt.cnt[y] != removed) {
+					mt.supp[y]++
+				}
+			}
+		}
+		mt.supp[x] = c
+	}
 	return true
 }
 
@@ -284,20 +339,26 @@ func (mt *Maintainer) DeleteEdge(u, v int) bool {
 	removeSorted(&mt.adj[u], v)
 	removeSorted(&mt.adj[v], u)
 	mt.m--
+	if mt.core[v] >= mt.core[u] {
+		mt.supp[u]--
+	}
+	if mt.core[u] >= mt.core[v] {
+		mt.supp[v]--
+	}
 
 	// Only nodes of coreness K can fall, by exactly one. Propagate
 	// decreases outward from the endpoints: a coreness-K node falls when
-	// fewer than K of its neighbors retain coreness >= K, and each fall
-	// re-examines its coreness-K neighbors.
-	mt.stamp++
+	// its maintained support — neighbors retaining coreness >= K — sits
+	// below K, an O(1) read, and each fall decrements its coreness-K
+	// neighbors' counters in O(1). During the cascade support only
+	// decreases, so a node enqueued deficient is still deficient when
+	// popped; the adjacency is walked only for nodes that actually drop,
+	// to decrement their neighbors and recompute their own support at
+	// the new threshold.
 	mt.queue = mt.queue[:0]
-	mt.touched = mt.touched[:0]
 	for _, s := range [2]int{u, v} {
-		if mt.core[s] == k && mt.mark[s] != mt.stamp {
-			mt.evaluate(s, k)
-			if mt.cnt[s] < k {
-				mt.queue = append(mt.queue, s)
-			}
+		if mt.core[s] == k && mt.supp[s] < k {
+			mt.queue = append(mt.queue, s)
 		}
 	}
 	for len(mt.queue) > 0 {
@@ -307,28 +368,30 @@ func (mt *Maintainer) DeleteEdge(u, v int) bool {
 			continue // already dropped via another path
 		}
 		mt.core[x] = k - 1
+		c := 0
 		for _, y := range mt.adj[x] {
-			if mt.core[y] != k {
-				continue
+			if mt.core[y] >= k-1 {
+				c++
 			}
-			if mt.mark[y] != mt.stamp {
-				// First sighting: count with x already dropped.
-				mt.evaluate(y, k)
-			} else {
-				mt.cnt[y]--
-			}
-			if mt.cnt[y] < k {
-				mt.queue = append(mt.queue, y)
+			if mt.core[y] == k {
+				mt.supp[y]--
+				if mt.supp[y] < k {
+					mt.queue = append(mt.queue, y)
+				}
 			}
 		}
+		mt.supp[x] = c
 	}
 	return true
 }
 
 // collectCandidates gathers into mt.region the coreness-k nodes that
-// could rise to k+1: those with more than k neighbors of coreness >= k,
-// reachable from root through such nodes. Every visited node is stamped
-// in mark; candidates are additionally stamped in cand.
+// could rise to k+1: those with more than k neighbors of coreness >= k —
+// exactly supp[x] > k for a coreness-k node, read in O(1) from the
+// maintained counter — reachable from root through such nodes. Every
+// visited node is stamped in mark; candidates are additionally stamped
+// in cand. A plateau node that merely gets sighted and disqualified now
+// costs O(1) instead of an adjacency recount.
 func (mt *Maintainer) collectCandidates(root, k int) {
 	mt.touched = mt.touched[:0]
 	mt.touched = append(mt.touched, root)
@@ -336,13 +399,7 @@ func (mt *Maintainer) collectCandidates(root, k int) {
 	for len(mt.touched) > 0 {
 		x := mt.touched[len(mt.touched)-1]
 		mt.touched = mt.touched[:len(mt.touched)-1]
-		c := 0
-		for _, y := range mt.adj[x] {
-			if mt.core[y] >= k {
-				c++
-			}
-		}
-		if c <= k {
+		if mt.supp[x] <= k {
 			continue // cannot rise, cannot transmit a rise
 		}
 		mt.cand[x] = mt.stamp
@@ -356,24 +413,12 @@ func (mt *Maintainer) collectCandidates(root, k int) {
 	}
 }
 
-// evaluate computes the deletion support of x (neighbors with coreness
-// >= k) and stamps it as evaluated.
-func (mt *Maintainer) evaluate(x, k int) {
-	c := 0
-	for _, y := range mt.adj[x] {
-		if mt.core[y] >= k {
-			c++
-		}
-	}
-	mt.mark[x] = mt.stamp
-	mt.cnt[x] = c
-}
-
 // grow extends the node set to at least n isolated nodes.
 func (mt *Maintainer) grow(n int) {
 	for len(mt.core) < n {
 		mt.adj = append(mt.adj, nil)
 		mt.core = append(mt.core, 0)
+		mt.supp = append(mt.supp, 0)
 		mt.mark = append(mt.mark, 0)
 		mt.cand = append(mt.cand, 0)
 		mt.cnt = append(mt.cnt, 0)

@@ -1,9 +1,10 @@
 package transport
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dkcore/internal/core"
 )
@@ -11,15 +12,26 @@ import (
 // EncodeBatch serializes an estimate batch: a uvarint count followed by
 // pairs of (node-id delta, estimate), all uvarints. Node IDs are sorted
 // ascending before delta-encoding; the order of a batch is not semantic.
+// The input batch is left untouched (it is copied before sorting); hot
+// paths that can tolerate in-place reordering and want to reuse an
+// output buffer use AppendBatch instead.
 func EncodeBatch(batch core.Batch) []byte {
 	sorted := make(core.Batch, len(batch))
 	copy(sorted, batch)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+	return AppendBatch(make([]byte, 0, 2+5*len(sorted)), sorted)
+}
 
-	buf := make([]byte, 0, 2+5*len(sorted))
-	buf = binary.AppendUvarint(buf, uint64(len(sorted)))
+// AppendBatch is the allocation-free EncodeBatch: it sorts batch in
+// place (batch order is not semantic, but callers sharing the slice must
+// tolerate the reorder) and appends the encoding to buf, growing it only
+// when capacity runs out. Per-round senders pass a retained buffer
+// truncated to zero length, so steady-state encoding costs no
+// allocations once the buffer has warmed to the largest batch.
+func AppendBatch(buf []byte, batch core.Batch) []byte {
+	slices.SortFunc(batch, func(a, b core.EstimateMsg) int { return cmp.Compare(a.Node, b.Node) })
+	buf = binary.AppendUvarint(buf, uint64(len(batch)))
 	prev := 0
-	for _, m := range sorted {
+	for _, m := range batch {
 		buf = binary.AppendUvarint(buf, uint64(m.Node-prev))
 		buf = binary.AppendUvarint(buf, uint64(m.Core))
 		prev = m.Node
