@@ -17,7 +17,7 @@ GO        ?= go
 FUZZTIME  ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all build vet apicheck test race fuzz-short bench bench-partition ci
+.PHONY: all build vet apicheck test race fuzz-short bench bench-partition bench-hotpath bench-allocs bench-serve ci
 
 all: build
 
@@ -50,6 +50,8 @@ race: build
 fuzz-short: build
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzCodec -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz FuzzServeHTTP -fuzztime $(FUZZTIME) ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzServeBinaryFrame -fuzztime $(FUZZTIME) ./internal/serve
 
 # bench runs every benchmark, BenchmarkPartitionSetup included, so the
 # BENCH_*.json trajectory always carries the partition-setup series.
@@ -77,5 +79,13 @@ bench-hotpath: build
 bench-allocs: build
 	$(GO) test -run TestSteadyStateRoundAllocs -count=1 ./internal/parallel
 	$(GO) test -run TestRefineSteadyStateAllocs -count=1 .
+
+# bench-serve isolates the query-service throughput gate: the
+# epoch-snapshot Session must beat the RWMutex baseline's read QPS under
+# churn (TestServeQPSFloor enforces >=2x in CI; BENCH_serve.json records
+# the measured ratio on an unloaded box).
+bench-serve: build
+	$(GO) test -run TestServeQPSFloor -count=1 -v .
+	$(GO) test -run '^$$' -bench BenchmarkServeQPS -benchtime $(BENCHTIME) .
 
 ci: build vet apicheck test race fuzz-short

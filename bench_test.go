@@ -408,3 +408,66 @@ func BenchmarkComputeIndex(b *testing.B) {
 		core.ComputeIndex(est, 40, count)
 	}
 }
+
+// BenchmarkServeQPS runs the full serving-throughput experiment per
+// iteration: epoch-snapshot Session vs RWMutex baseline at 8 concurrent
+// readers under churn, plus loopback HTTP and binary rows. The headline
+// metrics are the epoch mode's read QPS and its speedup over the mutex
+// baseline.
+func BenchmarkServeQPS(b *testing.B) {
+	var epochQPS, speedup, httpQPS, binQPS float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.ServeQPS(bench.Config{Scale: benchScale, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Mode {
+			case "epoch":
+				epochQPS, speedup = r.QPS, r.Speedup
+			case "http":
+				httpQPS = r.QPS
+			case "binary":
+				binQPS = r.QPS
+			}
+		}
+	}
+	b.ReportMetric(epochQPS, "epoch-qps")
+	b.ReportMetric(speedup, "speedup-vs-mutex")
+	b.ReportMetric(httpQPS, "http-qps")
+	b.ReportMetric(binQPS, "binary-qps")
+}
+
+// TestServeQPSFloor is the CI floor gate on the serving redesign: under
+// concurrent churn at 8 readers, the epoch-snapshot Session must sustain
+// at least twice the RWMutex baseline's read throughput. The measured
+// ratio on an unloaded box is ~10x (see BENCH_serve.json); 2x leaves
+// headroom for noisy shared CI runners while still failing if reads ever
+// reacquire a lock.
+func TestServeQPSFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput floor is not meaningful in -short mode")
+	}
+	rows, err := bench.ServeQPS(bench.Config{Scale: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epoch, mutex *bench.ServeRow
+	for i := range rows {
+		switch rows[i].Mode {
+		case "epoch":
+			epoch = &rows[i]
+		case "rwmutex":
+			mutex = &rows[i]
+		}
+	}
+	if epoch == nil || mutex == nil {
+		t.Fatalf("missing modes in %+v", rows)
+	}
+	if mutex.QPS <= 0 || epoch.QPS < 2*mutex.QPS {
+		t.Fatalf("epoch QPS %.0f < 2x rwmutex QPS %.0f (speedup %.2fx)",
+			epoch.QPS, mutex.QPS, epoch.Speedup)
+	}
+	t.Logf("epoch %.0f qps vs rwmutex %.0f qps at %d readers: %.1fx",
+		epoch.QPS, mutex.QPS, epoch.Readers, epoch.Speedup)
+}

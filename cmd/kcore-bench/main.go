@@ -119,6 +119,15 @@ var experiments = []experiment{
 		},
 	},
 	{
+		name:       "serve",
+		title:      "extension: query service read throughput under churn (epoch vs rwmutex)",
+		configless: true,
+		run:        func(cfg bench.Config, _ int) (any, error) { return bench.ServeQPS(cfg) },
+		write: func(w io.Writer, data any) error {
+			return bench.WriteServe(w, data.([]bench.ServeRow))
+		},
+	},
+	{
 		name:  "hotpath",
 		title: "extension: refinement hot path — incremental support counters vs recompute oracle",
 		run:   func(cfg bench.Config, _ int) (any, error) { return bench.HotPath(cfg) },

@@ -45,9 +45,19 @@
 //	members := sess.KCoreMembers(3)
 //	d := sess.Degeneracy()
 //
-// Queries take a read lock and run concurrently; mutations are absorbed
-// by the streaming maintainer, touching only the bounded region an edge
-// change can affect.
+// Reads are lock-free: the Session publishes an immutable Epoch (per-node
+// coreness, precomputed degeneracy, frozen edge set, monotone sequence
+// number) through an atomic pointer after each absorbed mutation batch,
+// and every query answers from the current epoch with a single atomic
+// load — never blocked by an in-progress deletion cascade. CurrentEpoch
+// pins one snapshot so a group of reads is mutually consistent, and
+// every published epoch equals the exact decomposition of some prefix of
+// the applied event sequence. Mutations flow through a bounded
+// single-writer queue (QueueSize, MaxBatch) that batches and coalesces
+// events; blocking mutators wait for their result while Enqueue returns
+// ErrQueueFull instead of blocking. The streaming maintainer underneath
+// touches only the bounded region an edge change can affect. See
+// cmd/kcore-serve for the network front end over this contract.
 //
 // # Deprecated entry points
 //

@@ -1,0 +1,367 @@
+package bench
+
+// The serving benchmark: read throughput of the epoch-snapshot Session
+// against an RWMutex baseline under concurrent churn, plus loopback
+// HTTP and binary-protocol rows for wire-level context. The epoch mode
+// answers every read from an immutable snapshot behind one atomic load
+// (degeneracy precomputed at publish time); the baseline pays an RLock
+// per read, an O(n) scan per degeneracy query, and blocks behind the
+// writer's lock during deletion cascades — the contrast the serving
+// redesign exists to demonstrate.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dkcore"
+	"dkcore/internal/serve"
+	"dkcore/internal/stats"
+	"dkcore/internal/stream"
+)
+
+// ServeRow is one measured serving configuration.
+type ServeRow struct {
+	// Mode is "epoch" (snapshot Session), "rwmutex" (locked baseline),
+	// "http" or "binary" (loopback wire protocols over the Session).
+	Mode string `json:"mode"`
+	// Readers is the number of concurrent read loops.
+	Readers int `json:"readers"`
+	// Reads is the total reads completed in the window; QPS is
+	// Reads / window seconds.
+	Reads int64   `json:"reads"`
+	QPS   float64 `json:"qps"`
+	// Mutations is the number of churn events absorbed during the window.
+	Mutations int64 `json:"mutations"`
+	// Speedup is this row's QPS over the rwmutex baseline's (in-process
+	// rows only; 0 for wire rows, which measure the network stack too).
+	Speedup float64 `json:"speedup_vs_mutex,omitempty"`
+}
+
+// ServeReaders is the reader fan-out the headline comparison runs at.
+const ServeReaders = 8
+
+// serveWindow is the measurement window per mode; long enough to
+// absorb scheduler noise on a single-CPU CI runner, short enough for
+// the bench-smoke lane.
+const serveWindow = 300 * time.Millisecond
+
+// lockedSession is the pre-epoch design, reconstructed as the baseline:
+// one maintainer, one RWMutex, readers and the writer contending on it.
+type lockedSession struct {
+	mu sync.RWMutex
+	mt *stream.Maintainer
+}
+
+func (s *lockedSession) coreness(u int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mt.Coreness(u)
+}
+
+func (s *lockedSession) degeneracy() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mt.MaxCoreness() // O(n) scan under the read lock
+}
+
+func (s *lockedSession) apply(ev stream.Event) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mt.Apply(ev)
+}
+
+// serveChurn yields an endless churn sequence: flapping edges between
+// mid-degree nodes, deterministic in i.
+func serveChurn(i, n int) stream.Event {
+	u, v := i%(n/4), n/4+i%(n/2)
+	op := stream.OpInsert
+	if i%2 == 1 {
+		op = stream.OpDelete
+	}
+	return stream.Event{Op: op, U: u, V: v}
+}
+
+// runReaders spawns readers calling read() until stop closes, returning
+// total completed reads. Each read's result is accumulated to keep the
+// call from being optimized away. Readers yield every few hundred reads
+// so the churn writer actually runs on a single-CPU box — without it the
+// read loops monopolize the scheduler and "under churn" measures an
+// almost-idle writer; the yield cadence is identical across modes, so
+// the comparison stays fair.
+func runReaders(readers int, stop <-chan struct{}, read func(i int) int) int64 {
+	var total atomic.Int64
+	var sink atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var reads, acc int64
+			for i := r; ; i++ {
+				select {
+				case <-stop:
+					total.Add(reads)
+					sink.Add(acc)
+					return
+				default:
+				}
+				acc += int64(read(i))
+				reads++
+				if reads%512 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	return total.Load()
+}
+
+// ServeQPS measures read throughput under churn for every serving mode.
+// The read mix alternates point coreness lookups with degeneracy
+// queries, the pattern a monitoring dashboard generates.
+func ServeQPS(cfg Config) ([]ServeRow, error) {
+	cfg = cfg.WithDefaults()
+	n := int(5000 * cfg.Scale)
+	if n < 64 {
+		n = 64
+	}
+	g := dkcore.GenerateBarabasiAlbert(n, 3, cfg.Seed)
+
+	var rows []ServeRow
+
+	// rwmutex baseline first: its QPS anchors the Speedup column.
+	baseline, err := serveModeRWMutex(g, n)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, baseline)
+
+	epoch, err := serveModeEpoch(g, n)
+	if err != nil {
+		return nil, err
+	}
+	if baseline.QPS > 0 {
+		epoch.Speedup = epoch.QPS / baseline.QPS
+	}
+	rows = append(rows, epoch)
+
+	for _, wire := range []string{"http", "binary"} {
+		row, err := serveModeWire(g, n, wire)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func serveModeRWMutex(g *dkcore.Graph, n int) (ServeRow, error) {
+	ls := &lockedSession{mt: stream.NewMaintainer(g.Clone())}
+	stop := make(chan struct{})
+	var mutations atomic.Int64
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ls.apply(serveChurn(i, n))
+			mutations.Add(1)
+			runtime.Gosched() // single-CPU fairness; both modes yield identically
+		}
+	}()
+	start := time.Now()
+	timer := time.AfterFunc(serveWindow, func() { close(stop) })
+	defer timer.Stop()
+	reads := runReaders(ServeReaders, stop, func(i int) int {
+		if i%2 == 0 {
+			return ls.coreness(i % n)
+		}
+		return ls.degeneracy()
+	})
+	elapsed := time.Since(start)
+	churnWG.Wait()
+	return ServeRow{
+		Mode: "rwmutex", Readers: ServeReaders, Reads: reads,
+		QPS: float64(reads) / elapsed.Seconds(), Mutations: mutations.Load(), Speedup: 1,
+	}, nil
+}
+
+func serveModeEpoch(g *dkcore.Graph, n int) (ServeRow, error) {
+	sess, err := dkcore.NewSession(context.Background(), g)
+	if err != nil {
+		return ServeRow{}, err
+	}
+	defer sess.Close()
+	stop := make(chan struct{})
+	var mutations atomic.Int64
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Enqueue lets the writer batch; a full queue just retries
+			// after yielding, which is also the fairness valve on one CPU.
+			if err := sess.Enqueue(serveChurn(i, n)); err != nil {
+				i--
+			} else {
+				mutations.Add(1)
+			}
+			runtime.Gosched()
+		}
+	}()
+	start := time.Now()
+	timer := time.AfterFunc(serveWindow, func() { close(stop) })
+	defer timer.Stop()
+	reads := runReaders(ServeReaders, stop, func(i int) int {
+		if i%2 == 0 {
+			return sess.Coreness(i % n)
+		}
+		return sess.Degeneracy()
+	})
+	elapsed := time.Since(start)
+	churnWG.Wait()
+	return ServeRow{
+		Mode: "epoch", Readers: ServeReaders, Reads: reads,
+		QPS: float64(reads) / elapsed.Seconds(), Mutations: mutations.Load(),
+	}, nil
+}
+
+// serveModeWire measures loopback round-trip throughput: fewer readers
+// than the in-process modes (each read is a full network round trip) but
+// the same churn. Wire rows contextualize the in-process numbers; they
+// are not part of the epoch-vs-mutex comparison.
+func serveModeWire(g *dkcore.Graph, n int, wire string) (ServeRow, error) {
+	sess, err := dkcore.NewSession(context.Background(), g)
+	if err != nil {
+		return ServeRow{}, err
+	}
+	defer sess.Close()
+	srv := serve.New(sess)
+	defer srv.Shutdown(context.Background())
+
+	const readers = 4
+	var read func(i int) int
+	switch wire {
+	case "http":
+		addr, err := srv.ListenHTTP("127.0.0.1:0")
+		if err != nil {
+			return ServeRow{}, err
+		}
+		url := fmt.Sprintf("http://%s/degeneracy", addr)
+		clients := make([]*http.Client, readers)
+		for i := range clients {
+			clients[i] = &http.Client{}
+		}
+		var mu sync.Mutex
+		next := 0
+		clientFor := func() *http.Client {
+			mu.Lock()
+			defer mu.Unlock()
+			c := clients[next%readers]
+			next++
+			return c
+		}
+		read = func(i int) int {
+			resp, err := clientFor().Get(url)
+			if err != nil {
+				return 0
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return resp.StatusCode
+		}
+	case "binary":
+		addr, err := srv.ListenBinary("127.0.0.1:0")
+		if err != nil {
+			return ServeRow{}, err
+		}
+		conns := make(chan *serve.Client, readers)
+		for i := 0; i < readers; i++ {
+			c, err := serve.DialClient(addr.String())
+			if err != nil {
+				return ServeRow{}, err
+			}
+			defer c.Close()
+			conns <- c
+		}
+		read = func(i int) int {
+			c := <-conns
+			defer func() { conns <- c }()
+			d, _, err := c.Degeneracy()
+			if err != nil {
+				return 0
+			}
+			return d
+		}
+	default:
+		return ServeRow{}, fmt.Errorf("bench: unknown wire mode %q", wire)
+	}
+
+	stop := make(chan struct{})
+	var mutations atomic.Int64
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := sess.Enqueue(serveChurn(i, n)); err != nil {
+				i--
+			} else {
+				mutations.Add(1)
+			}
+			runtime.Gosched()
+		}
+	}()
+	start := time.Now()
+	timer := time.AfterFunc(serveWindow, func() { close(stop) })
+	defer timer.Stop()
+	reads := runReaders(readers, stop, read)
+	elapsed := time.Since(start)
+	churnWG.Wait()
+	return ServeRow{
+		Mode: wire, Readers: readers, Reads: reads,
+		QPS: float64(reads) / elapsed.Seconds(), Mutations: mutations.Load(),
+	}, nil
+}
+
+// WriteServe renders the serving throughput table.
+func WriteServe(w io.Writer, rows []ServeRow) error {
+	tab := stats.NewTable("mode", "readers", "reads", "qps", "mutations", "speedup")
+	for _, r := range rows {
+		speedup := "-"
+		if r.Speedup > 0 {
+			speedup = fmt.Sprintf("%.1fx", r.Speedup)
+		}
+		tab.AddRow(
+			r.Mode,
+			fmt.Sprintf("%d", r.Readers),
+			fmt.Sprintf("%d", r.Reads),
+			fmt.Sprintf("%.0f", r.QPS),
+			fmt.Sprintf("%d", r.Mutations),
+			speedup,
+		)
+	}
+	return tab.Render(w)
+}
