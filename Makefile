@@ -1,7 +1,9 @@
 # Tier-1 verification and CI entry points for the dkcore repo.
 #
 #   make build       compile every package and binary
-#   make apicheck    fail if any exported root-package symbol lacks a doc comment
+#   make apicheck    fail if any exported symbol of the root package (or
+#                    the cluster/transport/dataset runtime packages)
+#                    lacks a doc comment
 #   make test        run the full test suite
 #   make race        run the test suite under the race detector
 #   make fuzz-short  run each native fuzz target briefly
@@ -17,7 +19,7 @@ GO        ?= go
 FUZZTIME  ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all build vet apicheck test race fuzz-short bench bench-partition bench-hotpath bench-allocs bench-serve ci
+.PHONY: all build vet apicheck test race fuzz-short bench bench-partition bench-hotpath bench-allocs bench-serve bench-cluster ci
 
 all: build
 
@@ -37,9 +39,11 @@ vet:
 	fi
 
 # apicheck gates the public API surface: every exported symbol of the
-# root dkcore package must carry a doc comment.
+# root dkcore package must carry a doc comment, and the networked
+# runtime's packages (cluster, transport, dataset) are held to the same
+# standard — operators read their godoc when running a deployment.
 apicheck:
-	$(GO) run ./internal/apicheck .
+	$(GO) run ./internal/apicheck . ./internal/cluster ./internal/transport ./internal/dataset
 
 test: build
 	$(GO) test ./...
@@ -50,6 +54,7 @@ race: build
 fuzz-short: build
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzCodec -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz FuzzCompressedFrame -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzServeHTTP -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz FuzzServeBinaryFrame -fuzztime $(FUZZTIME) ./internal/serve
 
@@ -79,6 +84,13 @@ bench-hotpath: build
 bench-allocs: build
 	$(GO) test -run TestSteadyStateRoundAllocs -count=1 ./internal/parallel
 	$(GO) test -run TestRefineSteadyStateAllocs -count=1 .
+
+# bench-cluster isolates the cluster wire-efficiency gate: on the
+# powerlaw-10k workload the flate-compressed delta batches must be at
+# most half the raw bytes (BENCH_cluster.json records the full
+# engine x dataset matrix).
+bench-cluster: build
+	$(GO) test -run TestClusterCompressionFloor -count=1 -v ./internal/bench
 
 # bench-serve isolates the query-service throughput gate: the
 # epoch-snapshot Session must beat the RWMutex baseline's read QPS under

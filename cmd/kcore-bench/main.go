@@ -128,6 +128,14 @@ var experiments = []experiment{
 		},
 	},
 	{
+		name:  "cluster",
+		title: "extension: fault-tolerant cluster runtime — engine × dataset matrix",
+		run:   func(cfg bench.Config, _ int) (any, error) { return bench.ClusterMatrix(cfg) },
+		write: func(w io.Writer, data any) error {
+			return bench.WriteCluster(w, data.([]bench.ClusterRow))
+		},
+	},
+	{
 		name:  "hotpath",
 		title: "extension: refinement hot path — incremental support counters vs recompute oracle",
 		run:   func(cfg bench.Config, _ int) (any, error) { return bench.HotPath(cfg) },

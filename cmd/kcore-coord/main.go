@@ -9,6 +9,18 @@
 // then start four workers:
 //
 //	kcore-host -coord 127.0.0.1:7070
+//
+// Long-lived deployments enable the fault-tolerance machinery:
+//
+//	kcore-coord -in graph.txt -hosts 4 -checkpoint-every 16 \
+//	    -rejoin-wait 2m -allow-join -compress
+//
+// which checkpoints every host every 16 rounds, waits up to two minutes
+// for a replacement when a worker dies (resuming it from its checkpoint
+// plus the delta batches since), admits extra workers joining mid-run,
+// and flate-compresses delta batches on the wire. Progress and failures
+// are logged as structured key=value lines on stderr; a host death
+// reports who died, in which round, and the last round it acknowledged.
 package main
 
 import (
@@ -17,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
+	"time"
 
 	"dkcore"
 )
@@ -37,10 +51,21 @@ func run(args []string, out io.Writer) error {
 		hosts     = fs.Int("hosts", 2, "number of host workers to wait for")
 		listen    = fs.String("listen", "127.0.0.1:7070", "address to listen on")
 		histogram = fs.Bool("histogram", false, "print shell-size histogram instead of per-node coreness")
+		ckptEvery = fs.Int("checkpoint-every", 0, "checkpoint every N rounds (0 = no checkpoints)")
+		rejoin    = fs.Duration("rejoin-wait", 0, "how long to wait for a replacement when a host dies (0 = fail fast)")
+		allowJoin = fs.Bool("allow-join", false, "admit workers joining after the run has started")
+		compress  = fs.Bool("compress", false, "offer flate compression for delta batches")
+		verbose   = fs.Bool("v", false, "log per-round debug detail")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -57,22 +82,36 @@ func run(args []string, out io.Writer) error {
 	}
 
 	coord, err := dkcore.NewCoordinator(dkcore.ClusterConfig{
-		Graph:      g,
-		NumHosts:   *hosts,
-		ListenAddr: *listen,
+		Graph:           g,
+		NumHosts:        *hosts,
+		ListenAddr:      *listen,
+		CheckpointEvery: *ckptEvery,
+		RejoinWait:      *rejoin,
+		AllowJoin:       *allowJoin,
+		Compression:     *compress,
+		Log:             log,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "kcore-coord: listening on %s, waiting for %d hosts\n", coord.Addr(), *hosts)
+	log.Info("listening", "addr", coord.Addr(), "hosts", *hosts,
+		"nodes", g.NumNodes(), "edges", g.NumEdges())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	start := time.Now()
 	res, err := coord.RunContext(ctx)
 	if err != nil {
+		// The coordinator has already logged the proximate cause (which
+		// host died, in which round, last acked round); this line marks
+		// the shutdown decision itself.
+		log.Error("run aborted", "err", err, "elapsed", time.Since(start).Round(time.Millisecond))
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "kcore-coord: converged in %d rounds, %d estimates shipped\n",
-		res.Rounds, res.EstimatesSent)
+	log.Info("converged", "rounds", res.Rounds, "estimates", res.EstimatesSent,
+		"checkpoints", res.Checkpoints, "recoveries", res.Recoveries,
+		"joins", res.Joins, "leaves", res.Leaves,
+		"batchBytesRaw", res.BatchBytesRaw, "batchBytesWire", res.BatchBytesWire,
+		"elapsed", time.Since(start).Round(time.Millisecond))
 
 	w := bufio.NewWriter(out)
 	defer w.Flush()

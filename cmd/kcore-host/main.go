@@ -1,17 +1,24 @@
 // Command kcore-host runs one host worker of a networked one-to-many
 // deployment. It connects to a kcore-coord coordinator, receives its
-// graph partition, exchanges estimate batches with peer hosts, and exits
-// when the coordinator signals termination.
+// graph partition, exchanges estimate batches through the coordinator,
+// and exits when the coordinator signals termination.
 //
 // Usage:
 //
-//	kcore-host -coord 127.0.0.1:7070 [-listen 127.0.0.1:0]
+//	kcore-host -coord 127.0.0.1:7070
+//
+// A worker started while a run is already in progress either replaces a
+// dead host (resuming from its latest checkpoint) or joins as extra
+// capacity, depending on what the coordinator is waiting for; the
+// protocol is identical either way, so no extra flags are needed.
+// Progress is logged as structured key=value lines on stderr.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 
@@ -28,22 +35,31 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("kcore-host", flag.ContinueOnError)
 	var (
-		coord  = fs.String("coord", "127.0.0.1:7070", "coordinator address")
-		listen = fs.String("listen", "127.0.0.1:0", "address to listen on for peer hosts")
+		coord   = fs.String("coord", "127.0.0.1:7070", "coordinator address")
+		listen  = fs.String("listen", "", "deprecated: hosts no longer listen (relay runs through the coordinator)")
+		verbose = fs.Bool("v", false, "log per-round debug detail")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := dkcore.RunClusterHost(ctx, dkcore.HostConfig{
 		CoordinatorAddr: *coord,
 		ListenAddr:      *listen,
+		Log:             log,
 	})
 	if err != nil {
+		log.Error("host aborted", "err", err)
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "kcore-host: host %d done: %d nodes, %d rounds, %d batches sent, %d estimates shipped\n",
-		res.HostID, len(res.Coreness), res.Rounds, res.BatchesSent, res.EstimatesSent)
+	log.Info("done", "host", res.HostID, "nodes", len(res.Coreness),
+		"rounds", res.Rounds, "batchesSent", res.BatchesSent,
+		"estimates", res.EstimatesSent)
 	return nil
 }

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClusterMatrixTiny(t *testing.T) {
+	rows, err := ClusterMatrix(Config{Scale: 0.02, Reps: 1, Datasets: []string{"roadnet"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One registry workload plus powerlaw, three engines each.
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rounds <= 0 {
+			t.Errorf("%s/%s: rounds = %d", r.Dataset, r.Engine, r.Rounds)
+		}
+		if strings.HasPrefix(r.Engine, "cluster") && r.BytesRaw <= 0 {
+			t.Errorf("%s/%s: no batch bytes recorded", r.Dataset, r.Engine)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteCluster(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cluster-flate") {
+		t.Fatalf("rendered table missing cluster-flate row:\n%s", sb.String())
+	}
+}
+
+// TestClusterCompressionFloor is the bench-cluster CI gate: on the
+// powerlaw-10k workload the flate-compressed delta batches must be at
+// most half the raw bytes. Estimate batches are sorted node/value pairs
+// with heavy small-integer repetition — flate comfortably halves them,
+// and a regression here means the encoder or negotiation broke.
+func TestClusterCompressionFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full powerlaw-10k cluster run")
+	}
+	rows, err := ClusterMatrix(Config{Scale: 1.0, Reps: 1, Datasets: []string{"astroph"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows {
+		if r.Engine != "cluster-flate" || !strings.HasPrefix(r.Dataset, "powerlaw-") {
+			continue
+		}
+		found = true
+		if r.BytesRaw == 0 {
+			t.Fatalf("%s: no raw bytes recorded", r.Dataset)
+		}
+		ratio := float64(r.BytesWire) / float64(r.BytesRaw)
+		if ratio > 0.5 {
+			t.Errorf("%s: wire/raw = %.3f, want <= 0.5 (raw %d, wire %d)",
+				r.Dataset, ratio, r.BytesRaw, r.BytesWire)
+		}
+	}
+	if !found {
+		t.Fatal("no cluster-flate powerlaw row in matrix")
+	}
+}

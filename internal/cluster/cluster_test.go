@@ -132,25 +132,23 @@ func TestHostRejectsBadCoordinatorAddr(t *testing.T) {
 func TestConfigRoundTrip(t *testing.T) {
 	in := config{
 		HostID:    2,
-		NumHosts:  3,
+		NumHosts:  4,
+		BaseHosts: 3,
 		NumNodes:  10,
-		PeerAddrs: []string{"a:1", "b:2", "c:3"},
 		Owned:     []int{2, 5, 8},
 		// CSR form of {2: [0 5 9], 5: [2], 8: []}.
-		AdjOff:  []int{0, 3, 4, 4},
-		AdjFlat: []int{0, 5, 9, 2},
+		AdjOff:        []int{0, 3, 4, 4},
+		AdjFlat:       []int{0, 5, 9, 2},
+		OverrideNodes: []int{5, 9},
+		OverrideHosts: []int{3, 0},
 	}
 	out, err := decodeConfig(encodeConfig(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.HostID != in.HostID || out.NumHosts != in.NumHosts || out.NumNodes != in.NumNodes {
+	if out.HostID != in.HostID || out.NumHosts != in.NumHosts ||
+		out.BaseHosts != in.BaseHosts || out.NumNodes != in.NumNodes {
 		t.Fatalf("scalar fields mismatch: %+v", out)
-	}
-	for i, addr := range in.PeerAddrs {
-		if out.PeerAddrs[i] != addr {
-			t.Fatalf("peer addr %d mismatch", i)
-		}
 	}
 	if !slices.Equal(out.Owned, in.Owned) {
 		t.Fatalf("owned mismatch: %v vs %v", out.Owned, in.Owned)
@@ -161,6 +159,10 @@ func TestConfigRoundTrip(t *testing.T) {
 	if !slices.Equal(out.AdjFlat, in.AdjFlat) {
 		t.Fatalf("adjacency mismatch: %v vs %v", out.AdjFlat, in.AdjFlat)
 	}
+	if !slices.Equal(out.OverrideNodes, in.OverrideNodes) || !slices.Equal(out.OverrideHosts, in.OverrideHosts) {
+		t.Fatalf("overrides mismatch: %v→%v vs %v→%v",
+			out.OverrideNodes, out.OverrideHosts, in.OverrideNodes, in.OverrideHosts)
+	}
 }
 
 // TestConfigDecodeRejectsHostileDegrees crafts a raw config frame whose
@@ -169,10 +171,10 @@ func TestConfigRoundTrip(t *testing.T) {
 // host inside NewHostState. decodeConfig must reject it (and any degree
 // sum beyond the payload) as corrupt.
 func TestConfigDecodeRejectsHostileDegrees(t *testing.T) {
-	payload := binary.AppendUvarint(nil, 0) // HostID
-	payload = binary.AppendUvarint(payload, 1)
-	payload = binary.AppendUvarint(payload, 3)
-	payload = transport.EncodeString(payload, "a:1")
+	payload := binary.AppendUvarint(nil, 0)                             // HostID
+	payload = binary.AppendUvarint(payload, 1)                          // NumHosts
+	payload = binary.AppendUvarint(payload, 1)                          // BaseHosts
+	payload = binary.AppendUvarint(payload, 3)                          // NumNodes
 	payload = append(payload, transport.EncodeIntSlice([]int{0, 1})...) // Owned
 	payload = binary.AppendUvarint(payload, ^uint64(0))                 // degree of node 0: 2^64-1
 	payload = binary.AppendUvarint(payload, 2)                          // degree of node 1
@@ -189,9 +191,8 @@ func TestConfigDecodeRejectsBadOwnedSets(t *testing.T) {
 	base := func(owned []int) config {
 		off := make([]int, len(owned)+1)
 		return config{
-			HostID: 0, NumHosts: 1, NumNodes: 4,
-			PeerAddrs: []string{"a:1"},
-			Owned:     owned, AdjOff: off,
+			HostID: 0, NumHosts: 1, BaseHosts: 1, NumNodes: 4,
+			Owned: owned, AdjOff: off,
 		}
 	}
 	for name, owned := range map[string][]int{
@@ -212,17 +213,19 @@ func TestConfigDecodeRejectsBadOwnedSets(t *testing.T) {
 // entry naming a node outside the graph (phantom mesh peer) must all
 // fail to decode.
 func TestConfigDecodeRejectsHostileHeaders(t *testing.T) {
-	encode := func(hostID, numHosts, numNodes uint64, rest ...byte) []byte {
+	encode := func(hostID, numHosts, baseHosts, numNodes uint64) []byte {
 		payload := binary.AppendUvarint(nil, hostID)
 		payload = binary.AppendUvarint(payload, numHosts)
-		payload = binary.AppendUvarint(payload, numNodes)
-		return append(payload, rest...)
+		payload = binary.AppendUvarint(payload, baseHosts)
+		return binary.AppendUvarint(payload, numNodes)
 	}
 	cases := map[string][]byte{
-		"zero hosts":      encode(0, 0, 3),
-		"huge host count": encode(0, 1<<40, 3),
-		"overflow hosts":  encode(0, 1<<63, 3),
-		"host id too big": append(encode(2, 1, 3), transport.EncodeString(nil, "a:1")...),
+		"zero hosts":       encode(0, 0, 1, 3),
+		"huge host count":  encode(0, 1<<40, 1, 3),
+		"overflow hosts":   encode(0, 1<<63, 1, 3),
+		"zero base":        encode(0, 1, 0, 3),
+		"base above hosts": encode(0, 2, 3, 3),
+		"host id too big":  encode(2, 1, 1, 3),
 	}
 	for name, payload := range cases {
 		if c, err := decodeConfig(payload); err == nil {
@@ -230,13 +233,19 @@ func TestConfigDecodeRejectsHostileHeaders(t *testing.T) {
 		}
 	}
 	if _, err := decodeConfig(encodeConfig(config{
-		HostID: 0, NumHosts: 1, NumNodes: 3,
-		PeerAddrs: []string{"a:1"},
-		Owned:     []int{0},
-		AdjOff:    []int{0, 1},
-		AdjFlat:   []int{7}, // neighbor outside [0, 3)
+		HostID: 0, NumHosts: 1, BaseHosts: 1, NumNodes: 3,
+		Owned:   []int{0},
+		AdjOff:  []int{0, 1},
+		AdjFlat: []int{7}, // neighbor outside [0, 3)
 	})); err == nil {
 		t.Fatalf("out-of-range neighbor accepted")
+	}
+	if _, err := decodeConfig(encodeConfig(config{
+		HostID: 0, NumHosts: 2, BaseHosts: 2, NumNodes: 3,
+		Owned: []int{0}, AdjOff: []int{0, 0},
+		OverrideNodes: []int{1}, OverrideHosts: []int{5}, // host outside [0, 2)
+	})); err == nil {
+		t.Fatalf("out-of-range override host accepted")
 	}
 }
 
@@ -244,8 +253,8 @@ func TestConfigDecodeRejectsDegreeMismatch(t *testing.T) {
 	in := config{
 		HostID:    0,
 		NumHosts:  1,
+		BaseHosts: 1,
 		NumNodes:  3,
-		PeerAddrs: []string{"a:1"},
 		Owned:     []int{0, 1},
 		AdjOff:    []int{0, 2, 3}, // degrees sum to 3 ...
 		AdjFlat:   []int{1, 2},    // ... but only 2 entries shipped
@@ -257,12 +266,24 @@ func TestConfigDecodeRejectsDegreeMismatch(t *testing.T) {
 
 func TestDoneRoundTrip(t *testing.T) {
 	in := doneReport{Round: 7, Changed: 3, SentTotal: 100, AppliedTotal: 99, PairsTotal: 512}
-	out, err := decodeDone(appendDone(nil, in))
+	outbox := []relayBatch{
+		{Peer: 1, Raw: []byte{1, 2, 3}},
+		{Peer: 4, Raw: []byte{9}},
+	}
+	rep, relays, err := decodeDone(appendDone(nil, in, outbox))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out != in {
-		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	if rep != in {
+		t.Fatalf("report round trip mismatch: %+v vs %+v", rep, in)
+	}
+	if len(relays) != len(outbox) {
+		t.Fatalf("relay count %d, want %d", len(relays), len(outbox))
+	}
+	for i := range outbox {
+		if relays[i].Peer != outbox[i].Peer || !slices.Equal(relays[i].Raw, outbox[i].Raw) {
+			t.Fatalf("relay %d mismatch: %+v vs %+v", i, relays[i], outbox[i])
+		}
 	}
 }
 

@@ -2,12 +2,10 @@ package cluster
 
 import (
 	"context"
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"io"
+	"log/slog"
 	"net"
-	"sync"
+	"slices"
 
 	"dkcore/internal/core"
 	"dkcore/internal/transport"
@@ -17,8 +15,14 @@ import (
 type HostConfig struct {
 	// CoordinatorAddr is the coordinator's TCP address.
 	CoordinatorAddr string
-	// ListenAddr is the address for peer connections, e.g. "127.0.0.1:0".
+	// ListenAddr is ignored: hosts no longer open a listener — all
+	// traffic is relayed over the coordinator connection.
+	//
+	// Deprecated: remove from call sites; retained so they compile.
 	ListenAddr string
+	// Log receives structured runtime events (restores, reshapes).
+	// nil discards them.
+	Log *slog.Logger
 }
 
 // HostResult reports one host worker's share of a networked run — the
@@ -33,18 +37,18 @@ type HostResult struct {
 	Rounds int
 	// BatchesSent is the number of estimate batches shipped to peer hosts.
 	BatchesSent int64
-	// BatchesApplied is the number of peer batches applied locally.
+	// BatchesApplied is the number of peer batches applied locally
+	// (including batches replayed during a restore).
 	BatchesApplied int64
 	// EstimatesSent is the number of (node, estimate) pairs shipped to
 	// peers — this host's share of the Figure-5 overhead numerator.
 	EstimatesSent int64
 }
 
-// RunHost joins the cluster at the given coordinator, serves its partition
-// until the coordinator signals termination, and returns the host's result.
-// Every goroutine and connection it creates is cleaned up before it
-// returns. Cancelling ctx tears the connections down promptly and returns
-// ctx.Err().
+// RunHost dials the coordinator and serves one protocol session:
+// handshake, configuration, restore, then ticks until stopped. It
+// returns after shipping the final result frame. Cancelling ctx tears
+// the connection down promptly and returns ctx.Err().
 func RunHost(ctx context.Context, cfg HostConfig) (*HostResult, error) {
 	res, err := runHost(ctx, cfg)
 	if err != nil && ctx.Err() != nil {
@@ -53,329 +57,427 @@ func RunHost(ctx context.Context, cfg HostConfig) (*HostResult, error) {
 	return res, err
 }
 
+// hostRun is a host worker's session state.
+type hostRun struct {
+	conn *transport.Conn
+	log  *slog.Logger
+
+	id        int
+	numHosts  int
+	baseHosts int
+	numNodes  int
+	overrides map[int]int
+
+	// Current partition CSR; replaced wholesale at each reshape.
+	owned   []int
+	adjOff  []int
+	adjFlat []int
+
+	state   *core.HostState
+	res     *HostResult
+	stopped bool // final result shipped; the session is over
+
+	doneBuf []byte
+	encBuf  []byte
+}
+
+// owner is the host's view of the ownership function: the base modulo
+// policy plus the override table accumulated by membership changes.
+func (h *hostRun) owner(u int) int {
+	if hostID, ok := h.overrides[u]; ok {
+		return hostID
+	}
+	return u % h.baseHosts
+}
+
 func runHost(ctx context.Context, cfg HostConfig) (*HostResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if cfg.ListenAddr == "" {
-		cfg.ListenAddr = "127.0.0.1:0"
+	log := cfg.Log
+	if log == nil {
+		log = slog.New(discardHandler{})
 	}
-	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	raw, err := net.Dial("tcp", cfg.CoordinatorAddr)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: host listen %s: %w", cfg.ListenAddr, err)
+		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	defer ln.Close()
-
-	coord, err := transport.Dial(cfg.CoordinatorAddr)
-	if err != nil {
-		return nil, err
-	}
-	defer coord.Close()
-
-	// The watchdog unblocks the serve loop's coordinator Recv (and the
-	// peer-mesh Accept during setup) the moment ctx is cancelled.
-	stopWatch := context.AfterFunc(ctx, func() {
-		ln.Close()
-		coord.Close()
-	})
+	conn := transport.NewConn(raw)
+	defer conn.Close()
+	stopWatch := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stopWatch()
 
-	if err := coord.Send(frameHello, transport.EncodeString(nil, ln.Addr().String())); err != nil {
+	h := &hostRun{conn: conn, log: log, res: &HostResult{}}
+	if err := h.handshake(); err != nil {
 		return nil, err
 	}
-	typ, payload, err := coord.Recv()
-	if err != nil {
-		return nil, fmt.Errorf("cluster: host waiting for config: %w", err)
-	}
-	if typ != frameConfig {
-		return nil, fmt.Errorf("cluster: host got frame %d, want config", typ)
-	}
-	conf, err := decodeConfig(payload)
-	if err != nil {
+	if err := h.configure(); err != nil {
 		return nil, err
 	}
-
-	h := &hostWorker{
-		conf:  conf,
-		state: core.NewHostState(conf.HostID, conf.NumNodes, conf.Owned, conf.AdjOff, conf.AdjFlat, moduloOwner(conf.NumHosts)),
-		peers: make([]*transport.Conn, conf.NumHosts),
-		inbox: make(chan batchPayload, 4*conf.NumHosts),
-	}
-	if err := h.connectMesh(ln); err != nil {
+	if err := h.restore(); err != nil {
 		return nil, err
 	}
-	defer h.closePeers()
-	h.startReaders()
-	defer h.stopReaders()
-
-	if err := coord.Send(frameReady, nil); err != nil {
+	if err := conn.Send(frameReady, nil); err != nil {
+		return nil, fmt.Errorf("cluster: ready: %w", err)
+	}
+	if err := h.serve(); err != nil {
 		return nil, err
 	}
-	return h.serve(coord)
+	return h.res, nil
 }
 
-// hostWorker is the running state of one host process.
-type hostWorker struct {
-	conf  config
-	state *core.HostState
-	peers []*transport.Conn // index = host ID; nil for self and non-neighbors
-
-	inbox chan batchPayload
-
-	readersWG sync.WaitGroup
-	readErrMu sync.Mutex
-	readErr   error
-
-	sentTotal    int64
-	appliedTotal int64
-	pairsTotal   int64
-	lastChanged  int // owned estimate changes in the most recent round
-
-	// Reused per-round encode buffers: batches and done-reports are
-	// serialized into retained storage (Conn.Send copies into its write
-	// buffer before returning), so steady-state rounds encode without
-	// allocating once the buffers warm to the largest batch.
-	encBuf  []byte
-	doneBuf []byte
-}
-
-// connectMesh establishes one framed connection per neighboring host:
-// this host dials every neighbor with a larger ID and accepts connections
-// from every neighbor with a smaller ID.
-func (h *hostWorker) connectMesh(ln net.Listener) error {
-	expectIn := 0
-	for _, y := range h.state.NeighborHosts() {
-		if y < h.conf.HostID {
-			expectIn++
-		}
+func (h *hostRun) handshake() error {
+	hello := helloMsg{Version: protocolVersion, Flags: flagFlate}
+	if err := h.conn.Send(frameHello, encodeHello(hello)); err != nil {
+		return fmt.Errorf("cluster: hello: %w", err)
 	}
-	type accepted struct {
-		id   int
-		conn *transport.Conn
-		err  error
+	typ, payload, err := h.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: welcome: %w", err)
 	}
-	acceptCh := make(chan accepted, expectIn)
-	go func() {
-		for i := 0; i < expectIn; i++ {
-			raw, err := ln.Accept()
-			if err != nil {
-				acceptCh <- accepted{err: err}
-				return
-			}
-			conn := transport.NewConn(raw)
-			typ, payload, err := conn.Recv()
-			if err != nil || typ != framePeer {
-				conn.Close()
-				acceptCh <- accepted{err: fmt.Errorf("cluster: bad peer handshake: %v", err)}
-				return
-			}
-			id64, n := binary.Uvarint(payload)
-			if n <= 0 {
-				conn.Close()
-				acceptCh <- accepted{err: errors.New("cluster: bad peer id")}
-				return
-			}
-			acceptCh <- accepted{id: int(id64), conn: conn}
-		}
-	}()
-
-	var idBuf [8]byte
-	for _, y := range h.state.NeighborHosts() {
-		if y <= h.conf.HostID {
-			continue
-		}
-		conn, err := transport.Dial(h.conf.PeerAddrs[y])
-		if err != nil {
-			return fmt.Errorf("cluster: host %d dial peer %d: %w", h.conf.HostID, y, err)
-		}
-		n := putUvarint(idBuf[:], uint64(h.conf.HostID))
-		if err := conn.Send(framePeer, idBuf[:n]); err != nil {
-			conn.Close()
-			return err
-		}
-		h.peers[y] = conn
+	if typ != frameWelcome {
+		return fmt.Errorf("cluster: coordinator sent frame %d, want welcome", typ)
 	}
-	for i := 0; i < expectIn; i++ {
-		acc := <-acceptCh
-		if acc.err != nil {
-			return acc.err
-		}
-		if acc.id < 0 || acc.id >= len(h.peers) || acc.id == h.conf.HostID {
-			acc.conn.Close()
-			return fmt.Errorf("cluster: peer announced invalid id %d", acc.id)
-		}
-		h.peers[acc.id] = acc.conn
+	welcome, err := decodeHello(payload)
+	if err != nil {
+		return fmt.Errorf("cluster: welcome: %w", err)
+	}
+	if welcome.Version != protocolVersion {
+		return fmt.Errorf("cluster: coordinator speaks protocol %d, host speaks %d",
+			welcome.Version, protocolVersion)
+	}
+	if welcome.Flags&flagFlate != 0 {
+		h.conn.SetCompression(true)
 	}
 	return nil
 }
 
-// startReaders launches one reader goroutine per peer connection, feeding
-// decoded batches into the inbox.
-func (h *hostWorker) startReaders() {
-	for id, conn := range h.peers {
-		if conn == nil {
-			continue
-		}
-		h.readersWG.Add(1)
-		go func(id int, conn *transport.Conn) {
-			defer h.readersWG.Done()
-			for {
-				typ, payload, err := conn.Recv()
-				if err != nil {
-					// EOF after STOP is the normal shutdown path.
-					if !errors.Is(err, io.EOF) {
-						h.setReadErr(err)
-					}
-					return
-				}
-				if typ != frameBatch {
-					h.setReadErr(fmt.Errorf("cluster: peer %d sent frame %d", id, typ))
-					return
-				}
-				batch, err := transport.DecodeBatch(payload)
-				if err != nil {
-					h.setReadErr(err)
-					return
-				}
-				h.inbox <- batchPayload{from: id, batch: batch}
-			}
-		}(id, conn)
+func (h *hostRun) configure() error {
+	typ, payload, err := h.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: config: %w", err)
 	}
-}
-
-func (h *hostWorker) setReadErr(err error) {
-	h.readErrMu.Lock()
-	if h.readErr == nil {
-		h.readErr = err
+	if typ != frameConfig {
+		return fmt.Errorf("cluster: coordinator sent frame %d, want config", typ)
 	}
-	h.readErrMu.Unlock()
-}
-
-func (h *hostWorker) readError() error {
-	h.readErrMu.Lock()
-	defer h.readErrMu.Unlock()
-	return h.readErr
-}
-
-func (h *hostWorker) closePeers() {
-	for _, conn := range h.peers {
-		if conn != nil {
-			conn.Close()
-		}
+	cfg, err := decodeConfig(payload)
+	if err != nil {
+		return fmt.Errorf("cluster: config: %w", err)
 	}
+	h.id = cfg.HostID
+	h.numHosts = cfg.NumHosts
+	h.baseHosts = cfg.BaseHosts
+	h.numNodes = cfg.NumNodes
+	h.overrides = make(map[int]int, len(cfg.OverrideNodes))
+	for i, u := range cfg.OverrideNodes {
+		h.overrides[u] = cfg.OverrideHosts[i]
+	}
+	h.owned = cfg.Owned
+	h.adjOff = cfg.AdjOff
+	h.adjFlat = cfg.AdjFlat
+	h.res.HostID = cfg.HostID
+	h.state = core.NewHostState(h.id, h.numNodes, h.owned, h.adjOff, h.adjFlat, h.owner)
+	return nil
 }
 
-func (h *hostWorker) stopReaders() {
-	h.closePeers()
-	h.readersWG.Wait()
-}
-
-// serve executes the coordinator-driven round loop.
-func (h *hostWorker) serve(coord *transport.Conn) (*HostResult, error) {
-	initialized := false
-	rounds := 0
-	for {
-		typ, payload, err := coord.Recv()
+// restore rebuilds protocol state from the coordinator's restore frame:
+// init, then the checkpoint estimate vector (integrity-checked against
+// its support histograms), then a replay of every batch delivered since.
+// The estimates land on the exact checkpointed values because they are
+// monotone non-increasing: init starts every node at least as high as
+// any checkpointed value, and Apply lowers each to its saved estimate.
+// All owned nodes stay marked changed, so the next collection re-ships
+// the full border state — a fresh host must introduce itself, and a
+// restarted one may hold drops its peers never saw.
+func (h *hostRun) restore() error {
+	typ, payload, err := h.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: restore: %w", err)
+	}
+	if typ != frameRestore {
+		return fmt.Errorf("cluster: coordinator sent frame %d, want restore", typ)
+	}
+	msg, err := decodeRestore(payload)
+	if err != nil {
+		return fmt.Errorf("cluster: restore: %w", err)
+	}
+	h.state.InitEstimates()
+	if msg.Ckpt != nil {
+		batch, err := transport.DecodeBatch(msg.Ckpt.Est)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: host %d lost coordinator: %w", h.conf.HostID, err)
+			return fmt.Errorf("cluster: restore checkpoint: %w", err)
+		}
+		h.state.Apply(batch)
+		if !h.state.VerifySupport(msg.Ckpt.Hist) {
+			return fmt.Errorf("cluster: restored state diverges from round-%d checkpoint support histograms", msg.Ckpt.Round)
+		}
+	}
+	for _, rb := range msg.Replay {
+		batch, err := transport.DecodeBatch(rb.Raw)
+		if err != nil {
+			return fmt.Errorf("cluster: restore replay from host %d: %w", rb.Peer, err)
+		}
+		h.state.Apply(batch)
+		h.res.BatchesApplied++
+	}
+	h.state.ImproveIfDirty()
+	if msg.Ckpt != nil || len(msg.Replay) > 0 {
+		ckptRound := 0
+		if msg.Ckpt != nil {
+			ckptRound = msg.Ckpt.Round
+		}
+		h.log.Info("state restored",
+			"host", h.id, "checkpointRound", ckptRound, "replayedBatches", len(msg.Replay))
+	}
+	return nil
+}
+
+// serve processes ticks, reshapes, and the final stop.
+func (h *hostRun) serve() error {
+	for {
+		typ, payload, err := h.conn.Recv()
+		if err != nil {
+			return fmt.Errorf("cluster: host %d lost coordinator (last round %d): %w",
+				h.id, h.res.Rounds, err)
 		}
 		switch typ {
 		case frameTick:
-			round64, n := binary.Uvarint(payload)
-			if n <= 0 {
-				return nil, errors.New("cluster: bad tick payload")
-			}
-			if err := h.runRound(int(round64), &initialized); err != nil {
-				return nil, err
-			}
-			rounds = int(round64)
-			h.doneBuf = appendDone(h.doneBuf[:0], doneReport{
-				Round:        int(round64),
-				Changed:      h.lastChanged,
-				SentTotal:    h.sentTotal,
-				AppliedTotal: h.appliedTotal,
-				PairsTotal:   h.pairsTotal,
-			})
-			if err := coord.Send(frameDone, h.doneBuf); err != nil {
-				return nil, err
-			}
+			err = h.tick(payload)
+		case frameReshape:
+			// A reshape may end with this host retiring (stop instead of
+			// seed), in which case sendResult marks the session over.
+			err = h.reshape(payload)
 		case frameStop:
-			owned := h.state.Owned()
-			batch := make(core.Batch, 0, len(owned))
-			for _, u := range owned {
-				e, ok := h.state.Estimate(u)
-				if !ok {
-					return nil, fmt.Errorf("cluster: host %d missing estimate for node %d", h.conf.HostID, u)
-				}
-				batch = append(batch, core.EstimateMsg{Node: u, Core: e})
-			}
-			if err := coord.Send(frameResult, transport.EncodeBatch(batch)); err != nil {
-				return nil, err
-			}
-			out := make(map[int]int, len(owned))
-			for _, m := range batch {
-				out[m.Node] = m.Core
-			}
-			return &HostResult{
-				HostID:         h.conf.HostID,
-				Coreness:       out,
-				Rounds:         rounds,
-				BatchesSent:    h.sentTotal,
-				BatchesApplied: h.appliedTotal,
-				EstimatesSent:  h.pairsTotal,
-			}, nil
+			err = h.sendResult()
 		default:
-			return nil, fmt.Errorf("cluster: host %d got unexpected frame %d", h.conf.HostID, typ)
+			err = fmt.Errorf("cluster: coordinator sent unexpected frame %d", typ)
+		}
+		if err != nil {
+			return err
+		}
+		if h.stopped {
+			return nil
 		}
 	}
 }
 
-// runRound applies queued batches, cascades locally, and ships updates.
-func (h *hostWorker) runRound(round int, initialized *bool) error {
-	if err := h.readError(); err != nil {
-		return err
+func (h *hostRun) tick(payload []byte) error {
+	msg, err := decodeTick(payload)
+	if err != nil {
+		return fmt.Errorf("cluster: tick: %w", err)
 	}
-	if !*initialized {
-		*initialized = true
-		h.state.InitEstimates()
-	}
-
-	// Drain whatever has arrived; later arrivals wait for the next round.
-	for {
-		select {
-		case bp := <-h.inbox:
-			h.appliedTotal++
-			h.state.Apply(bp.batch)
-		default:
-			goto drained
+	for _, rb := range msg.Batches {
+		batch, err := transport.DecodeBatch(rb.Raw)
+		if err != nil {
+			return fmt.Errorf("cluster: tick batch from host %d: %w", rb.Peer, err)
 		}
+		h.state.Apply(batch)
+		h.res.BatchesApplied++
 	}
-drained:
 	h.state.ImproveIfDirty()
-	changed := h.state.ChangedCount()
+	out := h.state.CollectPointToPoint()
 
-	batches := h.state.CollectPointToPoint()
-	totalPairs := 0
-	for _, y := range h.state.NeighborHosts() {
-		batch, ok := batches[y]
-		if !ok {
+	peers := make([]int, 0, len(out))
+	for peer := range out {
+		peers = append(peers, peer)
+	}
+	slices.Sort(peers)
+	rep := doneReport{Round: msg.Round}
+	relays := make([]relayBatch, 0, len(peers))
+	for _, peer := range peers {
+		batch := out[peer]
+		if len(batch) == 0 {
 			continue
 		}
-		conn := h.peers[y]
-		if conn == nil {
-			return fmt.Errorf("cluster: host %d has no connection to neighbor %d", h.conf.HostID, y)
-		}
-		// AppendBatch reorders the batch in place, which is safe here: the
-		// host is the collect buffer's only consumer and the HostState
-		// truncates it on reuse.
-		h.encBuf = transport.AppendBatch(h.encBuf[:0], batch)
-		if err := conn.Send(frameBatch, h.encBuf); err != nil {
+		relays = append(relays, relayBatch{Peer: peer, Raw: transport.AppendBatch(nil, batch)})
+		rep.Changed += len(batch)
+		h.res.BatchesSent++
+		h.res.EstimatesSent += int64(len(batch))
+	}
+	rep.SentTotal = h.res.BatchesSent
+	rep.AppliedTotal = h.res.BatchesApplied
+	rep.PairsTotal = h.res.EstimatesSent
+	h.res.Rounds = msg.Round
+
+	if msg.Checkpoint {
+		if err := h.sendCheckpoint(msg.Round); err != nil {
 			return err
 		}
-		h.sentTotal++
-		totalPairs += len(batch)
 	}
-	h.pairsTotal += int64(totalPairs)
-	h.lastChanged = changed
+	h.doneBuf = appendDone(h.doneBuf[:0], rep, relays)
+	if err := h.conn.Send(frameDone, h.doneBuf); err != nil {
+		return fmt.Errorf("cluster: done for round %d: %w", msg.Round, err)
+	}
+	return nil
+}
+
+func (h *hostRun) sendCheckpoint(round int) error {
+	est := h.state.ExportEstimates(nil)
+	h.encBuf = transport.AppendBatch(h.encBuf[:0], est)
+	hist := h.state.ExportSupport(nil)
+	ck := checkpointMsg{Round: round, Est: h.encBuf, Hist: hist}
+	h.doneBuf = appendCheckpoint(h.doneBuf[:0], ck)
+	if err := h.conn.Send(frameCheckpoint, h.doneBuf); err != nil {
+		return fmt.Errorf("cluster: checkpoint for round %d: %w", round, err)
+	}
+	return nil
+}
+
+// reshape applies a membership change: export the authoritative
+// estimates of the moved-out nodes, wait for the seed of the moved-in
+// nodes, and rebuild partition state around the new ownership table.
+// After the rebuild only the refresh-rule nodes — owned nodes that
+// moved in or that border a moved node — are marked for shipping: the
+// new owners need their estimates, and everything else is already
+// common knowledge.
+func (h *hostRun) reshape(payload []byte) error {
+	msg, err := decodeReshape(payload, h.numNodes)
+	if err != nil {
+		return fmt.Errorf("cluster: reshape: %w", err)
+	}
+	// Export before any mutation: these values are what the coordinator
+	// forwards to the new owners.
+	var ack core.Batch
+	movedSet := make(map[int]int, len(msg.Moves))
+	for _, mv := range msg.Moves {
+		movedSet[mv.Node] = mv.Host
+	}
+	movedOut := make(map[int]bool)
+	for _, u := range h.owned {
+		if newHost, ok := movedSet[u]; ok && newHost != h.id {
+			e, tracked := h.state.Estimate(u)
+			if !tracked {
+				return fmt.Errorf("cluster: reshape before init")
+			}
+			ack = append(ack, core.EstimateMsg{Node: u, Core: e})
+			movedOut[u] = true
+		}
+	}
+	exp := h.state.ExportEstimates(nil)
+
+	h.numHosts = msg.NumHosts
+	for _, mv := range msg.Moves {
+		if mv.Host == mv.Node%h.baseHosts {
+			delete(h.overrides, mv.Node)
+		} else {
+			h.overrides[mv.Node] = mv.Host
+		}
+	}
+	h.encBuf = transport.AppendBatch(h.encBuf[:0], ack)
+	if err := h.conn.Send(frameReshapeAck, h.encBuf); err != nil {
+		return fmt.Errorf("cluster: reshape-ack: %w", err)
+	}
+
+	typ, payload, err := h.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: awaiting seed: %w", err)
+	}
+	switch typ {
+	case frameStop:
+		// This host is the one leaving; its (empty) result is a formality.
+		return h.sendResult()
+	case frameSeed:
+	default:
+		return fmt.Errorf("cluster: coordinator sent frame %d, want seed", typ)
+	}
+	seeds, err := decodeSeed(payload, h.numNodes)
+	if err != nil {
+		return fmt.Errorf("cluster: seed: %w", err)
+	}
+	h.rebuild(movedOut, seeds, exp)
+	h.markRefresh(movedSet)
+	h.log.Info("partition reshaped",
+		"host", h.id, "numHosts", h.numHosts, "movedOut", len(movedOut), "movedIn", len(seeds))
+	if err := h.conn.Send(frameReady, nil); err != nil {
+		return fmt.Errorf("cluster: ready after reshape: %w", err)
+	}
+	return nil
+}
+
+// rebuild merges the current CSR (minus moved-out rows) with the seeded
+// rows (disjoint, both sorted) and reconstructs protocol state: init,
+// re-apply the pre-reshape export, apply the seeded estimates, and
+// clear the blanket changed marks. No Improve runs here — Apply leaves
+// the dirty flag raised, so the next tick's ImproveIfDirty performs the
+// cascade and marks any genuine drops for shipping; improving now would
+// mark-and-clear drops the peers have never seen.
+func (h *hostRun) rebuild(movedOut map[int]bool, seeds []seedEntry, exp core.Batch) {
+	rows := len(h.owned) - len(movedOut) + len(seeds)
+	owned := make([]int, 0, rows)
+	adjOff := make([]int, 1, rows+1)
+	var adjFlat []int
+	emit := func(u int, neighbors []int) {
+		owned = append(owned, u)
+		adjFlat = append(adjFlat, neighbors...)
+		adjOff = append(adjOff, len(adjFlat))
+	}
+	si := 0
+	for i, u := range h.owned {
+		for si < len(seeds) && seeds[si].Node < u {
+			emit(seeds[si].Node, seeds[si].Neighbors)
+			si++
+		}
+		if movedOut[u] {
+			continue
+		}
+		emit(u, h.adjFlat[h.adjOff[i]:h.adjOff[i+1]])
+	}
+	for ; si < len(seeds); si++ {
+		emit(seeds[si].Node, seeds[si].Neighbors)
+	}
+	h.owned, h.adjOff, h.adjFlat = owned, adjOff, adjFlat
+
+	seedBatch := make(core.Batch, len(seeds))
+	for i, e := range seeds {
+		seedBatch[i] = core.EstimateMsg{Node: e.Node, Core: e.Est}
+	}
+	h.state = core.NewHostState(h.id, h.numNodes, h.owned, h.adjOff, h.adjFlat, h.owner)
+	h.state.InitEstimates()
+	h.state.Apply(exp)
+	h.state.Apply(seedBatch)
+	h.state.ResetChanged()
+}
+
+// markRefresh marks and enqueues every owned node that moved in or that
+// borders a moved node. Shipping these re-establishes the only border
+// knowledge a move can invalidate: every stale external pair is by
+// construction adjacent to a moved node.
+func (h *hostRun) markRefresh(movedSet map[int]int) {
+	for i, u := range h.owned {
+		refresh := false
+		if _, ok := movedSet[u]; ok {
+			refresh = true
+		} else {
+			for _, v := range h.adjFlat[h.adjOff[i]:h.adjOff[i+1]] {
+				if _, ok := movedSet[v]; ok {
+					refresh = true
+					break
+				}
+			}
+		}
+		if refresh {
+			h.state.MarkNodeChanged(u)
+			h.state.EnqueueNode(u)
+		}
+	}
+}
+
+func (h *hostRun) sendResult() error {
+	coreness := make(map[int]int, len(h.owned))
+	batch := make(core.Batch, 0, len(h.owned))
+	for _, u := range h.owned {
+		e, ok := h.state.Estimate(u)
+		if !ok {
+			return fmt.Errorf("cluster: result before init")
+		}
+		coreness[u] = e
+		batch = append(batch, core.EstimateMsg{Node: u, Core: e})
+	}
+	h.encBuf = transport.AppendBatch(h.encBuf[:0], batch)
+	if err := h.conn.Send(frameResult, h.encBuf); err != nil {
+		return fmt.Errorf("cluster: result: %w", err)
+	}
+	h.res.Coreness = coreness
+	h.stopped = true
 	return nil
 }

@@ -48,6 +48,24 @@ func (a BlockAssignment) Host(u int) int {
 // NumHosts implements Assignment.
 func (a BlockAssignment) NumHosts() int { return a.H }
 
+// TableAssignment materializes an arbitrary node→host table — the form
+// membership changes produce, where ownership starts from a base policy
+// and accumulates per-node moves. Table[u] must be in [0, H); H may
+// exceed the number of distinct hosts present (departed hosts leave
+// holes in the ID space).
+type TableAssignment struct {
+	// Table maps node ID to host ID.
+	Table []int
+	// H is the size of the host ID space.
+	H int
+}
+
+// Host implements Assignment.
+func (a TableAssignment) Host(u int) int { return a.Table[u] }
+
+// NumHosts implements Assignment.
+func (a TableAssignment) NumHosts() int { return a.H }
+
 // RandomAssignment assigns each node to a uniformly random host, fixed at
 // construction time by the seed.
 type RandomAssignment struct {

@@ -1,10 +1,13 @@
-// Package dataset registers synthetic analogues of the nine SNAP graphs
-// evaluated in the paper (§5, Table 1). The module is offline, so the
-// original datasets cannot be downloaded; each analogue is generated at a
-// laptop-friendly scale with the structural property that drives the
-// paper's result for that graph (degree skew, diameter, coreness
-// profile). The paper's reported numbers are stored alongside so the
-// harness can print paper-vs-measured comparisons.
+// Package dataset registers the nine SNAP graphs evaluated in the paper
+// (§5, Table 1) in two forms. The default form is a synthetic analogue:
+// a deterministic generator tuned to the structural property that drives
+// the paper's result for that graph (degree skew, diameter, coreness
+// profile), usable offline at a laptop-friendly scale. The paper's
+// reported numbers are stored alongside so the harness can print
+// paper-vs-measured comparisons. For environments with the real files,
+// LoadSNAP and OpenSNAP ingest the original edge lists through a
+// download-or-cached flow (see snap.go); downloads are opt-in via
+// DKCORE_SNAP_FETCH=1 and never happen in tests.
 package dataset
 
 import (

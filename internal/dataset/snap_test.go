@@ -1,0 +1,153 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+)
+
+const sampleFixture = "testdata/snap_sample.txt"
+
+// The fixture holds a triangle {1,2,3} with a pendant 4, written with
+// duplicate directions and a self-loop, plus a disconnected edge 10-11.
+
+func TestLoadSNAPFixture(t *testing.T) {
+	f, err := os.Open(sampleFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sg, err := LoadSNAP(f, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, m := sg.Graph.NumNodes(), sg.Graph.NumEdges(); n != 6 || m != 5 {
+		t.Fatalf("got %d nodes / %d edges, want 6 / 5", n, m)
+	}
+	wantIDs := []int64{1, 2, 3, 4, 10, 11} // first-appearance order
+	if !slices.Equal(sg.OrigID, wantIDs) {
+		t.Fatalf("OrigID = %v, want %v", sg.OrigID, wantIDs)
+	}
+}
+
+func TestLoadSNAPLargestComponent(t *testing.T) {
+	f, err := os.Open(sampleFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sg, err := LoadSNAP(f, LoadOptions{LargestComponent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, m := sg.Graph.NumNodes(), sg.Graph.NumEdges(); n != 4 || m != 4 {
+		t.Fatalf("largest component has %d nodes / %d edges, want 4 / 4", n, m)
+	}
+	ids := slices.Clone(sg.OrigID)
+	slices.Sort(ids)
+	if !slices.Equal(ids, []int64{1, 2, 3, 4}) {
+		t.Fatalf("largest component OrigID = %v, want {1,2,3,4}", sg.OrigID)
+	}
+}
+
+func TestLoadSNAPFileGzip(t *testing.T) {
+	raw, err := os.ReadFile(sampleFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sample.txt.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := LoadSNAPFile(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, m := sg.Graph.NumNodes(), sg.Graph.NumEdges(); n != 6 || m != 5 {
+		t.Fatalf("gzip load: %d nodes / %d edges, want 6 / 5", n, m)
+	}
+}
+
+func TestLoadSNAPRejectsMalformed(t *testing.T) {
+	if _, err := LoadSNAP(strings.NewReader("1 two\n"), LoadOptions{}); err == nil {
+		t.Fatal("malformed edge list accepted")
+	}
+	if _, err := LoadSNAP(strings.NewReader("7\n"), LoadOptions{}); err == nil {
+		t.Fatal("one-field line accepted")
+	}
+}
+
+func TestFetchSNAPOfflineBehavior(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	if _, err := FetchSNAP(ctx, "no-such-dataset", dir); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+
+	// Not cached, downloads disabled: must fail fast with the sentinel.
+	t.Setenv(fetchEnv, "")
+	if _, err := FetchSNAP(ctx, "roadnet", dir); !errors.Is(err, ErrFetchDisabled) {
+		t.Fatalf("uncached fetch err = %v, want ErrFetchDisabled", err)
+	}
+
+	// Cached: served without touching the network regardless of the env.
+	cached := filepath.Join(dir, "roadnet.txt.gz")
+	if err := os.WriteFile(cached, []byte("placeholder"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FetchSNAP(ctx, "roadnet", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cached {
+		t.Fatalf("cached fetch returned %q, want %q", got, cached)
+	}
+}
+
+func TestSourceURLCoversRegistry(t *testing.T) {
+	for _, d := range All() {
+		if SourceURL(d.Key) == "" {
+			t.Errorf("dataset %q has no SNAP source URL", d.Key)
+		}
+	}
+	if SourceURL("bogus") != "" {
+		t.Error("unknown key has a source URL")
+	}
+}
+
+func ExampleLoadSNAP() {
+	// SNAP files are 1-based, list both edge directions, and mix in
+	// comments; LoadSNAP normalizes all of that into a simple graph.
+	input := `# toy graph
+1 2
+2 1
+2 3
+`
+	sg, err := LoadSNAP(strings.NewReader(input), LoadOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sg.Graph.NumNodes(), "nodes,", sg.Graph.NumEdges(), "edges")
+	fmt.Println("node 0 was id", sg.OrigID[0])
+	// Output:
+	// 3 nodes, 2 edges
+	// node 0 was id 1
+}

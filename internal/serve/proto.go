@@ -3,7 +3,7 @@ package serve
 // The binary query protocol: length-prefixed frames over
 // internal/transport, one request frame in, one response frame out.
 // Frame types live in the 0x10/0x20 ranges so they can never be
-// confused with the cluster protocol's 1..9 coordination frames.
+// confused with the cluster protocol's 1..13 coordination frames.
 // Payloads are uvarint-packed like the rest of the wire layer, and every
 // decoder is hardened against hostile counts and truncated varints (the
 // FuzzServeBinaryFrame target).

@@ -74,6 +74,38 @@ func DecodeBatch(data []byte) (core.Batch, error) {
 	return batch, nil
 }
 
+// ScanBatch validates an encoded estimate batch without materializing
+// it, returning the pair count. Relays that forward batches verbatim
+// use it to bound and account for traffic at zero allocation; the
+// validation is the same as DecodeBatch's, so a batch that scans clean
+// will also decode clean at its destination.
+func ScanBatch(data []byte) (pairs int, err error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, fmt.Errorf("transport: scan batch: bad count")
+	}
+	data = data[n:]
+	if count > uint64(len(data)/2) {
+		return 0, fmt.Errorf("transport: scan batch: count %d exceeds payload", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		_, dn := binary.Uvarint(data)
+		if dn <= 0 {
+			return 0, fmt.Errorf("transport: scan batch: truncated at pair %d", i)
+		}
+		data = data[dn:]
+		_, en := binary.Uvarint(data)
+		if en <= 0 {
+			return 0, fmt.Errorf("transport: scan batch: truncated estimate at pair %d", i)
+		}
+		data = data[en:]
+	}
+	if len(data) != 0 {
+		return 0, fmt.Errorf("transport: scan batch: %d trailing bytes", len(data))
+	}
+	return int(count), nil
+}
+
 // EncodeIntSlice serializes a non-negative int slice as uvarints with a
 // leading count.
 func EncodeIntSlice(xs []int) []byte {

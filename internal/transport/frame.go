@@ -1,14 +1,24 @@
 // Package transport provides the wire layer for the networked one-to-many
-// deployment: length-prefixed frames over any stream connection, plus a
-// compact varint codec for estimate batches and graph partitions.
+// deployment: length-prefixed frames over any stream connection, a
+// compact varint codec for estimate batches and graph partitions, and
+// optional per-connection flate compression negotiated above this layer.
 //
 // A frame is [length u32 big-endian][type u8][payload]; length covers the
-// type byte and payload. The framing is transport-agnostic: it works over
-// TCP sockets, net.Pipe pairs in tests, or any io.ReadWriteCloser.
+// type byte and payload. Frame types occupy 0x00..0x7F; the high bit of
+// the type byte is the per-frame compression flag (see CompressedFlag).
+// The framing is transport-agnostic: it works over TCP sockets, net.Pipe
+// pairs in tests, or any io.ReadWriteCloser.
+//
+// Every decoder in this package follows the decode-before-allocate
+// contract documented in docs/PROTOCOL.md: peer-supplied counts and
+// lengths are checked against the bytes actually present (or against
+// MaxFrameSize, for decompression) before any proportional allocation.
 package transport
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -28,10 +38,22 @@ var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
 // Conn is a framed connection. Send is safe for concurrent use; Recv must
 // be called from a single goroutine at a time.
 type Conn struct {
-	writeMu sync.Mutex
-	bw      *bufio.Writer
-	br      *bufio.Reader
-	closer  io.Closer
+	writeMu     sync.Mutex // guards writes, compressOut, out-direction stats
+	bw          *bufio.Writer
+	compressOut bool
+	flateW      *flate.Writer
+	flateBuf    bytes.Buffer
+	outStats    FrameStats
+	outByType   [CompressedFlag]FrameStats
+
+	br         *bufio.Reader // Recv is single-goroutine; statsMu covers Stats readers
+	compressIn bool
+	flateR     io.ReadCloser
+	statsMu    sync.Mutex
+	inStats    FrameStats
+	inByType   [CompressedFlag]FrameStats
+
+	closer io.Closer
 }
 
 // NewConn wraps a stream connection in framing.
@@ -52,25 +74,44 @@ func Dial(addr string) (*Conn, error) {
 	return NewConn(c), nil
 }
 
-// Send writes one frame and flushes it.
+// Send writes one frame and flushes it. When compression is enabled
+// (SetCompression) and the payload is large enough to benefit, the
+// payload is deflated and the frame carries typ|CompressedFlag; frames
+// that would not shrink are sent raw. Types with the compressed bit
+// already set are rejected with ErrReservedFrameType.
 func (c *Conn) Send(typ uint8, payload []byte) error {
+	if typ >= CompressedFlag {
+		return ErrReservedFrameType
+	}
 	if len(payload)+1 > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	wireType, wire := typ, payload
+	if c.compressOut && len(payload) >= compressMin {
+		packed, smaller, err := c.compressPayload(payload)
+		if err != nil {
+			return err
+		}
+		if smaller {
+			wireType, wire = typ|CompressedFlag, packed
+		}
+	}
 	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = typ
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(wire)+1))
+	hdr[4] = wireType
 	if _, err := c.bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
-	if _, err := c.bw.Write(payload); err != nil {
+	if _, err := c.bw.Write(wire); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
 	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
+	c.outStats.add(len(payload), len(wire)+len(hdr))
+	c.outByType[typ].add(len(payload), len(wire)+len(hdr))
 	return nil
 }
 
@@ -108,7 +149,26 @@ func (c *Conn) Recv() (typ uint8, payload []byte, err error) {
 			return 0, nil, fmt.Errorf("transport: recv body: %w", err)
 		}
 	}
-	return body[0], body[1:], nil
+	typ, payload = body[0], body[1:]
+	wire := int(length) + len(hdr)
+	if typ&CompressedFlag != 0 {
+		c.statsMu.Lock()
+		compressIn := c.compressIn
+		c.statsMu.Unlock()
+		if !compressIn {
+			return 0, nil, ErrCompressionNotNegotiated
+		}
+		payload, err = c.decompressPayload(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		typ &^= CompressedFlag
+	}
+	c.statsMu.Lock()
+	c.inStats.add(len(payload), wire)
+	c.inByType[typ].add(len(payload), wire)
+	c.statsMu.Unlock()
+	return typ, payload, nil
 }
 
 // Close closes the underlying connection.
