@@ -2,8 +2,8 @@
 #
 #   make build       compile every package and binary
 #   make apicheck    fail if any exported symbol of the root package (or
-#                    the cluster/transport/dataset runtime packages)
-#                    lacks a doc comment
+#                    the cluster/transport/dataset/oocore runtime
+#                    packages) lacks a doc comment
 #   make test        run the full test suite
 #   make race        run the test suite under the race detector
 #   make fuzz-short  run each native fuzz target briefly
@@ -19,7 +19,7 @@ GO        ?= go
 FUZZTIME  ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all build vet apicheck test race fuzz-short bench bench-partition bench-hotpath bench-allocs bench-serve bench-cluster ci
+.PHONY: all build vet apicheck test race fuzz-short bench bench-partition bench-hotpath bench-allocs bench-serve bench-cluster bench-oocore ci
 
 all: build
 
@@ -43,7 +43,7 @@ vet:
 # runtime's packages (cluster, transport, dataset) are held to the same
 # standard — operators read their godoc when running a deployment.
 apicheck:
-	$(GO) run ./internal/apicheck . ./internal/cluster ./internal/transport ./internal/dataset
+	$(GO) run ./internal/apicheck . ./internal/cluster ./internal/transport ./internal/dataset ./internal/oocore
 
 test: build
 	$(GO) test ./...
@@ -55,6 +55,7 @@ fuzz-short: build
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzCodec -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzCompressedFrame -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run '^$$' -fuzz FuzzBlockDecode -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzServeHTTP -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz FuzzServeBinaryFrame -fuzztime $(FUZZTIME) ./internal/serve
 
@@ -99,5 +100,12 @@ bench-cluster: build
 bench-serve: build
 	$(GO) test -run TestServeQPSFloor -count=1 -v .
 	$(GO) test -run '^$$' -bench BenchmarkServeQPS -benchtime $(BENCHTIME) .
+
+# bench-oocore isolates the out-of-core memory gate: a decompose whose
+# spilled block store is >= 10x the cache budget must hold its peak RSS
+# growth under twice the budget plus a modeled overhead allowance while
+# matching the sequential oracle exactly (BENCH_oocore.json records the run).
+bench-oocore: build
+	$(GO) test -run TestOOCoreBoundedMemory -count=1 -v ./internal/bench
 
 ci: build vet apicheck test race fuzz-short

@@ -136,6 +136,14 @@ var experiments = []experiment{
 		},
 	},
 	{
+		name:  "oocore",
+		title: "extension: out-of-core engine — block store vs cache budget under a memory bound",
+		run:   func(cfg bench.Config, _ int) (any, error) { return bench.OOCore(cfg) },
+		write: func(w io.Writer, data any) error {
+			return bench.WriteOOCore(w, data.([]bench.OOCoreRow))
+		},
+	},
+	{
 		name:  "hotpath",
 		title: "extension: refinement hot path — incremental support counters vs recompute oracle",
 		run:   func(cfg bench.Config, _ int) (any, error) { return bench.HotPath(cfg) },

@@ -6,6 +6,12 @@
 //	kcore-gen -dataset berkstan -scale 1.0 -out g.txt
 //	kcore-gen -family gnm -n 10000 -m 50000 -out g.txt
 //	kcore-gen -family worstcase -n 64 -format binary -out g.bin
+//	kcore-gen -family powerlaw -n 5000000 -exponent 2.2 -stream -out g.txt
+//
+// -stream writes power-law edges to the output as they are drawn,
+// without materializing the graph: memory stays O(n) however large the
+// edge volume, so the output can exceed RAM — the producer side of the
+// out-of-core pipeline (see kcore -mode oocore).
 package main
 
 import (
@@ -30,18 +36,39 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("kcore-gen", flag.ContinueOnError)
 	var (
-		dsKey  = fs.String("dataset", "", "dataset analogue to generate ("+fmt.Sprint(dataset.Keys())+")")
-		family = fs.String("family", "", "random family: gnm, gnp, ba, ws, grid, chain, complete, worstcase")
-		n      = fs.Int("n", 1000, "node count (family generators)")
-		m      = fs.Int("m", 5000, "edge count (gnm)")
-		p      = fs.Float64("p", 0.01, "edge probability (gnp) / rewiring (ws)")
-		k      = fs.Int("k", 4, "attachment (ba) / lattice degree (ws) / grid columns")
-		scale  = fs.Float64("scale", 1.0, "dataset scale factor")
-		seed   = fs.Int64("seed", 1, "generator seed")
-		format = fs.String("format", "text", "output format: text or binary")
-		out    = fs.String("out", "-", "output file, or - for stdout")
+		dsKey    = fs.String("dataset", "", "dataset analogue to generate ("+fmt.Sprint(dataset.Keys())+")")
+		family   = fs.String("family", "", "random family: gnm, gnp, ba, ws, grid, chain, complete, worstcase, powerlaw")
+		n        = fs.Int("n", 1000, "node count (family generators)")
+		m        = fs.Int("m", 5000, "edge count (gnm)")
+		p        = fs.Float64("p", 0.01, "edge probability (gnp) / rewiring (ws)")
+		k        = fs.Int("k", 4, "attachment (ba) / lattice degree (ws) / grid columns")
+		exponent = fs.Float64("exponent", 2.3, "degree exponent gamma (powerlaw)")
+		minDeg   = fs.Int("mindeg", 1, "minimum target degree (powerlaw)")
+		maxDeg   = fs.Int("maxdeg", 0, "maximum target degree, 0 = sqrt(n) (powerlaw)")
+		stream   = fs.Bool("stream", false, "stream edges to the output without building the graph (powerlaw, text only)")
+		scale    = fs.Float64("scale", 1.0, "dataset scale factor")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		format   = fs.String("format", "text", "output format: text or binary")
+		out      = fs.String("out", "-", "output file, or - for stdout")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	plCfg := dkcore.PowerLawConfig{N: *n, Exponent: *exponent, MinDeg: *minDeg, MaxDeg: *maxDeg}
+	if *stream {
+		if *family != "powerlaw" {
+			return fmt.Errorf("-stream requires -family powerlaw (got %q)", *family)
+		}
+		if *format != "text" {
+			return fmt.Errorf("-stream only writes text edge lists (got -format %q)", *format)
+		}
+		w, closeOut, err := openOut(*out)
+		if err != nil {
+			return err
+		}
+		defer closeOut()
+		_, _, err = dkcore.GeneratePowerLawTo(w, plCfg, *seed)
 		return err
 	}
 
@@ -53,6 +80,8 @@ func run(args []string) error {
 			return err
 		}
 		g = d.Build(*scale, *seed)
+	case *family == "powerlaw":
+		g = dkcore.GeneratePowerLaw(plCfg, *seed)
 	case *family != "":
 		var err error
 		g, err = buildFamily(*family, *n, *m, *p, *k, *seed)
@@ -63,15 +92,11 @@ func run(args []string) error {
 		return fmt.Errorf("one of -dataset or -family is required")
 	}
 
-	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+	w, closeOut, err := openOut(*out)
+	if err != nil {
+		return err
 	}
+	defer closeOut()
 	bw := bufio.NewWriter(w)
 	defer bw.Flush()
 	switch *format {
@@ -82,6 +107,19 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown -format %q", *format)
 	}
+}
+
+// openOut resolves the -out flag to a writer plus its close func; "-"
+// means stdout (closing is a no-op there).
+func openOut(out string) (io.Writer, func() error, error) {
+	if out == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 func buildFamily(family string, n, m int, p float64, k int, seed int64) (*dkcore.Graph, error) {

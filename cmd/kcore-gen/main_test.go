@@ -52,6 +52,39 @@ func TestGenerateFamilyBinaryRoundTrip(t *testing.T) {
 	}
 }
 
+func TestGeneratePowerLawStream(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "pl.txt")
+	err := run([]string{"-family", "powerlaw", "-n", "500", "-exponent", "2.2", "-mindeg", "2", "-stream", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, _, err := dkcore.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("streamed graph has no edges")
+	}
+
+	// The built (non-stream) powerlaw family works through the same flags.
+	out2 := filepath.Join(t.TempDir(), "pl2.txt")
+	if err := run([]string{"-family", "powerlaw", "-n", "200", "-maxdeg", "12", "-out", out2}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "#") {
+		t.Fatal("missing header comment")
+	}
+}
+
 func TestGenerateAllFamilies(t *testing.T) {
 	for _, fam := range []string{"gnm", "gnp", "ba", "ws", "grid", "chain", "complete", "worstcase"} {
 		t.Run(fam, func(t *testing.T) {
@@ -79,6 +112,8 @@ func TestGenerateErrors(t *testing.T) {
 		{"-family", "nope"},
 		{"-dataset", "gnutella", "-format", "nope", "-out", filepath.Join(t.TempDir(), "x")},
 		{"-family", "chain", "-n", "10", "-out", filepath.Join(t.TempDir(), "no", "such", "dir", "g.txt")},
+		{"-family", "gnm", "-stream"},                           // -stream is powerlaw-only
+		{"-family", "powerlaw", "-stream", "-format", "binary"}, // -stream is text-only
 	}
 	for _, args := range tests {
 		if err := run(args); err == nil {

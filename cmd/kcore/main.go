@@ -6,7 +6,9 @@
 //	kcore -in graph.txt [-mode KIND] [-hosts H] [-workers P] [-histogram]
 //
 // where KIND is one of sequential (alias seq), one2one, one2many, live,
-// live-epidemic, parallel, pregel, cluster. The input is a
+// live-epidemic, parallel, pregel, cluster, oocore. The oocore mode runs
+// the disk-spilling block engine under -mem-budget bytes (see -spill-dir
+// and -block-size). The input is a
 // whitespace-separated edge list ('#' comments allowed); "-" reads from
 // stdin. With -histogram the tool prints shell sizes; otherwise it prints
 // "id coreness" per node using the input's original node identifiers.
@@ -39,9 +41,12 @@ func main() {
 // modeFlags are the CLI knobs a mode can consume; buildOptions below maps
 // them onto the merged engine option set per kind.
 type modeFlags struct {
-	hosts   int
-	workers int
-	seed    int64
+	hosts     int
+	workers   int
+	seed      int64
+	memBudget int64
+	spillDir  string
+	blockSize int
 }
 
 // buildOptions is the table-driven flag-to-option mapping: each engine
@@ -70,6 +75,16 @@ var buildOptions = map[dkcore.EngineKind]func(f modeFlags) []dkcore.EngineOption
 	dkcore.Cluster: func(f modeFlags) []dkcore.EngineOption {
 		return []dkcore.EngineOption{dkcore.Hosts(f.hosts)}
 	},
+	dkcore.OutOfCore: func(f modeFlags) []dkcore.EngineOption {
+		opts := []dkcore.EngineOption{dkcore.WithMemoryBudget(f.memBudget)}
+		if f.spillDir != "" {
+			opts = append(opts, dkcore.WithSpillDir(f.spillDir))
+		}
+		if f.blockSize > 0 {
+			opts = append(opts, dkcore.WithBlockSize(f.blockSize))
+		}
+		return opts
+	},
 }
 
 // modeList renders the registry as the -mode usage string.
@@ -89,6 +104,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		hosts     = fs.Int("hosts", 4, "number of hosts for -mode one2many / cluster")
 		workers   = fs.Int("workers", 0, "worker goroutines for -mode parallel / pregel / live-epidemic (0 = all cores)")
 		seed      = fs.Int64("seed", 1, "random seed for simulated runs")
+		memBudget = fs.Int64("mem-budget", 256<<20, "resident cache byte budget for -mode oocore")
+		spillDir  = fs.String("spill-dir", "", "spill directory root for -mode oocore (default: OS temp)")
+		blockSize = fs.Int("block-size", 0, "nodes per spilled block for -mode oocore (0 = default)")
 		histogram = fs.Bool("histogram", false, "print shell-size histogram instead of per-node coreness")
 		stats     = fs.Bool("stats", false, "print run statistics (rounds, messages, wall time) to stderr")
 	)
@@ -116,7 +134,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	var opts []dkcore.EngineOption
 	if build, ok := buildOptions[kind]; ok {
-		opts = build(modeFlags{hosts: *hosts, workers: *workers, seed: *seed})
+		opts = build(modeFlags{
+			hosts: *hosts, workers: *workers, seed: *seed,
+			memBudget: *memBudget, spillDir: *spillDir, blockSize: *blockSize,
+		})
 	}
 	eng, err := dkcore.NewEngine(kind, opts...)
 	if err != nil {
@@ -174,6 +195,9 @@ func printStats(w io.Writer, rep *dkcore.Report) {
 	}
 	if rep.Workers > 0 {
 		fmt.Fprintf(w, " workers=%d", rep.Workers)
+	}
+	if rep.SpillBytesWritten > 0 || rep.SpillBytesRead > 0 {
+		fmt.Fprintf(w, " spill-written=%d spill-read=%d", rep.SpillBytesWritten, rep.SpillBytesRead)
 	}
 	fmt.Fprintln(w)
 }

@@ -21,6 +21,7 @@ import (
 	"dkcore/internal/core"
 	"dkcore/internal/kcore"
 	"dkcore/internal/live"
+	"dkcore/internal/oocore"
 	"dkcore/internal/parallel"
 	"dkcore/internal/pregel"
 )
@@ -31,7 +32,7 @@ import (
 // they populate.
 type EngineKind int
 
-// The eight engine kinds.
+// The nine engine kinds.
 const (
 	// Sequential is the centralized Batagelj–Zaversnik O(m) baseline.
 	Sequential EngineKind = iota + 1
@@ -57,6 +58,11 @@ const (
 	// loopback. For multi-machine deployments use NewCoordinator and
 	// RunClusterHost directly.
 	Cluster
+	// OutOfCore spills partition blocks to disk and runs the cascade
+	// block-at-a-time under a hard memory budget — the path for graphs
+	// whose working state exceeds RAM. Tune with WithMemoryBudget,
+	// WithSpillDir, and WithBlockSize.
+	OutOfCore
 )
 
 // String returns the kind's canonical name — the same token the CLIs'
@@ -147,6 +153,11 @@ type Report struct {
 	// Hosts holds the per-host results of a Cluster run, ordered by
 	// host ID.
 	Hosts []HostResult
+	// SpillBytesWritten and SpillBytesRead count bytes moved through the
+	// out-of-core spill directory — block, checkpoint, and frontier
+	// files (OutOfCore only).
+	SpillBytesWritten int64
+	SpillBytesRead    int64
 	// WallTime is the measured wall-clock duration of the run.
 	WallTime time.Duration
 	// AvgErrorTrace[r-1] and MaxErrorTrace[r-1] are the average and
@@ -176,6 +187,9 @@ type engineConfig struct {
 	hosts         int
 	quiet         int
 	listenAddr    string
+	memBudget     int64
+	spillDir      string
+	blockNodes    int
 }
 
 // EngineOption is one entry of the merged option set understood by
@@ -311,6 +325,31 @@ func ListenOn(addr string) EngineOption {
 		func(c *engineConfig) { c.listenAddr = addr })
 }
 
+// WithMemoryBudget caps OutOfCore's resident block cache at the given
+// byte budget (default 256 MiB). Peak heap is roughly the budget plus
+// one block plus transient collection buffers.
+func WithMemoryBudget(bytes int64) EngineOption {
+	return option("WithMemoryBudget", []EngineKind{OutOfCore},
+		func(c *engineConfig) { c.memBudget = bytes })
+}
+
+// WithSpillDir roots OutOfCore's spill files inside dir (created if
+// missing). Each run works in a fresh subdirectory removed on success;
+// a crash leaves it behind for inspection (see docs/OPERATIONS.md).
+// Default is the OS temp directory.
+func WithSpillDir(dir string) EngineOption {
+	return option("WithSpillDir", []EngineKind{OutOfCore},
+		func(c *engineConfig) { c.spillDir = dir })
+}
+
+// WithBlockSize sets how many consecutive node IDs each OutOfCore
+// spilled block owns (default 32768). Smaller blocks evict at finer
+// grain; larger blocks amortize load cost.
+func WithBlockSize(nodes int) EngineOption {
+	return option("WithBlockSize", []EngineKind{OutOfCore},
+		func(c *engineConfig) { c.blockNodes = nodes })
+}
+
 // Engine is a configured execution path. An Engine is immutable and safe
 // for concurrent use; Run may be called any number of times on different
 // graphs.
@@ -356,6 +395,12 @@ func NewEngine(kind EngineKind, opts ...EngineOption) (*Engine, error) {
 	}
 	if cfg.set["Workers"] && cfg.workers < 0 {
 		return nil, fmt.Errorf("dkcore: Workers(%d): negative worker count (0 means GOMAXPROCS)", cfg.workers)
+	}
+	if cfg.set["WithMemoryBudget"] && cfg.memBudget < 1 {
+		return nil, fmt.Errorf("dkcore: WithMemoryBudget(%d): need a positive byte budget", cfg.memBudget)
+	}
+	if cfg.set["WithBlockSize"] && cfg.blockNodes < 1 {
+		return nil, fmt.Errorf("dkcore: WithBlockSize(%d): need at least 1 node per block", cfg.blockNodes)
 	}
 	return &Engine{kind: kind, cfg: cfg}, nil
 }
@@ -410,6 +455,7 @@ var engineRegistry = []engineEntry{
 	{Parallel, "parallel", "", "partitioned shared-memory BSP engine", runParallel},
 	{Pregel, "pregel", "", "vertex program on the built-in Pregel-style framework", runPregel},
 	{Cluster, "cluster", "", "networked one-to-many deployment over TCP loopback", runClusterKind},
+	{OutOfCore, "oocore", "", "disk-spilling block engine under a hard memory budget", runOutOfCore},
 }
 
 func lookupKind(k EngineKind) *engineEntry {
@@ -583,6 +629,32 @@ func runPregel(ctx context.Context, cfg engineConfig, g *Graph) (*Report, error)
 		return nil, err
 	}
 	return &Report{Coreness: coreness, Rounds: res.Supersteps, TotalMessages: res.Messages}, nil
+}
+
+func runOutOfCore(ctx context.Context, cfg engineConfig, g *Graph) (*Report, error) {
+	var opts []oocore.Option
+	if cfg.set["WithMemoryBudget"] {
+		opts = append(opts, oocore.WithMemoryBudget(cfg.memBudget))
+	}
+	if cfg.set["WithSpillDir"] {
+		opts = append(opts, oocore.WithSpillDir(cfg.spillDir))
+	}
+	if cfg.set["WithBlockSize"] {
+		opts = append(opts, oocore.WithBlockSize(cfg.blockNodes))
+	}
+	res, err := oocore.Decompose(ctx, g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Coreness:          res.Coreness,
+		Rounds:            res.Passes,
+		Workers:           res.Blocks,
+		EstimatesSent:     res.EstimatesSent,
+		Batches:           res.Batches,
+		SpillBytesWritten: res.Cache.SpillBytesWritten,
+		SpillBytesRead:    res.Cache.SpillBytesRead,
+	}, nil
 }
 
 func runClusterKind(ctx context.Context, cfg engineConfig, g *Graph) (*Report, error) {

@@ -27,6 +27,10 @@ func engineOptsFor(kind dkcore.EngineKind) []dkcore.EngineOption {
 		return []dkcore.EngineOption{dkcore.Workers(4)}
 	case dkcore.Cluster:
 		return []dkcore.EngineOption{dkcore.Hosts(2)}
+	case dkcore.OutOfCore:
+		// Tiny blocks and a budget of roughly two blocks force the
+		// eviction/spill machinery even on test-sized graphs.
+		return []dkcore.EngineOption{dkcore.WithBlockSize(16), dkcore.WithMemoryBudget(64 << 10)}
 	default:
 		return nil
 	}
@@ -34,8 +38,8 @@ func engineOptsFor(kind dkcore.EngineKind) []dkcore.EngineOption {
 
 func TestEngineKindNamesRoundTrip(t *testing.T) {
 	kinds := dkcore.EngineKinds()
-	if len(kinds) != 8 {
-		t.Fatalf("got %d engine kinds, want 8", len(kinds))
+	if len(kinds) != 9 {
+		t.Fatalf("got %d engine kinds, want 9", len(kinds))
 	}
 	for _, kind := range kinds {
 		got, err := dkcore.ParseEngineKind(kind.String())
@@ -109,7 +113,7 @@ func TestEngineShardedKindsDegenerateGraphs(t *testing.T) {
 		{"single-node", dkcore.FromEdges(1, nil)},
 		{"single-edge", dkcore.FromEdges(2, [][2]int{{0, 1}})},
 	}
-	for _, kind := range []dkcore.EngineKind{dkcore.Parallel, dkcore.Cluster} {
+	for _, kind := range []dkcore.EngineKind{dkcore.Parallel, dkcore.Cluster, dkcore.OutOfCore} {
 		for _, tc := range graphs {
 			kind, tc := kind, tc
 			t.Run(kind.String()+"/"+tc.name, func(t *testing.T) {
@@ -171,6 +175,9 @@ func TestEngineOptionKindMismatch(t *testing.T) {
 		{dkcore.Parallel, dkcore.Hosts(2), "Hosts"},
 		{dkcore.Pregel, dkcore.QuietWindow(5), "QuietWindow"},
 		{dkcore.OneToMany, dkcore.ListenOn("127.0.0.1:0"), "ListenOn"},
+		{dkcore.Cluster, dkcore.WithMemoryBudget(1 << 20), "WithMemoryBudget"},
+		{dkcore.Parallel, dkcore.WithSpillDir("/tmp"), "WithSpillDir"},
+		{dkcore.Sequential, dkcore.WithBlockSize(64), "WithBlockSize"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.kind.String()+"/"+tt.optStr, func(t *testing.T) {
@@ -207,6 +214,12 @@ func TestEngineOptionValidation(t *testing.T) {
 	}
 	if _, err := dkcore.NewEngine(dkcore.OneToOne, dkcore.EngineOption{}); err == nil {
 		t.Fatalf("zero-value option accepted")
+	}
+	if _, err := dkcore.NewEngine(dkcore.OutOfCore, dkcore.WithMemoryBudget(0)); err == nil {
+		t.Fatalf("zero memory budget accepted")
+	}
+	if _, err := dkcore.NewEngine(dkcore.OutOfCore, dkcore.WithBlockSize(0)); err == nil {
+		t.Fatalf("zero block size accepted")
 	}
 }
 

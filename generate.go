@@ -1,6 +1,8 @@
 package dkcore
 
 import (
+	"io"
+
 	"dkcore/internal/gen"
 )
 
@@ -35,6 +37,15 @@ type PowerLawConfig = gen.PowerLawConfig
 // wiki-Talk).
 func GeneratePowerLaw(cfg PowerLawConfig, seed int64) *Graph {
 	return gen.PowerLaw(cfg, seed)
+}
+
+// GeneratePowerLawTo streams a Chung–Lu power-law graph to w as a text
+// edge list without materializing adjacency — peak memory is the O(N)
+// degree sequence, so the output can exceed RAM. Pair it with the
+// OutOfCore engine (or kcore-gen -stream) to produce and decompose
+// graphs larger than memory. Returns the node and edge counts written.
+func GeneratePowerLawTo(w io.Writer, cfg PowerLawConfig, seed int64) (nodes, edges int, err error) {
+	return gen.PowerLawTo(w, cfg, seed)
 }
 
 // CollaborationConfig parameterizes GenerateCollaboration.

@@ -1,0 +1,215 @@
+package bench
+
+// The out-of-core benchmark: decompose a synthetic power-law graph whose
+// spilled block store is an order of magnitude larger than the resident
+// cache budget, and show peak memory growth stays near the budget while
+// the answer matches the sequential oracle exactly. The memory-bound
+// claim is measured two ways: the engine's own cache watermark
+// (PeakResidentBytes, deterministic) and the process RSS delta sampled
+// from /proc/self/statm (the operator-visible figure, noisy but honest).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dkcore/internal/gen"
+	"dkcore/internal/kcore"
+	"dkcore/internal/oocore"
+	"dkcore/internal/stats"
+)
+
+// OOCoreBudget is the resident cache byte budget the benchmark runs
+// under; the workload is sized so the spilled block store exceeds it by
+// at least OOCoreStoreFactor.
+const (
+	OOCoreBudget      = 1 << 20
+	OOCoreBlockSize   = 8192
+	OOCoreStoreFactor = 10
+)
+
+// OOCoreRow is one budget regime of the out-of-core run.
+type OOCoreRow struct {
+	Dataset string `json:"dataset"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	// Engine shape: blocks of BlockSize nodes under BudgetBytes of cache.
+	Blocks      int   `json:"blocks"`
+	BlockSize   int   `json:"block_size"`
+	BudgetBytes int64 `json:"budget_bytes"`
+	// StoreBytes is the on-disk block-store footprint; the ratio against
+	// the budget is the out-of-core factor the gate requires >= 10.
+	StoreBytes      int64   `json:"store_bytes"`
+	StoreOverBudget float64 `json:"store_over_budget"`
+	// PeakResidentBytes is the cache's own high-water mark;
+	// PeakRSSDeltaBytes is the sampled process-level growth over the
+	// pre-run baseline (0 when /proc/self/statm is unavailable).
+	PeakResidentBytes int64   `json:"peak_resident_bytes"`
+	PeakRSSDeltaBytes int64   `json:"peak_rss_delta_bytes"`
+	RSSLimitBytes     int64   `json:"rss_limit_bytes"`
+	Passes            int     `json:"passes"`
+	Evictions         int64   `json:"evictions"`
+	SpillWritten      int64   `json:"spill_bytes_written"`
+	SpillRead         int64   `json:"spill_bytes_read"`
+	Seconds           float64 `json:"seconds"`
+}
+
+// OOCoreRSSLimit is the acceptance ceiling for the sampled RSS delta:
+// twice the cache budget plus overhead covering the result and scratch
+// vectors (O(nodes)) and Go allocator/GC slack. The slack term scales
+// with edges because the input graph stays live for the whole run and
+// the collector's headroom is a fraction of the live heap — even at the
+// lowered GOGC the measured window runs under, garbage is allowed to
+// reach ~20% of the resident CSR (~32 bytes/edge) between collections.
+// The interesting comparison is against the alternative the engine
+// exists to avoid — resident cascade state for the whole graph, several
+// times this ceiling on the benchmark workload (the deterministic
+// figure, immune to GC noise, is the cache's own PeakResidentBytes
+// watermark).
+func OOCoreRSSLimit(budget int64, nodes, edges int) int64 {
+	return 2*budget + 64<<20 + 16*int64(nodes) + 8*int64(edges)
+}
+
+// readRSS returns the process's resident set in bytes from
+// /proc/self/statm, or 0 where unavailable (non-Linux).
+func readRSS() int64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}
+
+// sampleRSSDuring runs fn while sampling RSS every millisecond and
+// returns fn's error alongside the highest sample observed.
+func sampleRSSDuring(fn func() error) (peak int64, err error) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			if r := readRSS(); r > peak {
+				peak = r
+			}
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	err = fn()
+	close(done)
+	wg.Wait()
+	return peak, err
+}
+
+// OOCore measures the out-of-core engine on a power-law graph sized to
+// spill OOCoreStoreFactor times the cache budget, verifying coreness
+// against the sequential oracle. cfg.Scale scales the node count.
+func OOCore(cfg Config) ([]OOCoreRow, error) {
+	cfg = cfg.WithDefaults()
+	n := int(1_500_000 * cfg.Scale)
+	if n < 50_000 {
+		n = 50_000
+	}
+	g := gen.PowerLaw(gen.PowerLawConfig{N: n, Exponent: 2.0, MinDeg: 4}, cfg.Seed)
+	name := fmt.Sprintf("powerlaw-%d", n)
+	want := kcore.Decompose(g).CorenessValues()
+
+	// Settle the heap so the RSS delta attributes to the engine, not to
+	// pages the oracle run left behind, and clamp GC headroom for the
+	// measured window: at the default GOGC the runtime happily lets
+	// garbage pile up to the size of the live graph before collecting,
+	// which would swamp the cache budget in allocator slack. A
+	// memory-tight deployment runs with GOGC lowered the same way.
+	runtime.GC()
+	debug.FreeOSMemory()
+	baseline := readRSS()
+	oldGC := debug.SetGCPercent(20)
+	defer debug.SetGCPercent(oldGC)
+
+	var res *oocore.Result
+	start := time.Now()
+	peak, err := sampleRSSDuring(func() error {
+		var err error
+		res, err = oocore.Decompose(context.Background(), g,
+			oocore.WithMemoryBudget(OOCoreBudget),
+			oocore.WithBlockSize(OOCoreBlockSize))
+		return err
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("bench: oocore on %s: %w", name, err)
+	}
+	for u, c := range res.Coreness {
+		if c != want[u] {
+			return nil, fmt.Errorf("bench: oocore on %s: node %d coreness %d, want %d", name, u, c, want[u])
+		}
+	}
+	delta := peak - baseline
+	if delta < 0 || baseline == 0 {
+		delta = 0
+	}
+	row := OOCoreRow{
+		Dataset:           name,
+		Nodes:             g.NumNodes(),
+		Edges:             g.NumEdges(),
+		Blocks:            res.Blocks,
+		BlockSize:         res.BlockSize,
+		BudgetBytes:       OOCoreBudget,
+		StoreBytes:        res.BlockStoreBytes,
+		StoreOverBudget:   float64(res.BlockStoreBytes) / float64(OOCoreBudget),
+		PeakResidentBytes: res.Cache.PeakResidentBytes,
+		PeakRSSDeltaBytes: delta,
+		RSSLimitBytes:     OOCoreRSSLimit(OOCoreBudget, g.NumNodes(), g.NumEdges()),
+		Passes:            res.Passes,
+		Evictions:         res.Cache.Evictions,
+		SpillWritten:      res.Cache.SpillBytesWritten,
+		SpillRead:         res.Cache.SpillBytesRead,
+		Seconds:           elapsed.Seconds(),
+	}
+	return []OOCoreRow{row}, nil
+}
+
+// WriteOOCore renders the out-of-core rows.
+func WriteOOCore(w io.Writer, rows []OOCoreRow) error {
+	tab := stats.NewTable("dataset", "nodes", "edges", "blocks", "budget", "store", "store/budget",
+		"cache peak", "rss delta", "rss limit", "passes", "evictions", "seconds")
+	for _, r := range rows {
+		tab.AddRow(
+			r.Dataset,
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Edges),
+			fmt.Sprintf("%d", r.Blocks),
+			fmt.Sprintf("%d", r.BudgetBytes),
+			fmt.Sprintf("%d", r.StoreBytes),
+			fmt.Sprintf("%.1fx", r.StoreOverBudget),
+			fmt.Sprintf("%d", r.PeakResidentBytes),
+			fmt.Sprintf("%d", r.PeakRSSDeltaBytes),
+			fmt.Sprintf("%d", r.RSSLimitBytes),
+			fmt.Sprintf("%d", r.Passes),
+			fmt.Sprintf("%d", r.Evictions),
+			fmt.Sprintf("%.3f", r.Seconds),
+		)
+	}
+	return tab.Render(w)
+}

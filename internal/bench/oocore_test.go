@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestOOCoreBoundedMemory is the memory-bound acceptance gate CI's
+// benchmark-smoke lane runs: the spilled block store must exceed the
+// cache budget by >= 10x while peak memory stays under twice the budget
+// plus the OOCoreRSSLimit overhead allowance (O(nodes) scratch plus GC
+// slack on the live graph). Coreness equality against the sequential oracle
+// is checked inside OOCore itself. Scale 0.25 keeps the run in smoke
+// territory (~400k nodes) without weakening either ratio.
+func TestOOCoreBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("out-of-core workload is not short")
+	}
+	rows, err := OOCore(Config{Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.StoreBytes < OOCoreStoreFactor*r.BudgetBytes {
+		t.Errorf("block store %d bytes is under %dx the %d-byte budget (%.1fx)",
+			r.StoreBytes, OOCoreStoreFactor, r.BudgetBytes, r.StoreOverBudget)
+	}
+	if r.Evictions == 0 {
+		t.Error("a 10x-budget run never evicted — the budget was not binding")
+	}
+	if r.SpillWritten == 0 || r.SpillRead == 0 {
+		t.Errorf("no spill traffic (written %d, read %d)", r.SpillWritten, r.SpillRead)
+	}
+	if r.PeakRSSDeltaBytes == 0 {
+		t.Log("RSS sampling unavailable; gating on the cache watermark only")
+	} else if r.PeakRSSDeltaBytes > r.RSSLimitBytes {
+		t.Errorf("peak RSS delta %d exceeds limit %d (budget %d)",
+			r.PeakRSSDeltaBytes, r.RSSLimitBytes, r.BudgetBytes)
+	}
+	var buf bytes.Buffer
+	if err := WriteOOCore(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("WriteOOCore rendered nothing")
+	}
+	t.Logf("\n%s", buf.String())
+}

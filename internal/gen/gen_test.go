@@ -1,6 +1,10 @@
 package gen
 
 import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
 	"dkcore/internal/graph"
@@ -92,6 +96,109 @@ func TestPowerLawDegreeBounds(t *testing.T) {
 	}
 	if !PowerLaw(cfg, 3).Equal(g) {
 		t.Fatalf("PowerLaw not deterministic")
+	}
+}
+
+// TestPowerLawDegenerate pins the N=0 and N=1 cases: edgeless graphs,
+// not panics (the original generator rejected N < 2).
+func TestPowerLawDegenerate(t *testing.T) {
+	for n := 0; n <= 1; n++ {
+		g := PowerLaw(PowerLawConfig{N: n, Exponent: 2.5, MinDeg: 1}, 1)
+		if g.NumNodes() != n || g.NumEdges() != 0 {
+			t.Fatalf("N=%d: got %d nodes %d edges", n, g.NumNodes(), g.NumEdges())
+		}
+	}
+	// MinDeg above the sqrt(N) default cap must not invert the window.
+	g := PowerLaw(PowerLawConfig{N: 4, Exponent: 2.5, MinDeg: 3}, 1)
+	if g.NumNodes() != 4 {
+		t.Fatalf("small-N clamp: got %d nodes", g.NumNodes())
+	}
+}
+
+func TestPowerLawTo(t *testing.T) {
+	cfg := PowerLawConfig{N: 500, Exponent: 2.2, MinDeg: 2, MaxDeg: 40}
+	var buf bytes.Buffer
+	nodes, edges, err := PowerLawTo(&buf, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes != cfg.N {
+		t.Fatalf("reported %d nodes, want %d", nodes, cfg.N)
+	}
+	if edges == 0 {
+		t.Fatal("streamed zero edges")
+	}
+	text := buf.String()
+	if !strings.HasPrefix(text, "# nodes: 500 ") {
+		t.Fatalf("missing header: %q", text[:min(len(text), 40)])
+	}
+	lines := 0
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		if u == v {
+			t.Fatalf("self-loop streamed: %q", line)
+		}
+		if u < 0 || u >= cfg.N || v < 0 || v >= cfg.N {
+			t.Fatalf("endpoint out of range: %q", line)
+		}
+		lines++
+	}
+	if lines != edges {
+		t.Fatalf("wrote %d edge lines, reported %d", lines, edges)
+	}
+	// The stream parses back through the standard reader.
+	g, _, err := graph.ReadEdgeList(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() == 0 || g.NumNodes() > cfg.N {
+		t.Fatalf("round-trip graph has %d nodes", g.NumNodes())
+	}
+	// Deterministic per seed.
+	var buf2 bytes.Buffer
+	if _, _, err := PowerLawTo(&buf2, cfg, 7); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != text {
+		t.Fatal("PowerLawTo not deterministic for a fixed seed")
+	}
+	// Degenerate sizes stream a header and nothing else.
+	for n := 0; n <= 1; n++ {
+		var small bytes.Buffer
+		nodes, edges, err := PowerLawTo(&small, PowerLawConfig{N: n, Exponent: 2.5, MinDeg: 1}, 1)
+		if err != nil || nodes != n || edges != 0 {
+			t.Fatalf("N=%d: nodes=%d edges=%d err=%v", n, nodes, edges, err)
+		}
+		if !strings.HasPrefix(small.String(), "# nodes:") {
+			t.Fatalf("N=%d: missing header", n)
+		}
+	}
+}
+
+// errWriter fails after a byte budget, exercising PowerLawTo's error
+// propagation mid-stream.
+type errWriter struct{ left int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, errors.New("disk full")
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestPowerLawToWriteError(t *testing.T) {
+	_, _, err := PowerLawTo(&errWriter{left: 64}, PowerLawConfig{N: 300, Exponent: 2.3, MinDeg: 2}, 1)
+	if err == nil {
+		t.Fatal("write error not surfaced")
 	}
 }
 

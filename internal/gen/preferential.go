@@ -1,8 +1,12 @@
 package gen
 
 import (
+	"bufio"
+	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"sort"
 
 	"dkcore/internal/graph"
 )
@@ -65,25 +69,93 @@ type PowerLawConfig struct {
 	MaxDeg   int     // maximum target degree; 0 means sqrt(N) capped
 }
 
+// powerLawParams validates cfg and resolves the effective degree cap.
+// N of 0 or 1 is legal (the edgeless degenerate graphs); the cap is
+// clamped to at least MinDeg so small N never inverts the truncation
+// window.
+func powerLawParams(cfg PowerLawConfig) (maxDeg int) {
+	check(cfg.N >= 0, "PowerLaw: N = %d < 0", cfg.N)
+	check(cfg.Exponent > 1, "PowerLaw: Exponent = %v <= 1", cfg.Exponent)
+	check(cfg.MinDeg >= 1, "PowerLaw: MinDeg = %d < 1", cfg.MinDeg)
+	maxDeg = cfg.MaxDeg
+	if maxDeg == 0 {
+		maxDeg = max(int(math.Sqrt(float64(cfg.N))), cfg.MinDeg)
+	}
+	check(maxDeg >= cfg.MinDeg, "PowerLaw: MaxDeg = %d < MinDeg = %d", maxDeg, cfg.MinDeg)
+	return maxDeg
+}
+
 // PowerLaw returns a configuration-model graph whose degree sequence is
 // drawn i.i.d. from a truncated discrete power law P(d) ∝ d^(-gamma).
 // Stubs are matched uniformly at random; self-loops and multi-edges are
 // discarded, so realized degrees can fall slightly below their targets.
 // This family reproduces the skewed-degree / low-average-coreness profile
-// of graphs such as wiki-Talk.
+// of graphs such as wiki-Talk. N of 0 or 1 yields the edgeless graph on
+// N nodes.
 func PowerLaw(cfg PowerLawConfig, seed int64) *graph.Graph {
-	check(cfg.N >= 2, "PowerLaw: N = %d < 2", cfg.N)
-	check(cfg.Exponent > 1, "PowerLaw: Exponent = %v <= 1", cfg.Exponent)
-	check(cfg.MinDeg >= 1, "PowerLaw: MinDeg = %d < 1", cfg.MinDeg)
-	maxDeg := cfg.MaxDeg
-	if maxDeg == 0 {
-		maxDeg = int(math.Sqrt(float64(cfg.N)))
+	maxDeg := powerLawParams(cfg)
+	if cfg.N < 2 {
+		return graph.NewBuilder(cfg.N).Build()
 	}
-	check(maxDeg >= cfg.MinDeg, "PowerLaw: MaxDeg = %d < MinDeg = %d", maxDeg, cfg.MinDeg)
-
 	rng := newRNG(seed)
 	degrees := powerLawDegrees(rng, cfg.N, cfg.Exponent, cfg.MinDeg, maxDeg)
 	return configurationModel(rng, degrees)
+}
+
+// PowerLawTo streams a power-law graph to w as a text edge list ("u v"
+// lines under a "# nodes: ..." header, the ReadEdgeList format) without
+// ever materializing adjacency: peak memory is the O(N) degree sequence
+// regardless of edge volume, so the output can exceed RAM. The model is
+// Chung–Lu rather than the configuration model: both endpoints of each
+// of ΣD/2 edges are drawn with probability proportional to their target
+// degree. Self-loops are skipped and duplicate edges are tolerated, so
+// realized counts sit slightly below their targets. It returns the node
+// and edge counts written.
+func PowerLawTo(w io.Writer, cfg PowerLawConfig, seed int64) (nodes, edges int, err error) {
+	maxDeg := powerLawParams(cfg)
+	bw := bufio.NewWriter(w)
+	if cfg.N < 2 {
+		if _, err := fmt.Fprintf(bw, "# nodes: %d edges: 0\n", cfg.N); err != nil {
+			return 0, 0, fmt.Errorf("gen: stream power law: %w", err)
+		}
+		return cfg.N, 0, flushStream(bw)
+	}
+	rng := newRNG(seed)
+	degrees := powerLawDegrees(rng, cfg.N, cfg.Exponent, cfg.MinDeg, maxDeg)
+	// Prefix-sum the degrees so an endpoint draw is a uniform pick in
+	// [0, ΣD) resolved by binary search — degree-proportional sampling
+	// with no stub array.
+	cum := make([]int, len(degrees))
+	total := 0
+	for u, d := range degrees {
+		total += d
+		cum[u] = total
+	}
+	// The header's edge count is the sampling target; the true count
+	// (lower, by however many self-loops were skipped) is returned.
+	// Readers treat the header as a comment.
+	if _, err := fmt.Fprintf(bw, "# nodes: %d edges: %d\n", cfg.N, total/2); err != nil {
+		return 0, 0, fmt.Errorf("gen: stream power law: %w", err)
+	}
+	for i := 0; i < total/2; i++ {
+		u := sort.SearchInts(cum, rng.Intn(total)+1)
+		v := sort.SearchInts(cum, rng.Intn(total)+1)
+		if u == v {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			return 0, 0, fmt.Errorf("gen: stream power law: %w", err)
+		}
+		edges++
+	}
+	return cfg.N, edges, flushStream(bw)
+}
+
+func flushStream(bw *bufio.Writer) error {
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("gen: stream power law: %w", err)
+	}
+	return nil
 }
 
 // powerLawDegrees draws n degrees from the truncated power law via inverse

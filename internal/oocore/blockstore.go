@@ -1,0 +1,275 @@
+// Package oocore decomposes graphs whose working state does not fit in
+// RAM: the out-of-core engine behind dkcore's OutOfCore kind. The graph
+// is split into contiguous node-range blocks; each block's CSR partition
+// is spilled to disk in the delta-encoded varint block form of
+// internal/transport, and the estimate cascade (Algorithms 3–5) runs
+// block-at-a-time under a hard byte budget enforced by a clock-evicting
+// block cache. Cross-block estimate drops that cannot be applied in
+// memory are appended to the destination block's frontier file, so a
+// block's entire inbound backlog is applied in one load — the locality
+// discipline that makes block-at-a-time scheduling competitive.
+//
+// The subsystem has three layers, one per file: the block store
+// (blockstore.go: append/load/verify of spilled blocks, persisted
+// estimate vectors, and frontier delta files), the budgeted block cache
+// (cache.go: byte budget, pin-on-process, clock eviction, hit/miss/spill
+// counters), and the scheduler (oocore.go: resident blocks with pending
+// work first, then the largest on-disk frontier).
+package oocore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"dkcore/internal/core"
+	"dkcore/internal/transport"
+)
+
+// Spill-file framing. Block and estimate files carry a magic tag, the
+// block ID, a payload length, and a CRC32 so a load can verify it is
+// reading the block it asked for and that the bytes survived the disk
+// round trip. Frontier files are append-only sequences of length-
+// prefixed estimate batches with no header: appends must be cheap and a
+// torn tail is detected by the batch decoder.
+const (
+	blockMagic = "DKB1"
+	estMagic   = "DKE1"
+)
+
+// Store is the spill-directory layer of the out-of-core engine: one
+// block file (the delta-encoded varint CSR of a contiguous partition),
+// at most one checkpoint file (the block's persisted cascade state as
+// an estimate batch), and one frontier file (pending inbound estimate
+// deltas) per block ID. A Store is single-goroutine, like the engine
+// above it.
+type Store struct {
+	dir string
+	enc []byte // reused frame-assembly buffer for every write path
+	pay []byte // reused payload buffer (must not alias enc)
+}
+
+// NewStore returns a Store rooted at dir, which must already exist.
+func NewStore(dir string) *Store { return &Store{dir: dir} }
+
+// Dir returns the spill directory this store writes under.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) blockPath(id int) string {
+	return filepath.Join(st.dir, fmt.Sprintf("block-%06d.blk", id))
+}
+
+func (st *Store) estPath(id int) string {
+	return filepath.Join(st.dir, fmt.Sprintf("block-%06d.est", id))
+}
+
+func (st *Store) frontierPath(id int) string {
+	return filepath.Join(st.dir, fmt.Sprintf("block-%06d.dlt", id))
+}
+
+// framed assembles header+payload in the store's reused buffer: magic,
+// block ID, payload length, CRC32 of the payload, payload.
+func (st *Store) framed(magic string, id int, payload []byte) []byte {
+	buf := st.enc[:0]
+	buf = append(buf, magic...)
+	buf = binary.AppendUvarint(buf, uint64(id))
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	buf = append(buf, payload...)
+	st.enc = buf
+	return buf
+}
+
+// unframe verifies a spill file's header against the expected magic and
+// block ID and returns its checked payload.
+func unframe(data []byte, magic string, id int) ([]byte, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("oocore: block %d: bad magic", id)
+	}
+	data = data[len(magic):]
+	gotID, n := binary.Uvarint(data)
+	if n <= 0 || gotID != uint64(id) {
+		return nil, fmt.Errorf("oocore: block %d: header names block %d", id, gotID)
+	}
+	data = data[n:]
+	plen, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("oocore: block %d: bad payload length", id)
+	}
+	data = data[n:]
+	if len(data) < 4 || plen != uint64(len(data)-4) {
+		return nil, fmt.Errorf("oocore: block %d: payload length %d does not match file", id, plen)
+	}
+	want := binary.LittleEndian.Uint32(data[:4])
+	payload := data[4:]
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("oocore: block %d: checksum mismatch (file %08x, payload %08x)", id, want, got)
+	}
+	return payload, nil
+}
+
+// WriteBlock spills a contiguous partition: the count nodes
+// [first, first+count) with the neighbors of node first+i at
+// flat[off[i]:off[i+1]]. It returns the bytes written.
+func (st *Store) WriteBlock(id, first, count int, off, flat []int) (int64, error) {
+	payload := transport.EncodeCSRBlock(first, count, off, flat)
+	buf := st.framed(blockMagic, id, payload)
+	if err := os.WriteFile(st.blockPath(id), buf, 0o644); err != nil {
+		return 0, fmt.Errorf("oocore: write block %d: %w", id, err)
+	}
+	return int64(len(buf)), nil
+}
+
+// LoadBlock reads and verifies block id, returning its first owned
+// global ID, zero-based offsets, and concatenated neighbor array, plus
+// the bytes read. Verification covers the magic, the embedded block ID,
+// the CRC32, and the CSR decode itself.
+func (st *Store) LoadBlock(id int) (first int, off, flat []int, bytes int64, err error) {
+	data, err := os.ReadFile(st.blockPath(id))
+	if err != nil {
+		return 0, nil, nil, 0, fmt.Errorf("oocore: load block %d: %w", id, err)
+	}
+	payload, err := unframe(data, blockMagic, id)
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	first, off, flat, err = transport.DecodeCSRBlock(payload)
+	if err != nil {
+		return 0, nil, nil, 0, fmt.Errorf("oocore: block %d: %w", id, err)
+	}
+	return first, off, flat, int64(len(data)), nil
+}
+
+// WriteCheckpoint persists block id's full cascade checkpoint — every
+// tracked node's finite estimate as (global ID, estimate) pairs, the
+// ExportEstimates form — replacing any previous checkpoint, and returns
+// the bytes written. External knowledge must ride along with the owned
+// vector: an external estimate below an owned node's own value
+// constrains that node's future recomputation and is never re-shipped
+// by its source, so dropping it at eviction would freeze the cascade at
+// a too-high fixpoint. The batch is sorted in place by node ID (the
+// batch wire form's requirement).
+func (st *Store) WriteCheckpoint(id int, ckpt core.Batch) (int64, error) {
+	st.pay = transport.AppendBatch(st.pay[:0], ckpt)
+	buf := st.framed(estMagic, id, st.pay)
+	if err := os.WriteFile(st.estPath(id), buf, 0o644); err != nil {
+		return 0, fmt.Errorf("oocore: write checkpoint %d: %w", id, err)
+	}
+	return int64(len(buf)), nil
+}
+
+// LoadCheckpoint reads block id's persisted checkpoint batch. ok is
+// false when no checkpoint has been persisted yet (the block's first
+// load). Replaying the batch through HostState.Apply on freshly
+// initialized state rebuilds the evicted block's exact cascade state
+// (see the checkpoint/restore contract in internal/core).
+func (st *Store) LoadCheckpoint(id int) (ckpt core.Batch, bytes int64, ok bool, err error) {
+	data, err := os.ReadFile(st.estPath(id))
+	if os.IsNotExist(err) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("oocore: load checkpoint %d: %w", id, err)
+	}
+	payload, err := unframe(data, estMagic, id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	ckpt, err = transport.DecodeBatch(payload)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("oocore: checkpoint %d: %w", id, err)
+	}
+	return ckpt, int64(len(data)), true, nil
+}
+
+// AppendFrontier appends one estimate batch to block id's frontier file
+// as a length-prefixed frame, creating the file if needed, and returns
+// the bytes written. The batch is sorted in place by node ID (the batch
+// wire form's requirement); out-of-core batches are never shared after
+// collection, so the reorder is safe.
+func (st *Store) AppendFrontier(id int, batch core.Batch) (int64, error) {
+	payload := transport.AppendBatch(st.pay[:0], batch)
+	st.pay = payload
+	var hdr [binary.MaxVarintLen64]byte
+	hn := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	f, err := os.OpenFile(st.frontierPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("oocore: append frontier %d: %w", id, err)
+	}
+	written := int64(0)
+	for _, chunk := range [][]byte{hdr[:hn], payload} {
+		n, err := f.Write(chunk)
+		written += int64(n)
+		if err != nil {
+			f.Close()
+			return written, fmt.Errorf("oocore: append frontier %d: %w", id, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return written, fmt.Errorf("oocore: append frontier %d: %w", id, err)
+	}
+	return written, nil
+}
+
+// DrainFrontier reads every pending frame of block id's frontier file,
+// hands each decoded batch to apply in append order, and truncates the
+// file, returning the bytes consumed. A missing file is an empty
+// frontier. The frames are fully decoded and validated before the file
+// is removed, so a decode failure leaves the frontier on disk for
+// inspection.
+func (st *Store) DrainFrontier(id int, apply func(core.Batch)) (int64, error) {
+	path := st.frontierPath(id)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("oocore: drain frontier %d: %w", id, err)
+	}
+	total := int64(len(data))
+	var batches []core.Batch
+	for len(data) > 0 {
+		flen, n := binary.Uvarint(data)
+		if n <= 0 || flen > uint64(len(data)-n) {
+			return 0, fmt.Errorf("oocore: frontier %d: torn frame", id)
+		}
+		batch, err := transport.DecodeBatch(data[n : n+int(flen)])
+		if err != nil {
+			return 0, fmt.Errorf("oocore: frontier %d: %w", id, err)
+		}
+		batches = append(batches, batch)
+		data = data[n+int(flen):]
+	}
+	if err := os.Remove(path); err != nil {
+		return 0, fmt.Errorf("oocore: drain frontier %d: %w", id, err)
+	}
+	for _, b := range batches {
+		apply(b)
+	}
+	return total, nil
+}
+
+// BlockStoreBytes sums the sizes of the spilled block files — the
+// footprint the memory-bound acceptance gate compares against the cache
+// budget. Estimate and frontier files are excluded: they are transient
+// working state, not the graph's resident form.
+func (st *Store) BlockStoreBytes() (int64, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".blk" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		total += info.Size()
+	}
+	return total, nil
+}

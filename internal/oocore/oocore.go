@@ -1,0 +1,460 @@
+package oocore
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"dkcore/internal/core"
+	"dkcore/internal/graph"
+)
+
+// Default knobs: a budget generous enough that small graphs never
+// evict, and a block size that keeps per-block overhead negligible
+// while still splitting million-node graphs into hundreds of
+// schedulable units.
+const (
+	DefaultMemoryBudget = 256 << 20
+	DefaultBlockSize    = 1 << 15
+)
+
+// Options configures an out-of-core decomposition. The zero value is
+// not useful; start from defaults via the With* functional options.
+type Options struct {
+	memoryBudget int64
+	spillDir     string
+	blockSize    int
+	maxPasses    int
+}
+
+// Option mutates Options; pass to Decompose.
+type Option func(*Options)
+
+// WithMemoryBudget caps the resident block cache at the given byte
+// budget. The engine's peak heap is roughly the budget plus one block
+// (admission learns a block's footprint only after building it) plus
+// transient collection buffers. Must be positive.
+func WithMemoryBudget(bytes int64) Option {
+	return func(o *Options) { o.memoryBudget = bytes }
+}
+
+// WithSpillDir roots the spill files inside dir (created if missing).
+// Each run works in a fresh subdirectory that is removed on success; a
+// crash leaves it behind for inspection (see docs/OPERATIONS.md on
+// cleanup). Empty means a temp directory from the OS.
+func WithSpillDir(dir string) Option {
+	return func(o *Options) { o.spillDir = dir }
+}
+
+// WithBlockSize sets how many consecutive node IDs each spilled block
+// owns. Smaller blocks evict at finer grain (lower peak memory, more
+// disk traffic); larger blocks amortize load cost. Must be positive.
+func WithBlockSize(nodes int) Option {
+	return func(o *Options) { o.blockSize = nodes }
+}
+
+// Result reports a completed out-of-core decomposition.
+type Result struct {
+	// Coreness[u] is node u's exact coreness.
+	Coreness []int
+	// Blocks and BlockSize describe the partitioning actually used.
+	Blocks    int
+	BlockSize int
+	// Passes counts block processings (load-or-hit, drain, improve,
+	// collect) — the out-of-core analogue of rounds.
+	Passes int
+	// EstimatesSent and Batches count cross-block estimate traffic,
+	// whether applied in memory or spilled through frontier files.
+	EstimatesSent int64
+	Batches       int64
+	// BlockStoreBytes is the on-disk footprint of the spilled CSR
+	// blocks — what the memory gate compares against the cache budget.
+	BlockStoreBytes int64
+	// Cache holds the block cache's hit/miss/eviction/spill counters.
+	Cache CacheStats
+}
+
+// engine is one run's state: the store below, the cache beside, and the
+// scheduler bookkeeping. Single-goroutine by design — out-of-core wins
+// come from locality, not concurrency.
+type engine struct {
+	n      int // nodes in the graph
+	per    int // node IDs per block (last block may own fewer)
+	blocks int
+
+	store *Store
+	cache *cache
+	stats *CacheStats
+
+	// initialized[b] is set once block b's first process pass has run
+	// (estimates seeded from degrees and the initial border shipped).
+	initialized []bool
+	// pendingDisk[b] counts estimates waiting in block b's on-disk
+	// frontier file — the scheduler's spilled-block priority.
+	pendingDisk []int
+
+	passes        int
+	maxPasses     int
+	estimatesSent int64
+	batches       int64
+
+	estScratch  []int
+	ckptScratch core.Batch
+}
+
+func (e *engine) owner(u int) int { return u / e.per }
+
+func (e *engine) blockRange(b int) (lo, hi int) {
+	lo = b * e.per
+	hi = min(lo+e.per, e.n)
+	return lo, hi
+}
+
+// Decompose computes exact coreness for every node of g while keeping
+// resident cascade state under the configured byte budget, spilling
+// partition blocks and cross-block deltas to disk. The coreness vector
+// is identical to the sequential engine's; scheduling affects only how
+// much disk traffic the fixpoint costs.
+func Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, error) {
+	o := Options{memoryBudget: DefaultMemoryBudget, blockSize: DefaultBlockSize}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.memoryBudget <= 0 {
+		return nil, fmt.Errorf("oocore: memory budget must be positive, got %d", o.memoryBudget)
+	}
+	if o.blockSize <= 0 {
+		return nil, fmt.Errorf("oocore: block size must be positive, got %d", o.blockSize)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return &Result{Coreness: []int{}, BlockSize: o.blockSize}, nil
+	}
+
+	dir, cleanup, err := spillDir(o.spillDir)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cleanup != nil {
+			cleanup()
+		}
+	}()
+
+	per := min(o.blockSize, n)
+	blocks := (n + per - 1) / per
+	stats := &CacheStats{}
+	e := &engine{
+		n:           n,
+		per:         per,
+		blocks:      blocks,
+		store:       NewStore(dir),
+		cache:       newCache(o.memoryBudget, stats),
+		stats:       stats,
+		initialized: make([]bool, blocks),
+		pendingDisk: make([]int, blocks),
+		maxPasses:   o.maxPasses,
+	}
+	if e.maxPasses == 0 {
+		// Defensive ceiling, far above any reachable pass count: every
+		// pass beyond the init sweep consumes pending work produced by a
+		// genuine estimate drop, and total drops are bounded by the sum
+		// of degrees.
+		e.maxPasses = 64*blocks + 8*g.NumArcs() + 1024
+	}
+
+	storeBytes, err := e.spill(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.run(ctx); err != nil {
+		return nil, err
+	}
+	coreness, err := e.gather()
+	if err != nil {
+		return nil, err
+	}
+
+	if cleanup != nil {
+		if err := cleanup(); err != nil {
+			return nil, err
+		}
+		cleanup = nil
+	}
+	return &Result{
+		Coreness:        coreness,
+		Blocks:          blocks,
+		BlockSize:       per,
+		Passes:          e.passes,
+		EstimatesSent:   e.estimatesSent,
+		Batches:         e.batches,
+		BlockStoreBytes: storeBytes,
+		Cache:           *stats,
+	}, nil
+}
+
+// spillDir resolves the run's working directory: a fresh OS temp dir,
+// or a fresh subdirectory of the user-supplied root. Both are removed
+// by the returned cleanup on success and left behind on crash.
+func spillDir(root string) (string, func() error, error) {
+	if root != "" {
+		if err := os.MkdirAll(root, 0o755); err != nil {
+			return "", nil, fmt.Errorf("oocore: spill dir: %w", err)
+		}
+	}
+	dir, err := os.MkdirTemp(root, "dkcore-oocore-*")
+	if err != nil {
+		return "", nil, fmt.Errorf("oocore: spill dir: %w", err)
+	}
+	return dir, func() error { return os.RemoveAll(dir) }, nil
+}
+
+// spill streams the graph into per-block CSR files through one reused
+// block-sized buffer pair — never materializing a second whole-graph
+// adjacency, which is the point of the exercise.
+func (e *engine) spill(ctx context.Context, g *graph.Graph) (int64, error) {
+	off := make([]int, 0, e.per+1)
+	var flat []int
+	var total int64
+	for b := 0; b < e.blocks; b++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		lo, hi := e.blockRange(b)
+		off = append(off[:0], 0)
+		flat = flat[:0]
+		for u := lo; u < hi; u++ {
+			flat = append(flat, g.Neighbors(u)...)
+			off = append(off, len(flat))
+		}
+		nb, err := e.store.WriteBlock(b, lo, hi-lo, off, flat)
+		if err != nil {
+			return 0, err
+		}
+		total += nb
+		e.stats.SpillBytesWritten += nb
+	}
+	return total, nil
+}
+
+// load returns block id's resident entry, rebuilding it from the spill
+// files on a miss: decode the CSR block, reconstruct fresh cascade
+// state, and replay the persisted checkpoint batch through Apply — the
+// checkpoint/restore contract of internal/core, which rebuilds the
+// exact evicted state (estimates are monotone, so replay lowers every
+// tracked node to its persisted value, and the histograms are a pure
+// function of the estimate vector). External knowledge rides in the
+// checkpoint because it is irreplaceable: an external estimate below an
+// owned node's own value constrains future recomputation and its
+// source will never re-ship it. The post-replay cascade is a no-op
+// drain, and the blanket changed marks are dropped: everything in a
+// checkpoint was shipped before it was persisted. The new entry is
+// charged to the cache and other blocks are evicted to fit.
+func (e *engine) load(id int) (*entry, error) {
+	if ent := e.cache.get(id); ent != nil {
+		return ent, nil
+	}
+	first, off, flat, nb, err := e.store.LoadBlock(id)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.SpillBytesRead += nb
+	owned := make([]int, len(off)-1)
+	for i := range owned {
+		owned[i] = first + i
+	}
+	s := core.NewHostState(id, e.n, owned, off, flat, e.owner)
+	s.InitEstimates()
+	dirty := false
+	if e.initialized[id] {
+		ckpt, cb, ok, err := e.store.LoadCheckpoint(id)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("oocore: block %d: initialized but no persisted checkpoint", id)
+		}
+		e.stats.SpillBytesRead += cb
+		s.Apply(ckpt)
+		s.ImproveIfDirty()
+		s.ResetChanged()
+	} else {
+		// First build: keep InitEstimates' blanket marks so the initial
+		// border ships on the first collect, and treat the block as dirty
+		// so eviction persists the seed state.
+		dirty = true
+	}
+	ent := &entry{id: id, state: s, bytes: s.MemoryFootprint(), dirty: dirty, ref: true}
+	ent.pinned = true
+	e.cache.insert(ent)
+	if err := e.cache.shrink(e.evict); err != nil {
+		return nil, err
+	}
+	ent.pinned = false
+	return ent, nil
+}
+
+// evict retires a resident block: finish any half-applied inbound work
+// (improve + collect + route) so direct-applied deltas are not lost,
+// then persist the full checkpoint if anything — owned estimate or
+// external knowledge — moved since the last persist. The cache has
+// already unlinked the entry, so routing cannot find the dying block
+// and re-apply into it.
+func (e *engine) evict(ent *entry) error {
+	if ent.pendingMem > 0 || ent.dirty {
+		ent.state.ImproveIfDirty()
+		if err := e.route(ent.state.CollectPointToPoint()); err != nil {
+			return err
+		}
+		ent.pendingMem = 0
+	}
+	if ent.dirty {
+		e.ckptScratch = ent.state.ExportEstimates(e.ckptScratch[:0])
+		nb, err := e.store.WriteCheckpoint(ent.id, e.ckptScratch)
+		if err != nil {
+			return err
+		}
+		e.stats.SpillBytesWritten += nb
+	}
+	return nil
+}
+
+// route delivers one collection's outbound batches: direct Apply into
+// resident destinations, frontier-file append for spilled ones.
+// Iteration over the map is order-insensitive — Apply is a pointwise
+// minimum, so delivery order cannot change the fixpoint.
+func (e *engine) route(out map[int]core.Batch) error {
+	for dest, batch := range out {
+		if len(batch) == 0 {
+			continue
+		}
+		e.estimatesSent += int64(len(batch))
+		e.batches++
+		if ent := e.cache.peek(dest); ent != nil {
+			if ent.state.Apply(batch) {
+				ent.dirty = true
+			}
+			ent.pendingMem += len(batch)
+		} else {
+			nb, err := e.store.AppendFrontier(dest, batch)
+			if err != nil {
+				return err
+			}
+			e.stats.SpillBytesWritten += nb
+			e.pendingDisk[dest] += len(batch)
+		}
+	}
+	return nil
+}
+
+// process runs one block pass: pin the block resident, drain its
+// on-disk frontier, run the cascade to its local fixpoint, and route
+// what changed.
+func (e *engine) process(ctx context.Context, id int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e.passes >= e.maxPasses {
+		return fmt.Errorf("oocore: no quiescence after %d block passes", e.passes)
+	}
+	e.passes++
+	ent, err := e.load(id)
+	if err != nil {
+		return err
+	}
+	ent.pinned = true
+	defer func() { ent.pinned = false }()
+	s := ent.state
+	e.initialized[id] = true
+	if e.pendingDisk[id] > 0 {
+		nb, err := e.store.DrainFrontier(id, func(b core.Batch) {
+			if s.Apply(b) {
+				ent.dirty = true
+			}
+		})
+		if err != nil {
+			return err
+		}
+		e.stats.SpillBytesRead += nb
+		e.pendingDisk[id] = 0
+	}
+	ent.pendingMem = 0
+	s.ImproveIfDirty()
+	return e.route(s.CollectPointToPoint())
+}
+
+// run drives the scheduler: one locality-friendly init sweep in ID
+// order, then repeatedly the resident block with the most direct-applied
+// pending estimates (hot state, zero load cost), falling back to the
+// spilled block with the largest on-disk frontier (one load absorbs the
+// biggest backlog). Quiescence: no resident pending work and every
+// frontier file empty.
+func (e *engine) run(ctx context.Context) error {
+	for b := 0; b < e.blocks; b++ {
+		if err := e.process(ctx, b); err != nil {
+			return err
+		}
+	}
+	for {
+		id, ok := e.pick()
+		if !ok {
+			return nil
+		}
+		if err := e.process(ctx, id); err != nil {
+			return err
+		}
+	}
+}
+
+// pick chooses the next block: resident-with-pending first (largest
+// backlog, lowest ID on ties), then largest on-disk frontier.
+func (e *engine) pick() (int, bool) {
+	best, bestScore := -1, 0
+	for _, ent := range e.cache.ring {
+		if ent.pendingMem > bestScore || (ent.pendingMem == bestScore && best >= 0 && ent.id < best) {
+			best, bestScore = ent.id, ent.pendingMem
+		}
+	}
+	if best >= 0 && bestScore > 0 {
+		return best, true
+	}
+	best, bestScore = -1, 0
+	for b, pending := range e.pendingDisk {
+		if pending > bestScore {
+			best, bestScore = b, pending
+		}
+	}
+	return best, best >= 0
+}
+
+// gather assembles the final coreness vector from resident state and
+// persisted checkpoints. At quiescence every block's estimates equal
+// exact coreness (the cascade's fixpoint), and every non-resident block
+// was persisted by its eviction. Checkpoint entries outside a block's
+// owned range are its record of external neighbors — skipped here,
+// since their owning blocks report them.
+func (e *engine) gather() ([]int, error) {
+	out := make([]int, e.n)
+	for b := 0; b < e.blocks; b++ {
+		lo, hi := e.blockRange(b)
+		if ent := e.cache.peek(b); ent != nil {
+			e.estScratch = ent.state.AppendOwnedEstimates(e.estScratch[:0])
+			copy(out[lo:], e.estScratch)
+			continue
+		}
+		ckpt, nb, ok, err := e.store.LoadCheckpoint(b)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("oocore: block %d evicted without persisted checkpoint", b)
+		}
+		e.stats.SpillBytesRead += nb
+		for _, m := range ckpt {
+			if m.Node >= lo && m.Node < hi {
+				out[m.Node] = m.Core
+			}
+		}
+	}
+	return out, nil
+}

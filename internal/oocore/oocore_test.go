@@ -1,0 +1,154 @@
+package oocore
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"dkcore/internal/gen"
+	"dkcore/internal/graph"
+	"dkcore/internal/kcore"
+)
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"empty":       graph.NewBuilder(0).Build(),
+		"singleton":   graph.NewBuilder(1).Build(),
+		"one-edge":    gen.Chain(2),
+		"chain":       gen.Chain(500),
+		"star":        gen.Star(300),
+		"complete":    gen.Complete(40),
+		"grid":        gen.Grid(20, 25),
+		"caveman":     gen.Caveman(12, 8),
+		"gnm":         gen.GNM(800, 3200, 7),
+		"powerlaw":    gen.PowerLaw(gen.PowerLawConfig{N: 1000, Exponent: 2.2, MinDeg: 2}, 11),
+		"worst-case":  gen.WorstCase(600),
+		"ba":          gen.BarabasiAlbert(400, 3, 5),
+		"watts":       gen.WattsStrogatz(300, 6, 0.1, 3),
+		"isolated":    graph.NewBuilder(50).Build(),
+		"self-sparse": gen.GNM(200, 40, 9),
+	}
+}
+
+// optionSets covers the cache regimes: everything resident, moderate
+// eviction, and a pathological budget that keeps at most a block or two
+// in memory.
+func optionSets() map[string][]Option {
+	return map[string][]Option{
+		"resident":     nil,
+		"small-blocks": {WithBlockSize(64)},
+		"evicting":     {WithBlockSize(64), WithMemoryBudget(128 << 10)},
+		"thrashing":    {WithBlockSize(32), WithMemoryBudget(16 << 10)},
+	}
+}
+
+func TestDecomposeMatchesSequential(t *testing.T) {
+	for gname, g := range testGraphs() {
+		want := kcore.Decompose(g).CorenessValues()
+		for oname, opts := range optionSets() {
+			res, err := Decompose(context.Background(), g, opts...)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", gname, oname, err)
+			}
+			if !slices.Equal(res.Coreness, want) {
+				t.Errorf("%s/%s: coreness mismatch", gname, oname)
+			}
+		}
+	}
+}
+
+func TestThrashingBudgetEvicts(t *testing.T) {
+	g := gen.PowerLaw(gen.PowerLawConfig{N: 2000, Exponent: 2.1, MinDeg: 2}, 3)
+	res, err := Decompose(context.Background(), g,
+		WithBlockSize(64), WithMemoryBudget(16<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks < 10 {
+		t.Fatalf("expected many blocks, got %d", res.Blocks)
+	}
+	if res.Cache.Evictions == 0 {
+		t.Error("thrashing budget produced no evictions")
+	}
+	if res.Cache.Misses <= int64(res.Blocks) {
+		t.Errorf("expected reloads beyond the init sweep: misses=%d blocks=%d",
+			res.Cache.Misses, res.Blocks)
+	}
+	if res.Cache.SpillBytesWritten == 0 || res.Cache.SpillBytesRead == 0 {
+		t.Errorf("spill traffic not counted: %+v", res.Cache)
+	}
+	if res.BlockStoreBytes == 0 {
+		t.Error("block store footprint not reported")
+	}
+	want := kcore.Decompose(g).CorenessValues()
+	if !slices.Equal(res.Coreness, want) {
+		t.Error("coreness mismatch under thrashing budget")
+	}
+}
+
+func TestGenerousBudgetNeverEvicts(t *testing.T) {
+	g := gen.GNM(500, 2000, 1)
+	res, err := Decompose(context.Background(), g, WithBlockSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.Evictions != 0 {
+		t.Errorf("default budget evicted %d blocks on a tiny graph", res.Cache.Evictions)
+	}
+	if res.Cache.Misses != int64(res.Blocks) {
+		t.Errorf("misses=%d, want exactly one per block (%d)", res.Cache.Misses, res.Blocks)
+	}
+}
+
+func TestSpillDirLifecycle(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "spills")
+	g := gen.GNM(300, 900, 2)
+	if _, err := Decompose(context.Background(), g, WithSpillDir(root), WithBlockSize(64)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("user-supplied spill root should survive the run: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("run subdirectory not cleaned up: %v", entries)
+	}
+}
+
+func TestDecomposeOptionValidation(t *testing.T) {
+	g := gen.Chain(10)
+	if _, err := Decompose(context.Background(), g, WithMemoryBudget(0)); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := Decompose(context.Background(), g, WithBlockSize(-1)); err == nil {
+		t.Error("negative block size accepted")
+	}
+}
+
+func TestDecomposeCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := gen.GNM(500, 2000, 4)
+	if _, err := Decompose(ctx, g, WithBlockSize(32)); err == nil {
+		t.Error("cancelled context not observed")
+	}
+}
+
+func TestBlockLargerThanBudgetStillCompletes(t *testing.T) {
+	// One block's footprint exceeds the whole budget: the cache must
+	// degrade to block-at-a-time rather than fail or live-lock.
+	g := gen.Complete(120)
+	res, err := Decompose(context.Background(), g, WithBlockSize(60), WithMemoryBudget(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := kcore.Decompose(g).CorenessValues()
+	if !slices.Equal(res.Coreness, want) {
+		t.Error("coreness mismatch with over-budget blocks")
+	}
+	if res.Cache.PeakResidentBytes <= 1<<10 {
+		t.Errorf("peak %d should record the unavoidable overshoot", res.Cache.PeakResidentBytes)
+	}
+}

@@ -148,7 +148,7 @@ func TestCrossScenarioEquivalence(t *testing.T) {
 			})
 			assertSame(t, "maintainer-replay", truth, mt.CorenessValues())
 
-			// Unified facade: all eight engine kinds through Engine.Run
+			// Unified facade: all nine engine kinds through Engine.Run
 			// must agree with the native legs above (the cluster kind
 			// runs a real TCP-loopback deployment).
 			for _, kind := range dkcore.EngineKinds() {
@@ -162,6 +162,21 @@ func TestCrossScenarioEquivalence(t *testing.T) {
 				}
 				assertSame(t, "engine/"+kind.String(), truth, rep.Coreness)
 			}
+
+			// Out-of-core under a pathologically tiny budget: 8-node
+			// blocks against a budget that holds roughly two block
+			// states, so nearly every block pass evicts, checkpoints,
+			// and restores through the spill directory.
+			tiny, err := dkcore.NewEngine(dkcore.OutOfCore,
+				dkcore.WithBlockSize(8), dkcore.WithMemoryBudget(16<<10))
+			if err != nil {
+				t.Fatalf("oocore-tiny: %v", err)
+			}
+			tinyRep, err := tiny.Run(context.Background(), g)
+			if err != nil {
+				t.Fatalf("oocore-tiny: %v", err)
+			}
+			assertSame(t, "oocore-tiny", truth, tinyRep.Coreness)
 
 			if err := dkcore.VerifyLocality(g, truth); err != nil {
 				t.Fatalf("locality: %v", err)
