@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// allCodes are the diagnostic codes the suite can emit, KC000 included.
+var allCodes = []string{"KC000", "KC001", "KC002", "KC003", "KC004", "KC005"}
+
+// TestCleanTree is the shipped-tree gate: linting the whole module must
+// produce zero unsuppressed findings and exit 0.
+func TestCleanTree(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(root, []string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("kcore-lint ./... = exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+// TestSeededViolations lints a fixture module seeding one violation per
+// analyzer — an unbounded decoder make, a non-ctx round loop, a direct
+// estimate write, a //dkcore:noalloc allocation, an epoch mutation, and
+// a reasonless suppression — and asserts every code fires.
+func TestSeededViolations(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(filepath.Join("testdata", "violations"), []string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("kcore-lint over violations fixture = exit %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range allCodes {
+		if !strings.Contains(out, want+": ") {
+			t.Errorf("fixture output missing %s finding:\n%s", want, out)
+		}
+	}
+}
+
+// TestListFlag pins the -list inventory: all five analyzers, all codes.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(".", []string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("kcore-lint -list = exit %d, want 0", code)
+	}
+	out := stdout.String()
+	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != 5 {
+		t.Errorf("-list printed %d analyzers, want 5:\n%s", n, out)
+	}
+	for _, code := range allCodes[1:] {
+		if !strings.Contains(out, code) {
+			t.Errorf("-list output missing %s:\n%s", code, out)
+		}
+	}
+}
+
+// TestCodesFilter runs only KC003 over the fixture: the decoder finding
+// survives, the estimate-write finding does not (KC000 always reports —
+// a rotten suppression is never filterable).
+func TestCodesFilter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(filepath.Join("testdata", "violations"), []string{"-codes", "KC003", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("kcore-lint -codes KC003 = exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "KC003: ") {
+		t.Errorf("filtered output missing KC003:\n%s", out)
+	}
+	if strings.Contains(out, "KC001: ") {
+		t.Errorf("filtered output leaked KC001:\n%s", out)
+	}
+	if !strings.Contains(out, "KC000: ") {
+		t.Errorf("filtered output dropped the KC000 malformed-suppression finding:\n%s", out)
+	}
+}
+
+// TestUnknownCode pins the usage-error exit.
+func TestUnknownCode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(".", []string{"-codes", "KC999"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("kcore-lint -codes KC999 = exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,3 @@
+module violations
+
+go 1.21

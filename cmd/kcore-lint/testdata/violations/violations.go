@@ -1,0 +1,55 @@
+// Package violations seeds exactly one violation per analyzer; the
+// kcore-lint CLI smoke test asserts that every diagnostic code fires
+// and the exit status is 1.
+package violations
+
+import "encoding/binary"
+
+type engine struct {
+	est      []int
+	coreness []uint32
+}
+
+// Epoch mirrors the published snapshot shape the serving layer freezes.
+type Epoch struct {
+	seq uint64
+}
+
+// DirectWrite lowers an estimate outside any blessed Apply path (KC001).
+func DirectWrite(e *engine, u, v int) {
+	e.est[u] = v
+}
+
+// RoundLoop blocks on the round barrier with no context (KC002).
+func RoundLoop(barrier chan struct{}, rounds int) {
+	for i := 0; i < rounds; i++ {
+		<-barrier
+	}
+}
+
+// DecodeFrame allocates straight from the unbounded wire count (KC003).
+func DecodeFrame(data []byte) []uint32 {
+	n, _ := binary.Uvarint(data)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(i)
+	}
+	return out
+}
+
+//dkcore:noalloc claims a hot path but allocates anyway (KC004)
+func HotPath(n int) []int {
+	return make([]int, n)
+}
+
+// Republish mutates a published epoch in place (KC005).
+func Republish(e *Epoch, seq uint64) {
+	e.seq = seq
+}
+
+// Sloppy carries a reasonless suppression (KC000), which also fails to
+// silence the coreness write below it.
+func Sloppy(e *engine) {
+	//dkcore:lint-ignore all
+	e.coreness = nil
+}

@@ -1,0 +1,212 @@
+// Package analysis is the repo's domain-invariant static-analysis suite:
+// a set of custom analyzers over go/ast + go/types that prove, at compile
+// time, the code-level contracts the paper's correctness argument rests
+// on. Each analyzer owns one invariant and one stable diagnostic code:
+//
+//	KC001 monotone-apply   estimates only ever decrease through blessed
+//	                       Apply/refine entry points (//dkcore:estwrite)
+//	KC002 ctx-first        blocking functions are ctx-first cancellable
+//	                       (//dkcore:noctx opts a function out)
+//	KC003 decode-bound     decoded counts are bounds-checked before any
+//	                       proportional allocation (docs/PROTOCOL.md)
+//	KC004 noalloc          //dkcore:noalloc functions contain no
+//	                       allocating constructs
+//	KC005 epoch-immutable  published Epoch snapshots are never mutated
+//	                       outside their constructor (//dkcore:epochinit)
+//
+// The analyzers are deliberately heuristic: they prove the common shape
+// of each invariant and route every exception through an explicit,
+// greppable escape hatch — a function-level //dkcore: directive or a
+// line-level "//dkcore:lint-ignore CODE reason" suppression — so the
+// justification for every exception lives next to the code it excuses.
+// docs/INVARIANTS.md catalogues the invariants, their origin, and the
+// escape hatches; cmd/kcore-lint is the CLI driver wired into `make
+// lint` and CI.
+//
+// The package is stdlib-only (go/ast, go/types, go/importer), following
+// the internal/apicheck precedent: the module must stay dependency-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, anchored to a position with a
+// stable code so CI logs and suppressions survive refactors.
+type Diagnostic struct {
+	// Pos is the finding's resolved file position.
+	Pos token.Position
+	// Code is the analyzer's stable diagnostic code (KC001..KC005).
+	Code string
+	// Message states the violated invariant and the offending construct.
+	Message string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Code, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects the Pass's package and
+// reports findings through Pass.Reportf.
+type Analyzer struct {
+	// Name is the analyzer's short kebab-case name.
+	Name string
+	// Code is the stable diagnostic code every finding carries.
+	Code string
+	// Doc is a one-paragraph statement of the enforced invariant.
+	Doc string
+	// Run inspects one type-checked package.
+	Run func(*Pass)
+}
+
+// All is the full analyzer suite, in diagnostic-code order. cmd/kcore-lint
+// runs every entry over every package of the module.
+func All() []*Analyzer {
+	return []*Analyzer{MonotoneApply, CtxFirst, DecodeBound, NoAlloc, EpochImmutable}
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the checker this pass runs.
+	Analyzer *Analyzer
+	// Fset resolves token positions for the package's files.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test source files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression and object facts.
+	Info *types.Info
+	// Path is the package's import path.
+	Path string
+
+	diags    *[]Diagnostic
+	suppress map[string]map[int][]string // filename -> line -> suppressed codes
+}
+
+// Reportf records a finding at pos unless a line-level suppression
+// ("//dkcore:lint-ignore CODE reason" on the same or preceding line)
+// covers the analyzer's code.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Code:    p.Analyzer.Code,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) suppressed(pos token.Position) bool {
+	lines := p.suppress[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, code := range lines[line] {
+			if code == p.Analyzer.Code || code == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lintIgnoreRE matches line-level suppressions. The reason is mandatory:
+// a suppression without a justification is itself a finding (see Run).
+var lintIgnoreRE = regexp.MustCompile(`^//dkcore:lint-ignore\s+(KC\d{3}|all)\s+(\S.*)$`)
+
+// directiveRE matches function-level //dkcore: directives inside doc
+// comments: //dkcore:noalloc, //dkcore:estwrite why, //dkcore:noctx why,
+// //dkcore:epochinit why.
+var directiveRE = regexp.MustCompile(`^//dkcore:([a-z]+)(\s+\S.*)?$`)
+
+// HasDirective reports whether fn's doc comment carries the given
+// //dkcore: directive (for example "noalloc" or "estwrite"). Directives
+// apply to the whole function, including closures nested inside it.
+func HasDirective(fn *ast.FuncDecl, name string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if m := directiveRE.FindStringSubmatch(c.Text); m != nil && m[1] == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer over every package and returns the merged
+// findings sorted by position. Suppression comments are honored;
+// malformed suppressions (missing reason) are reported as KC000 findings
+// so the escape hatch cannot silently rot.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		suppress, malformed := collectSuppressions(pkg)
+		diags = append(diags, malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				diags:    &diags,
+				suppress: suppress,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Code < b.Code
+	})
+	return diags
+}
+
+// collectSuppressions scans a package's comments for lint-ignore lines,
+// returning filename -> line -> codes, plus KC000 diagnostics for
+// suppressions missing their mandatory reason.
+func collectSuppressions(pkg *Package) (map[string]map[int][]string, []Diagnostic) {
+	suppress := make(map[string]map[int][]string)
+	var malformed []Diagnostic
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//dkcore:lint-ignore") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := lintIgnoreRE.FindStringSubmatch(text)
+				if m == nil {
+					malformed = append(malformed, Diagnostic{
+						Pos:     pos,
+						Code:    "KC000",
+						Message: "malformed lint-ignore: want //dkcore:lint-ignore KCNNN reason",
+					})
+					continue
+				}
+				if suppress[pos.Filename] == nil {
+					suppress[pos.Filename] = make(map[int][]string)
+				}
+				suppress[pos.Filename][pos.Line] = append(suppress[pos.Filename][pos.Line], m[1])
+			}
+		}
+	}
+	return suppress, malformed
+}

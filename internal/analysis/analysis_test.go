@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOne parses a single source string into the minimal Package the
+// comment-scanning helpers need (no type information).
+func parseOne(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "x", Fset: fset, Files: []*ast.File{f}}
+}
+
+// TestMalformedSuppression pins KC000: a lint-ignore without its
+// mandatory reason is itself a finding, and registers no suppression.
+func TestMalformedSuppression(t *testing.T) {
+	pkg := parseOne(t, `package x
+
+func f() {
+	//dkcore:lint-ignore KC004
+	_ = 0
+	//dkcore:lint-ignore all
+	_ = 1
+	//dkcore:lint-ignore KC004 a justified reason
+	_ = 2
+}
+`)
+	suppress, malformed := collectSuppressions(pkg)
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed suppressions, want 2: %v", len(malformed), malformed)
+	}
+	for _, d := range malformed {
+		if d.Code != "KC000" {
+			t.Errorf("malformed suppression reported as %s, want KC000", d.Code)
+		}
+		if !strings.Contains(d.Message, "lint-ignore") {
+			t.Errorf("message %q does not name the directive", d.Message)
+		}
+	}
+	lines := suppress["x.go"]
+	if len(lines) != 1 {
+		t.Fatalf("got %d suppression lines, want 1 (only the justified one): %v", len(lines), lines)
+	}
+	for _, codes := range lines {
+		if len(codes) != 1 || codes[0] != "KC004" {
+			t.Errorf("suppressed codes = %v, want [KC004]", codes)
+		}
+	}
+}
+
+// TestHasDirective pins the function-level directive syntax.
+func TestHasDirective(t *testing.T) {
+	pkg := parseOne(t, `package x
+
+//dkcore:noalloc the hot path
+func a() {}
+
+// A doc sentence first.
+//dkcore:estwrite the blessed writer
+func b() {}
+
+// dkcore:noalloc a space disarms the directive
+func c() {}
+
+func d() {}
+`)
+	fns := make(map[string]*ast.FuncDecl)
+	for _, decl := range pkg.Files[0].Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok {
+			fns[fn.Name.Name] = fn
+		}
+	}
+	cases := []struct {
+		fn, directive string
+		want          bool
+	}{
+		{"a", "noalloc", true},
+		{"a", "estwrite", false},
+		{"b", "estwrite", true},
+		{"c", "noalloc", false},
+		{"d", "noalloc", false},
+	}
+	for _, c := range cases {
+		if got := HasDirective(fns[c.fn], c.directive); got != c.want {
+			t.Errorf("HasDirective(%s, %q) = %v, want %v", c.fn, c.directive, got, c.want)
+		}
+	}
+}

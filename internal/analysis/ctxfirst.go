@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst (KC002) enforces the PR 3 cancellation contract in three
+// parts: (a) any function taking a context.Context must take it as the
+// first parameter; (b) a named context parameter must actually be used —
+// an ignored context means cancellation is checked nowhere on the path;
+// (c) an exported function whose body blocks (select statements, channel
+// sends/receives) must take a context unless annotated //dkcore:noctx
+// with a reason (deliberately blocking APIs like Session's synchronous
+// mutators, and goroutine bodies whose lifetime a parent manages).
+// Unnamed context parameters satisfy interface signatures and are
+// exempt from (b).
+var CtxFirst = &Analyzer{
+	Name: "ctx-first",
+	Code: "KC002",
+	Doc: "blocking and cancellable functions take context.Context first " +
+		"and honor it (//dkcore:noctx opts a deliberately blocking function out)",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Type.Params == nil {
+				continue
+			}
+			checkCtxPosition(pass, fn)
+			checkCtxUsed(pass, fn)
+			checkBlockingNeedsCtx(pass, fn)
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ctxParams returns the flat index and field of every context.Context
+// parameter of fn.
+func ctxParams(pass *Pass, fn *ast.FuncDecl) (indices []int, fields []*ast.Field) {
+	i := 0
+	for _, field := range fn.Type.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if ok && isContextType(tv.Type) {
+			indices = append(indices, i)
+			fields = append(fields, field)
+		}
+		i += n
+	}
+	return indices, fields
+}
+
+func checkCtxPosition(pass *Pass, fn *ast.FuncDecl) {
+	indices, fields := ctxParams(pass, fn)
+	for j, idx := range indices {
+		if idx != 0 {
+			pass.Reportf(fields[j].Pos(),
+				"context.Context must be the first parameter of %s (parameter %d): the module's cancellation contract is ctx-first",
+				fn.Name.Name, idx+1)
+		}
+	}
+}
+
+func checkCtxUsed(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	_, fields := ctxParams(pass, fn)
+	for _, field := range fields {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if used {
+					return false
+				}
+				if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					used = true
+				}
+				return true
+			})
+			if !used {
+				pass.Reportf(name.Pos(),
+					"context parameter %s of %s is never used: cancellation is not checked on this path (name it _ only via an interface signature, or check ctx.Err in the loop)",
+					name.Name, fn.Name.Name)
+			}
+		}
+	}
+}
+
+// checkBlockingNeedsCtx flags exported functions with blocking channel
+// constructs and no context parameter.
+func checkBlockingNeedsCtx(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil || !fn.Name.IsExported() || HasDirective(fn, "noctx") {
+		return
+	}
+	if indices, _ := ctxParams(pass, fn); len(indices) > 0 {
+		return
+	}
+	blocking := ""
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if blocking != "" {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			// A goroutine body's blocking ops are the goroutine's
+			// business, not the spawning function's signature.
+			return false
+		case *ast.SelectStmt:
+			blocking = "a select statement"
+		case *ast.SendStmt:
+			blocking = "a channel send"
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				blocking = "a channel receive"
+			}
+		}
+		return true
+	})
+	if blocking != "" {
+		pass.Reportf(fn.Name.Pos(),
+			"exported %s blocks (%s) but takes no context.Context: engine-facing blocking calls must be ctx-first cancellable (annotate //dkcore:noctx <why> if blocking is the documented contract)",
+			fn.Name.Name, blocking)
+	}
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DecodeBound (KC003) enforces the decode-before-allocate contract from
+// docs/PROTOCOL.md: a size decoded from the wire (binary.Uvarint,
+// binary.ReadUvarint, the fixed-width byte-order readers) must pass a
+// bound comparison — against the bytes actually present, a Max*-style
+// limit, or any other ceiling — before it sizes an allocation
+// (make, slices.Grow). Every hostile-input fuzz bug this module has had
+// violated exactly this ordering, so the analyzer tracks it as a simple
+// intra-function taint pass: decode results (and values derived from
+// them) are tainted-unchecked until they appear in a comparison, and a
+// make/Grow sized by a still-unchecked value is a finding.
+//
+// The pass is flow-loose by design — any syntactically earlier
+// comparison clears the taint — so it proves the shape of the contract,
+// not full dominance; the fuzz targets remain the runtime backstop.
+var DecodeBound = &Analyzer{
+	Name: "decode-bound",
+	Code: "KC003",
+	Doc: "wire-decoded counts must be bounds-checked before sizing an " +
+		"allocation (docs/PROTOCOL.md decode-before-allocate)",
+	Run: runDecodeBound,
+}
+
+// decodeFuncs are the encoding/binary entry points whose first result is
+// attacker-controlled when the input is a wire payload.
+var decodeFuncs = map[string]bool{
+	"Uvarint":     true,
+	"Varint":      true,
+	"ReadUvarint": true,
+	"ReadVarint":  true,
+	"Uint16":      true,
+	"Uint32":      true,
+	"Uint64":      true,
+}
+
+type taintState int
+
+const (
+	clean taintState = iota
+	taintedChecked
+	taintedUnchecked
+)
+
+func runDecodeBound(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDecodeBound(pass, fn)
+		}
+	}
+}
+
+func checkDecodeBound(pass *Pass, fn *ast.FuncDecl) {
+	state := make(map[types.Object]taintState)
+
+	// isDecodeCall reports whether e is a call to one of the
+	// encoding/binary decode entry points.
+	isDecodeCall := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !decodeFuncs[sel.Sel.Name] {
+			return false
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		return obj.Pkg().Path() == "encoding/binary"
+	}
+
+	// exprState folds the taint of every identifier mentioned in e,
+	// treating a direct decode call as tainted-unchecked.
+	var exprState func(e ast.Expr) taintState
+	exprState = func(e ast.Expr) taintState {
+		if isDecodeCall(e) {
+			return taintedUnchecked
+		}
+		worst := clean
+		ast.Inspect(e, func(n ast.Node) bool {
+			if ex, ok := n.(ast.Expr); ok && ex != e && isDecodeCall(ex) {
+				worst = taintedUnchecked
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if s := state[pass.Info.Uses[id]]; s > worst {
+					worst = s
+				}
+			}
+			return true
+		})
+		return worst
+	}
+
+	// markChecked upgrades every tainted identifier mentioned in a
+	// comparison operand to tainted-checked.
+	markChecked := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				obj := pass.Info.Uses[id]
+				if state[obj] == taintedUnchecked {
+					state[obj] = taintedChecked
+				}
+			}
+			return true
+		})
+	}
+
+	// checkSize reports a finding when a size expression is
+	// tainted-unchecked.
+	checkSize := func(call *ast.CallExpr, size ast.Expr, what string) {
+		if exprState(size) == taintedUnchecked {
+			pass.Reportf(call.Pos(),
+				"%s sized by wire-decoded value %s with no prior bound check: decode-before-allocate requires comparing it against the bytes present or a Max* limit first (docs/PROTOCOL.md)",
+				what, types.ExprString(size))
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			// Propagate taint through assignments. A multi-value decode
+			// (v, n := binary.Uvarint(data)) taints the first LHS only;
+			// the byte count is not attacker-sized.
+			if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+				if isDecodeCall(st.Rhs[0]) {
+					if id, ok := st.Lhs[0].(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							state[obj] = taintedUnchecked
+						} else if obj := pass.Info.Uses[id]; obj != nil {
+							state[obj] = taintedUnchecked
+						}
+					}
+					return true
+				}
+			}
+			if len(st.Rhs) == len(st.Lhs) {
+				for i, rhs := range st.Rhs {
+					s := exprState(rhs)
+					id, ok := st.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj != nil && s != clean {
+						state[obj] = s
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			switch st.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				markChecked(st.X)
+				markChecked(st.Y)
+			}
+		case *ast.CallExpr:
+			if fun, ok := st.Fun.(*ast.Ident); ok && fun.Name == "make" && len(st.Args) >= 2 {
+				if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); isBuiltin {
+					for _, size := range st.Args[1:] {
+						checkSize(st, size, "make")
+					}
+				}
+			}
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Grow" && len(st.Args) == 2 {
+				if obj := pass.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "slices" {
+					checkSize(st, st.Args[1], "slices.Grow")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochImmutable (KC005) enforces the serving layer's snapshot contract:
+// once an Epoch is published through the Session's atomic pointer, every
+// field reachable from it is frozen — readers hold no lock, so any later
+// write is a data race and a torn read waiting for a scheduler to expose
+// it. The analyzer flags any assignment whose left-hand side reaches
+// through a value of a named type `Epoch` (field stores, element stores
+// into fields, stores through nested fields) outside the constructor
+// (a function named newEpoch, or one annotated //dkcore:epochinit).
+// Writes through an alias copied out of an Epoch field are not traced —
+// the torn-read and race tests remain the runtime backstop for those.
+var EpochImmutable = &Analyzer{
+	Name: "epoch-immutable",
+	Code: "KC005",
+	Doc: "state reachable from a published Epoch snapshot is immutable " +
+		"outside its constructor (//dkcore:epochinit)",
+	Run: runEpochImmutable,
+}
+
+func runEpochImmutable(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Name.Name == "newEpoch" || fn.Name.Name == "NewEpoch" || HasDirective(fn, "epochinit") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						checkEpochWrite(pass, fn, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkEpochWrite(pass, fn, st.X)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkEpochWrite reports lhs when any expression on its access path has
+// type Epoch or *Epoch.
+func checkEpochWrite(pass *Pass, fn *ast.FuncDecl, lhs ast.Expr) {
+	found := false
+	ast.Inspect(lhs, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.Info.Types[e]; ok && isEpochType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		pass.Reportf(lhs.Pos(),
+			"write to %s mutates state reachable from an Epoch snapshot in %s: epochs are immutable once published (construct in newEpoch, or annotate //dkcore:epochinit <why>)",
+			types.ExprString(lhs), fn.Name.Name)
+	}
+}
+
+// isEpochType reports whether t is a named type Epoch or pointer to one.
+func isEpochType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Epoch"
+}

@@ -1,0 +1,104 @@
+package analysis
+
+// The golden-file harness, in the style of go/analysis's analysistest:
+// each analyzer has a testdata package under testdata/src/<name> whose
+// sources carry `// want "regex"` comments on the lines expected to
+// produce findings. The harness loads the package, runs the analyzer,
+// and requires an exact match: every finding covered by a want on its
+// line, every want consumed by a finding.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRE extracts the expectation regex from a `// want "..."` comment.
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+// expectation is one want comment: a regex and whether a finding
+// consumed it.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func TestGolden(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			pkg := loadGolden(t, a.Name)
+			checkExpectations(t, pkg, Run([]*Package{pkg}, []*Analyzer{a}))
+		})
+	}
+}
+
+// TestGoldenSuppress runs the full suite over the suppression fixture:
+// justified line-level suppressions silence findings, near-miss
+// suppressions (wrong code, wrong line) do not.
+func TestGoldenSuppress(t *testing.T) {
+	pkg := loadGolden(t, "suppress")
+	checkExpectations(t, pkg, Run([]*Package{pkg}, All()))
+}
+
+func loadGolden(t *testing.T, name string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	return pkg
+}
+
+// checkExpectations matches diagnostics against want comments. A
+// diagnostic matches a want when they share a file and line and the
+// want's regex matches "CODE: message".
+func checkExpectations(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		text := d.Code + ": " + d.Message
+		consumed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(text) {
+				w.matched = true
+				consumed = true
+				break
+			}
+		}
+		if !consumed {
+			t.Errorf("unexpected diagnostic at %s: %s", key, text)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("no diagnostic at %s matched want %q", key, w.re)
+			}
+		}
+	}
+}
+
+// collectWants scans the package's comments for want expectations,
+// keyed by "file:line".
+func collectWants(t *testing.T, pkg *Package) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regex %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,243 @@
+package analysis
+
+// The package loader. It is stdlib-only: `go list -export -deps -json`
+// enumerates the packages matched by the caller's patterns together with
+// the build-cache export-data files of every dependency, the matched
+// packages are parsed from source, and go/types checks them with a gc
+// importer whose lookup function serves dependency export data straight
+// from the build cache. This is the same division of labor as
+// golang.org/x/tools/go/packages, collapsed to the one configuration the
+// lint driver needs.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked, non-test view of a Go package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset resolves positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's facts about Files.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load enumerates the packages matched by patterns (relative to dir, the
+// module root or any directory inside a module), parses their non-test
+// sources, and type-checks them against build-cache export data. It
+// returns the matched packages only — dependencies are consumed as export
+// data, never re-analyzed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: %s uses cgo, which the loader does not support", t.ImportPath)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := typeCheck(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir,
+// resolving its imports via a fresh `go list -export` over exactly the
+// import paths the sources mention. It exists for the golden-file test
+// harness, whose testdata packages live outside any module.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	parsed, err := parseFiles(fset, files)
+	if err != nil {
+		return nil, err
+	}
+	importSet := make(map[string]bool)
+	for _, f := range parsed {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			importSet[path] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		patterns := make([]string, 0, len(importSet))
+		for p := range importSet {
+			patterns = append(patterns, p)
+		}
+		listed, err := goList(".", patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := exportImporter(fset, exports)
+	return checkParsed(fset, imp, "testdata/"+filepath.Base(dir), dir, parsed)
+}
+
+// goList runs `go list -export -deps -json` in dir and decodes the
+// package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("analysis: go list: %s", msg)
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a gc-export-data importer that resolves import
+// paths through the build-cache files go list reported. The importer
+// caches, so one instance serves every package of a Load.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+func parseFiles(fset *token.FileSet, files []string) ([]*ast.File, error) {
+	parsed := make([]*ast.File, 0, len(files))
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		parsed = append(parsed, f)
+	}
+	return parsed, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	parsed, err := parseFiles(fset, files)
+	if err != nil {
+		return nil, err
+	}
+	return checkParsed(fset, imp, path, dir, parsed)
+}
+
+func checkParsed(fset *token.FileSet, imp types.Importer, path, dir string, parsed []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect every error; first one reported below
+	}
+	tpkg, err := conf.Check(path, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  fset,
+		Files: parsed,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

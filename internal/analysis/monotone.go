@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// estFields are the struct-field names the suite treats as estimate
+// state. The paper's monotonicity invariant (estimates only ever
+// decrease, via the pointwise-min Apply) is stated over exactly this
+// state: every engine in the module keeps its per-node estimate vector
+// in a field with one of these names, so a write through any other path
+// is either a new engine that must adopt the convention or a bug.
+var estFields = map[string]bool{
+	"est":       true,
+	"ests":      true,
+	"estimates": true,
+	"coreness":  true,
+}
+
+// MonotoneApply (KC001) flags writes to estimate state — assignments to
+// elements of, or wholesale replacement of, struct fields named est /
+// ests / estimates / coreness — in functions not blessed with a
+// //dkcore:estwrite directive. The blessed writers are the Apply/refine
+// entry points whose pointwise-min discipline the paper's Theorem 1
+// depends on; anything else lowering (or worse, raising) an estimate
+// behind the cascade's back breaks monotonicity silently. Local
+// variables are exempt: construction of a not-yet-published estimate
+// vector is not a mutation of live state.
+var MonotoneApply = &Analyzer{
+	Name: "monotone-apply",
+	Code: "KC001",
+	Doc: "estimate state may only be written by //dkcore:estwrite-blessed " +
+		"Apply/refine entry points (the paper's monotonicity invariant)",
+	Run: runMonotoneApply,
+}
+
+func runMonotoneApply(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || HasDirective(fn, "estwrite") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						checkEstWrite(pass, fn, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkEstWrite(pass, fn, st.X)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkEstWrite reports lhs when it targets estimate state: a selector
+// for an estimate-named slice field, or an element of one.
+func checkEstWrite(pass *Pass, fn *ast.FuncDecl, lhs ast.Expr) {
+	target := lhs
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		target = idx.X
+	}
+	sel, ok := target.(*ast.SelectorExpr)
+	if !ok || !estFields[sel.Sel.Name] {
+		return
+	}
+	// Only slice-of-integer fields count as estimate vectors; scalar
+	// fields that happen to share a name (a node's own `core`, say) are
+	// a different invariant's problem.
+	tv, ok := pass.Info.Types[target]
+	if !ok {
+		return
+	}
+	slice, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return
+	}
+	if basic, ok := slice.Elem().Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"write to estimate state %s outside a blessed Apply/refine entry point in %s: estimates must only decrease through the pointwise-min Apply path (annotate the function //dkcore:estwrite <why> if it is a legitimate writer)",
+		types.ExprString(lhs), fn.Name.Name)
+}

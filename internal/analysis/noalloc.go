@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc (KC004) rejects allocating constructs inside functions
+// annotated //dkcore:noalloc — the steady-state round loops whose
+// zero-allocation property TestSteadyStateRoundAllocs and
+// TestRefineSteadyStateAllocs pin down at runtime. The analyzer flags
+// the constructs the compiler cannot elide: make, new, slice/map
+// composite literals, &T{} literals, closures, go statements,
+// string<->[]byte conversions, calls into fmt, and interface boxing
+// (a non-interface value passed or assigned where an interface is
+// expected). The self-append pattern `x = append(x, ...)` into a
+// retained buffer is permitted — it is the module's amortized-zero
+// idiom, and the runtime alloc gates hold it to zero in steady state;
+// an append producing a fresh slice is not.
+//
+// Warm-up allocations that happen once before the steady state (lazy
+// double-buffer construction, cold error exits) are justified in place
+// with //dkcore:lint-ignore KC004 <reason>.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Code: "KC004",
+	Doc: "//dkcore:noalloc functions must not contain allocating " +
+		"constructs (steady-state round loops allocate nothing)",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !HasDirective(fn, "noalloc") {
+				continue
+			}
+			checkNoAlloc(pass, fn)
+		}
+	}
+}
+
+func checkNoAlloc(pass *Pass, fn *ast.FuncDecl) {
+	// Calls that appear as an assignment's sole RHS are checked by the
+	// AssignStmt case (which knows the target, admitting self-append);
+	// skip them here so each call is judged exactly once.
+	assignedCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if st, ok := n.(*ast.AssignStmt); ok && len(st.Lhs) == len(st.Rhs) {
+			for _, rhs := range st.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					assignedCalls[call] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			checkNoAllocAssign(pass, fn, e)
+			return true
+		case *ast.CallExpr:
+			if !assignedCalls[e] {
+				checkNoAllocCall(pass, fn, e, "")
+			}
+			return true
+		case *ast.CompositeLit:
+			checkNoAllocComposite(pass, fn, e)
+			return true
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := e.X.(*ast.CompositeLit); ok {
+					pass.Reportf(e.Pos(), "&composite literal in //dkcore:noalloc %s escapes to the heap", fn.Name.Name)
+				}
+			}
+			return true
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "closure in //dkcore:noalloc %s: capturing func literals allocate", fn.Name.Name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(e.Pos(), "go statement in //dkcore:noalloc %s: spawning a goroutine allocates", fn.Name.Name)
+			return true
+		}
+		return true
+	})
+}
+
+// checkNoAllocAssign handles assignments: the self-append idiom is
+// allowed, other appends and interface-boxing stores are not.
+func checkNoAllocAssign(pass *Pass, fn *ast.FuncDecl, st *ast.AssignStmt) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, rhs := range st.Rhs {
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			checkNoAllocCall(pass, fn, call, types.ExprString(st.Lhs[i]))
+		}
+		// Interface boxing via assignment: storing a concrete value into
+		// an interface-typed location.
+		lt, lok := pass.Info.Types[st.Lhs[i]]
+		rt, rok := pass.Info.Types[rhs]
+		if lok && rok && types.IsInterface(lt.Type.Underlying()) && rt.Type != nil &&
+			!types.IsInterface(rt.Type.Underlying()) && rt.Type != types.Typ[types.UntypedNil] {
+			if basic, ok := rt.Type.(*types.Basic); !ok || basic.Kind() != types.UntypedNil {
+				pass.Reportf(rhs.Pos(),
+					"assignment boxes %s into interface %s in //dkcore:noalloc %s",
+					rt.Type, lt.Type, fn.Name.Name)
+			}
+		}
+	}
+}
+
+// checkNoAllocCall flags allocating calls. selfTarget, when non-empty,
+// is the assignment target's expression text, used to admit the
+// x = append(x, ...) idiom.
+func checkNoAllocCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, selfTarget string) {
+	// Type conversions: string <-> []byte/[]rune copy their operand.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from := pass.Info.Types[call.Args[0]].Type
+		if from != nil && isStringByteConv(to, from.Underlying()) {
+			pass.Reportf(call.Pos(), "conversion %s allocates in //dkcore:noalloc %s",
+				types.ExprString(call), fn.Name.Name)
+		}
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); isBuiltin {
+			switch fun.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make in //dkcore:noalloc %s allocates", fn.Name.Name)
+				return
+			case "new":
+				pass.Reportf(call.Pos(), "new in //dkcore:noalloc %s allocates", fn.Name.Name)
+				return
+			case "append":
+				if len(call.Args) == 0 || types.ExprString(call.Args[0]) != selfTarget {
+					pass.Reportf(call.Pos(),
+						"append into a fresh slice in //dkcore:noalloc %s: only the retained-buffer idiom x = append(x, ...) is amortized-zero",
+						fn.Name.Name)
+				}
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.Info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "fmt":
+				pass.Reportf(call.Pos(), "call to fmt.%s in //dkcore:noalloc %s allocates",
+					fun.Sel.Name, fn.Name.Name)
+				return
+			case "slices":
+				if fun.Sel.Name == "Grow" {
+					pass.Reportf(call.Pos(), "slices.Grow in //dkcore:noalloc %s may allocate", fn.Name.Name)
+					return
+				}
+			}
+		}
+	}
+	checkBoxingArgs(pass, fn, call)
+}
+
+// checkBoxingArgs flags concrete values passed where the callee expects
+// an interface — the conversion escapes to the heap unless inlined away.
+func checkBoxingArgs(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			last := params.At(params.Len() - 1).Type()
+			if call.Ellipsis.IsValid() {
+				pt = last
+			} else if slice, ok := last.(*types.Slice); ok {
+				pt = slice.Elem()
+			}
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := pass.Info.Types[arg].Type
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if basic, ok := at.(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"argument %s boxes %s into interface %s in //dkcore:noalloc %s",
+			types.ExprString(arg), at, pt, fn.Name.Name)
+	}
+}
+
+// isStringByteConv reports whether a conversion between underlying
+// types to and from copies its operand (string <-> []byte/[]rune).
+func isStringByteConv(to, from types.Type) bool {
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	slice, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := slice.Elem().Underlying().(*types.Basic)
+	return ok && (basic.Kind() == types.Byte || basic.Kind() == types.Rune ||
+		basic.Kind() == types.Uint8 || basic.Kind() == types.Int32)
+}
+
+// checkNoAllocComposite flags slice/map composite literals and &T{}.
+func checkNoAllocComposite(pass *Pass, fn *ast.FuncDecl, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal in //dkcore:noalloc %s allocates", fn.Name.Name)
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal in //dkcore:noalloc %s allocates", fn.Name.Name)
+	}
+}

@@ -1,0 +1,51 @@
+// Package ctxfirst exercises KC002: blocking and cancellable functions
+// take context.Context first and honor it.
+package ctxfirst
+
+import "context"
+
+// BadOrder buries its context behind another parameter.
+func BadOrder(n int, ctx context.Context) error { // want "KC002: context.Context must be the first parameter"
+	_ = n
+	return ctx.Err()
+}
+
+// Ignored takes a context and never consults it.
+func Ignored(ctx context.Context, n int) int { // want "KC002: context parameter ctx of Ignored is never used"
+	return n * 2
+}
+
+// Recv blocks on a channel receive with no context.
+func Recv(ch chan int) int { // want "KC002: exported Recv blocks"
+	return <-ch
+}
+
+// Good is ctx-first and checks cancellation on the blocking path.
+func Good(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+//dkcore:noctx deliberately blocking: the documented contract is synchronous
+func Blocking(ch chan int) int {
+	return <-ch
+}
+
+// recvInternal blocks but is unexported; the contract binds the exported
+// engine-facing surface only.
+func recvInternal(ch chan int) int {
+	return <-ch
+}
+
+// Spawn's goroutine body blocks, which is the goroutine's own business,
+// not the spawning signature's.
+func Spawn(ch chan int, done chan struct{}) {
+	go func() {
+		<-ch
+		close(done)
+	}()
+}

@@ -1,0 +1,58 @@
+// Package decodebound exercises KC003: wire-decoded counts must be
+// bounds-checked before sizing an allocation.
+package decodebound
+
+import "encoding/binary"
+
+const maxItems = 1 << 16
+
+// unbounded allocates straight from the wire-decoded count.
+func unbounded(data []byte) []uint32 {
+	n, _ := binary.Uvarint(data)
+	return make([]uint32, n) // want "KC003: make sized by wire-decoded value"
+}
+
+// derived propagates the taint through arithmetic and conversion.
+func derived(data []byte) []byte {
+	n, _ := binary.Uvarint(data)
+	size := int(n) * 8
+	return make([]byte, size) // want "KC003: make sized by wire-decoded value"
+}
+
+// fixedWidth taints the fixed-width byte-order readers too.
+func fixedWidth(data []byte) []uint16 {
+	n := binary.BigEndian.Uint32(data)
+	return make([]uint16, n) // want "KC003: make sized by wire-decoded value"
+}
+
+// bounded checks the count against a ceiling first: clean.
+func bounded(data []byte) []uint32 {
+	n, k := binary.Uvarint(data)
+	if k <= 0 || n > maxItems {
+		return nil
+	}
+	return make([]uint32, n)
+}
+
+// boundedByInput checks the count against the bytes actually present,
+// the canonical decode-before-allocate shape from docs/PROTOCOL.md.
+func boundedByInput(data []byte) []uint16 {
+	if len(data) < 4 {
+		return nil
+	}
+	n := binary.BigEndian.Uint32(data)
+	rest := data[4:]
+	if int(n) > len(rest)/2 {
+		return nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint16(rest[2*i:])
+	}
+	return out
+}
+
+// untainted sizes come from the caller, not the wire: clean.
+func untainted(n int) []uint32 {
+	return make([]uint32, n)
+}

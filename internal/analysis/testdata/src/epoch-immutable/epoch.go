@@ -1,0 +1,57 @@
+// Package epoch exercises KC005: state reachable from a published Epoch
+// snapshot is immutable outside its constructor.
+package epoch
+
+type graphIndex struct {
+	deg []int
+}
+
+// Epoch mirrors the serving layer's published snapshot shape.
+type Epoch struct {
+	seq      uint64
+	coreness []uint32
+	g        *graphIndex
+}
+
+// newEpoch is the blessed constructor: initialization is not mutation.
+func newEpoch(seq uint64, n int) *Epoch {
+	e := &Epoch{
+		seq:      seq,
+		coreness: make([]uint32, n),
+		g:        &graphIndex{deg: make([]int, n)},
+	}
+	for i := range e.coreness {
+		e.coreness[i] = uint32(n)
+	}
+	return e
+}
+
+// mutateField bumps a published epoch's sequence in place.
+func mutateField(e *Epoch) {
+	e.seq++ // want "KC005: write to e.seq mutates state reachable from an Epoch"
+}
+
+// mutateElem stores through a field of a published epoch.
+func mutateElem(e *Epoch, u int, v uint32) {
+	e.coreness[u] = v // want "KC005: write to .* mutates state reachable from an Epoch"
+}
+
+// mutateNested reaches through a nested pointer field.
+func mutateNested(e *Epoch, u int) {
+	e.g.deg[u] = 0 // want "KC005: write to .* mutates state reachable from an Epoch"
+}
+
+//dkcore:epochinit a two-phase constructor completing before publication
+func finish(e *Epoch, d int) {
+	e.seq = uint64(d)
+}
+
+// readOnly only reads the snapshot: clean.
+func readOnly(e *Epoch, u int) uint32 {
+	return e.coreness[u]
+}
+
+// unrelated mutates a struct no Epoch reaches: clean.
+func unrelated(g *graphIndex, u int) {
+	g.deg[u] = 1
+}

@@ -1,0 +1,65 @@
+// Package noalloc exercises KC004: functions annotated //dkcore:noalloc
+// must not contain allocating constructs.
+package noalloc
+
+import "fmt"
+
+type buf struct {
+	scratch []int
+	out     []int
+}
+
+type sink interface {
+	accept(v any)
+}
+
+//dkcore:noalloc claims a hot path but calls make
+func hotMake(n int) []int {
+	return make([]int, n) // want "KC004: make in //dkcore:noalloc hotMake allocates"
+}
+
+//dkcore:noalloc claims a hot path but formats an error
+func hotFmt(n int) error {
+	return fmt.Errorf("bad round %d", n) // want "KC004: call to fmt.Errorf"
+}
+
+//dkcore:noalloc appends into a slice that is not the assignment target
+func hotFreshAppend(b *buf, xs []int) {
+	b.out = append(b.scratch, xs...) // want "KC004: append into a fresh slice"
+}
+
+//dkcore:noalloc boxes a concrete value into an interface parameter
+func hotBox(s sink, v int) {
+	s.accept(v) // want "KC004: argument v boxes int"
+}
+
+//dkcore:noalloc captures state in a closure
+func hotClosure(xs []int) int {
+	f := func() int { return len(xs) } // want "KC004: closure in //dkcore:noalloc hotClosure"
+	return f()
+}
+
+//dkcore:noalloc copies a string into a byte slice
+func hotConv(s string) []byte {
+	return []byte(s) // want "KC004: conversion"
+}
+
+//dkcore:noalloc the amortized-zero retained-buffer idiom is permitted
+func hotSelfAppend(b *buf, xs []int) {
+	b.out = b.out[:0]
+	b.out = append(b.out, xs...)
+}
+
+//dkcore:noalloc pure in-place mutation allocates nothing
+func hotInPlace(xs []int, v int) {
+	for i := range xs {
+		if xs[i] > v {
+			xs[i] = v
+		}
+	}
+}
+
+// coldMake is not annotated, so its allocations are its own business.
+func coldMake(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,32 @@
+// Package suppress exercises line-level //dkcore:lint-ignore
+// suppressions: a justified suppression silences the finding on its own
+// or the following line, and nothing else.
+package suppress
+
+type counter struct {
+	buf []int
+}
+
+//dkcore:noalloc the warm-up branch below is suppressed in place
+func warm(c *counter, n int) {
+	if c.buf == nil {
+		//dkcore:lint-ignore KC004 one-time warm-up before the steady state
+		c.buf = make([]int, n)
+	}
+	for i := range c.buf {
+		c.buf[i] = 0
+	}
+}
+
+//dkcore:noalloc a suppression for the wrong code does not silence KC004
+func wrongCode(c *counter, n int) {
+	//dkcore:lint-ignore KC001 this excuses a different invariant
+	c.buf = make([]int, n) // want "KC004: make in //dkcore:noalloc wrongCode"
+}
+
+//dkcore:noalloc a suppression only covers its own and the next line
+func tooFar(c *counter, n int) {
+	//dkcore:lint-ignore KC004 too far from the finding to apply
+	_ = n
+	c.buf = make([]int, n) // want "KC004: make in //dkcore:noalloc tooFar"
+}

@@ -119,6 +119,8 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 // released with a normal stop/result exchange. The request is
 // asynchronous — a run that quiesces first simply never processes it.
 // Leave fails only when the request queue is full.
+//
+//dkcore:noctx non-blocking by contract: a full request queue fails fast
 func (c *Coordinator) Leave(hostID int) error {
 	select {
 	case c.leaveCh <- hostID:

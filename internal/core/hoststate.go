@@ -126,6 +126,8 @@ func (s *HostState) degreeOf(l int) int { return s.adjOff[l+1] - s.adjOff[l] }
 // ID to its responsible host; partitions built by PartitionAll pass the
 // table lookup. The inputs are translated into private local-index
 // state; the HostState never mutates them.
+//
+//dkcore:estwrite constructor: allocates the not-yet-published estimate vector
 func NewHostState(selfID, numNodes int, owned, off, flat []int, owner func(node int) int) *HostState {
 	s := &HostState{
 		selfID: selfID,
@@ -449,6 +451,9 @@ func LinkPeerLocals(parts *Partitions, states []*HostState) {
 // translation disappears. Only externals are addressable — an engine
 // peer only ever ships estimates of nodes it owns, which this host
 // tracks as externals.
+//
+//dkcore:estwrite the peer-local Apply entry point; pointwise-min guarded below
+//dkcore:noalloc steady-state delivery path, gated by TestSteadyStateRoundAllocs
 func (s *HostState) ApplyPeerLocal(batch Batch) bool {
 	if !s.initialized {
 		return false
@@ -485,6 +490,8 @@ func (s *HostState) ApplyPeerLocal(batch Batch) bool {
 // no per-round map is touched. The same double-buffer contract applies:
 // the slice and its batches are valid until the second-following Collect
 // call. Returns nil when nothing changed.
+//
+//dkcore:noalloc steady-state collection, double-buffered (TestSteadyStateRoundAllocs)
 func (s *HostState) CollectPeerLocal() []Batch {
 	if len(s.changedList) == 0 || len(s.neighborHosts) == 0 {
 		// A borderless state (single partition, or an island) never
@@ -493,6 +500,7 @@ func (s *HostState) CollectPeerLocal() []Batch {
 		return nil
 	}
 	if s.peerIdx == nil {
+		//dkcore:lint-ignore KC004 cold misuse panic, unreachable in a correct engine
 		panic("core: CollectPeerLocal without LinkPeerLocals")
 	}
 	s.ptpFlip ^= 1
@@ -519,8 +527,11 @@ func (s *HostState) CollectPeerLocal() []Batch {
 
 // flipBufs returns the current flip's per-host batch buffers, truncated,
 // allocating the double buffer on first use.
+//
+//dkcore:noalloc allocation happens on first collect only; steady state reuses
 func (s *HostState) flipBufs() []Batch {
 	if s.ptpBufs[s.ptpFlip] == nil {
+		//dkcore:lint-ignore KC004 first-collect warmup; never reached in steady state
 		s.ptpBufs[s.ptpFlip] = make([]Batch, len(s.neighborHosts))
 		return s.ptpBufs[s.ptpFlip]
 	}
@@ -536,6 +547,8 @@ func (s *HostState) flipBufs() []Batch {
 // path it replaced. The oracle exists as the executable specification:
 // differential tests drive both modes in lockstep and the hot-path
 // benchmark quantifies the gap. Must be called before InitEstimates.
+//
+//dkcore:estwrite allocates the oracle's gather scratch (ests), not live state
 func (s *HostState) SetOracleRefine(on bool) {
 	if s.initialized {
 		panic("core: SetOracleRefine after InitEstimates")
@@ -559,6 +572,8 @@ func (s *HostState) SetOracleRefine(on bool) {
 // initial estimates (Algorithm 3's initialization). It is idempotent and
 // allocation-free after the first call, so warmed state can be re-run
 // (the hot-path benchmark's reset).
+//
+//dkcore:estwrite Algorithm 3 initialization: seeds est[u] = d(u) before any exchange
 func (s *HostState) InitEstimates() {
 	for l := range s.est {
 		if s.ownedLocal(l) {
@@ -598,6 +613,9 @@ func (s *HostState) InitEstimates() {
 // affected owned nodes' support histograms in O(1) per (neighbor, drop)
 // and enqueueing only the nodes whose support actually fell below their
 // estimate. It reports whether any entry improved.
+//
+//dkcore:estwrite THE pointwise-min Apply entry point (Algorithm 3's receive)
+//dkcore:noalloc steady-state delivery path, gated by TestSteadyStateRoundAllocs
 func (s *HostState) Apply(batch Batch) bool {
 	if !s.initialized {
 		// Estimates do not exist yet; Algorithm 3's initialization will
@@ -657,6 +675,8 @@ func (s *HostState) Apply(batch Batch) bool {
 
 // lowerOwned records neighbor drop a→b in owned local lu's histogram and
 // enqueues lu when its support fell below its estimate. O(1).
+//
+//dkcore:noalloc O(1) histogram update on the cascade hot loop
 func (s *HostState) lowerOwned(lu, a, b int) {
 	k := s.est[lu]
 	if k <= 0 {
@@ -670,6 +690,8 @@ func (s *HostState) lowerOwned(lu, a, b int) {
 
 // propagateDrop pushes owned local lv's estimate drop a→b into the
 // histograms of its owned neighbors.
+//
+//dkcore:noalloc cascade hot loop
 func (s *HostState) propagateDrop(lv, a, b int) {
 	for _, lu := range s.adjFlat[s.adjOff[lv]:s.adjOff[lv+1]] {
 		if s.ownedLocal(lu) {
@@ -686,6 +708,9 @@ func (s *HostState) propagateDrop(lv, a, b int) {
 // recomputation walks the node's support histogram downward from its
 // current estimate — O(levels dropped) — instead of rescanning its
 // adjacency; nodes whose support is still intact are skipped in O(1).
+//
+//dkcore:estwrite Algorithm 4's refinement: the only path that lowers owned estimates
+//dkcore:noalloc the cascade hot loop, gated by TestRefineSteadyStateAllocs
 func (s *HostState) Improve() {
 	if s.oracle {
 		s.improveOracle()
@@ -718,6 +743,8 @@ func (s *HostState) Improve() {
 
 // improveOracle is the retained pre-histogram cascade: gather every
 // neighbor estimate and re-run ComputeIndex — O(deg) per enqueued node.
+//
+//dkcore:estwrite the oracle refinement path, differentially tested against Improve
 func (s *HostState) improveOracle() {
 	for s.qhead < len(s.queue) {
 		lu := s.queue[s.qhead]
@@ -753,12 +780,15 @@ func (s *HostState) improveOracle() {
 
 // ImproveIfDirty runs Improve only when an Apply lowered something since
 // the last cascade.
+//
+//dkcore:noalloc cascade hot loop
 func (s *HostState) ImproveIfDirty() {
 	if s.dirty {
 		s.Improve()
 	}
 }
 
+//dkcore:noalloc worklist push; append reuses the retained queue buffer
 func (s *HostState) enqueue(l int) {
 	if !s.inQueue[l] {
 		s.inQueue[l] = true
@@ -766,6 +796,7 @@ func (s *HostState) enqueue(l int) {
 	}
 }
 
+//dkcore:noalloc changed-set push; append reuses the retained list buffer
 func (s *HostState) markChanged(l int) {
 	if !s.changed[l] {
 		s.changed[l] = true
@@ -785,6 +816,8 @@ func (s *HostState) ChangedCount() int { return len(s.changedList) }
 // when nothing changed. The batch aliases double-buffered storage: it is
 // valid until the second-following Collect call (see the type comment),
 // so steady-state rounds ship estimates without allocating.
+//
+//dkcore:noalloc steady-state collection, double-buffered (TestSteadyStateRoundAllocs)
 func (s *HostState) CollectBroadcast() Batch {
 	if len(s.changedList) == 0 {
 		return nil
@@ -805,6 +838,8 @@ func (s *HostState) CollectBroadcast() Batch {
 // and its batches alias double-buffered storage valid until the
 // second-following Collect call (see the type comment); steady-state
 // rounds reuse both, allocating nothing.
+//
+//dkcore:noalloc steady-state collection, double-buffered (TestSteadyStateRoundAllocs)
 func (s *HostState) CollectPointToPoint() map[int]Batch {
 	if len(s.changedList) == 0 || len(s.neighborHosts) == 0 {
 		s.clearChanged()
@@ -829,6 +864,7 @@ func (s *HostState) CollectPointToPoint() map[int]Batch {
 		return nil
 	}
 	if s.ptpOut[s.ptpFlip] == nil {
+		//dkcore:lint-ignore KC004 first-collect warmup; never reached in steady state
 		s.ptpOut[s.ptpFlip] = make(map[int]Batch, len(s.neighborHosts))
 	}
 	out := s.ptpOut[s.ptpFlip]
@@ -841,6 +877,7 @@ func (s *HostState) CollectPointToPoint() map[int]Batch {
 	return out
 }
 
+//dkcore:noalloc per-collection reset of retained state
 func (s *HostState) clearChanged() {
 	for _, l := range s.changedList {
 		s.changed[l] = false

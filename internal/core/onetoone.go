@@ -60,6 +60,8 @@ func (n *oneToOneNode) Init(ctx *sim.Context[EstimateMsg]) {
 
 // Deliver handles a ⟨v, k⟩ message: store the improved neighbor estimate
 // and recompute the local one.
+//
+//dkcore:estwrite the one-to-one Apply entry point; pointwise-min guarded above
 func (n *oneToOneNode) Deliver(_ *sim.Context[EstimateMsg], from int, msg EstimateMsg) {
 	i := n.neighborIndex(from)
 	if i < 0 {

@@ -30,6 +30,8 @@ package core
 // whether the node's support (the top bucket cnt[k]) decreased — the only
 // event after which the node may need refinement. Drops entirely above
 // the node's estimate are invisible and cost nothing.
+//
+//dkcore:noalloc O(1) bucket move on the cascade hot loop
 func supportLower(cnt []int, k, a, b int) (supportDropped bool) {
 	if a > k {
 		a = k
@@ -51,6 +53,8 @@ func supportLower(cnt []int, k, a, b int) (supportDropped bool) {
 // buckets in (i, k] into the new top bucket i, so the histogram is
 // immediately valid under the new clamp, and returns the new estimate.
 // Cost: O(k - i + 1), the number of levels walked.
+//
+//dkcore:noalloc histogram walk on the cascade hot loop
 func supportRefine(cnt []int, k int) int {
 	i, sup := k, cnt[k]
 	for i > 1 && sup < i {
@@ -67,6 +71,8 @@ func supportRefine(cnt []int, k int) int {
 // supportFold re-clamps a histogram after the node's estimate was lowered
 // externally (not by refinement) from k to b: all mass in (b, k] collapses
 // into the new top bucket b. Cost: O(k - b).
+//
+//dkcore:noalloc histogram re-clamp on the cascade hot loop
 func supportFold(cnt []int, k, b int) {
 	sup := 0
 	for j := b; j <= k; j++ {
@@ -120,6 +126,8 @@ func (r *Refiner) K() int { return r.k }
 // Lower records a neighbor's estimate dropping from a to b (a > b) and
 // reports whether the node's support fell below its estimate — the
 // trigger for Refine. O(1).
+//
+//dkcore:noalloc per-message update on engine hot loops
 func (r *Refiner) Lower(a, b int) (deficient bool) {
 	if r.k <= 0 {
 		return false
@@ -130,6 +138,8 @@ func (r *Refiner) Lower(a, b int) (deficient bool) {
 // Deficient reports whether fewer than k neighbors currently have
 // estimate >= k, i.e. whether Refine would lower the estimate (except at
 // the floor of 1, where the estimate cannot drop further).
+//
+//dkcore:noalloc per-message query on engine hot loops
 func (r *Refiner) Deficient() bool {
 	return r.k > 0 && r.cnt[r.k] < r.k
 }
@@ -138,6 +148,8 @@ func (r *Refiner) Deficient() bool {
 // abandoned levels, updates and returns the estimate. Equivalent to
 // ComputeIndex over the node's raw estimates with bound K(), at cost
 // proportional to the drop instead of the degree.
+//
+//dkcore:noalloc refinement walk on engine hot loops
 func (r *Refiner) Refine() int {
 	if r.k <= 0 {
 		return r.k

@@ -1,0 +1,114 @@
+package dataset
+
+// FuzzLoadSNAP throws hostile edge lists at the SNAP ingestion path:
+// comment and blank lines in odd places, huge and 1-based identifiers,
+// junk fields, oversized lines, and — through the .gz file path —
+// corrupted gzip framing. The contract under test: LoadSNAP either
+// fails with an error or returns a well-formed simple graph whose
+// OrigID mapping is a bijection onto the file's identifiers, and the
+// gzip file round-trip agrees with the direct parse.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func FuzzLoadSNAP(f *testing.F) {
+	f.Add([]byte("# comment\n1 2\n2 3\n3 1\n3 4\n"), false)
+	f.Add([]byte("% matrix-market style\n10\t11\n11 10\n10 10\n"), true)
+	f.Add([]byte("9223372036854775807 1\n0 9223372036854775806\n"), false)
+	f.Add([]byte("1 2 extra trailing fields\n2 3\n"), false)
+	f.Add([]byte("-1 2\n"), false)
+	f.Add([]byte("1 18446744073709551616\n"), false) // overflows int64
+	f.Add([]byte("a b\n"), false)
+	f.Add([]byte("1\n"), false)
+	f.Add([]byte(strings.Repeat("#", 1<<16)+"\n1 2\n"), false)
+	f.Add([]byte(""), true)
+	f.Fuzz(func(t *testing.T, data []byte, largest bool) {
+		sg, err := LoadSNAP(bytes.NewReader(data), LoadOptions{LargestComponent: largest})
+		if err != nil {
+			if sg != nil {
+				t.Fatalf("LoadSNAP returned both a graph and error %v", err)
+			}
+			return
+		}
+		checkSNAPGraph(t, sg)
+
+		// The .gz path must agree with the direct parse...
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.txt.gz")
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		zg, err := LoadSNAPFile(path, LoadOptions{LargestComponent: largest})
+		if err != nil {
+			t.Fatalf("gzip round-trip failed where direct parse succeeded: %v", err)
+		}
+		if zg.Graph.NumNodes() != sg.Graph.NumNodes() || zg.Graph.NumEdges() != sg.Graph.NumEdges() {
+			t.Fatalf("gzip round-trip: %d nodes / %d edges, direct parse: %d / %d",
+				zg.Graph.NumNodes(), zg.Graph.NumEdges(), sg.Graph.NumNodes(), sg.Graph.NumEdges())
+		}
+
+		// ...and corrupted gzip framing (the raw bytes written under a
+		// .gz name) must fail cleanly, never panic.
+		corrupt := filepath.Join(dir, "corrupt.txt.gz")
+		if err := os.WriteFile(corrupt, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if cg, err := LoadSNAPFile(corrupt, LoadOptions{}); err == nil {
+			// Vanishingly unlikely (data would itself be a valid gzip
+			// stream of a valid edge list), but well-formedness must
+			// still hold if it happens.
+			checkSNAPGraph(t, cg)
+		}
+	})
+}
+
+// checkSNAPGraph asserts the ingestion postconditions: a simple
+// undirected graph, in-range adjacency, and a duplicate-free OrigID
+// mapping covering every dense node.
+func checkSNAPGraph(t *testing.T, sg *SNAPGraph) {
+	t.Helper()
+	g := sg.Graph
+	n := g.NumNodes()
+	if len(sg.OrigID) != n {
+		t.Fatalf("OrigID has %d entries for %d nodes", len(sg.OrigID), n)
+	}
+	seen := make(map[int64]bool, n)
+	for _, id := range sg.OrigID {
+		if id < 0 {
+			t.Fatalf("negative original id %d survived ingestion", id)
+		}
+		if seen[id] {
+			t.Fatalf("original id %d mapped to two dense nodes", id)
+		}
+		seen[id] = true
+	}
+	arcs := 0
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v < 0 || v >= n {
+				t.Fatalf("node %d has out-of-range neighbor %d (n=%d)", u, v, n)
+			}
+			if v == u {
+				t.Fatalf("self-loop on node %d survived ingestion", u)
+			}
+			arcs++
+		}
+	}
+	if arcs != 2*g.NumEdges() {
+		t.Fatalf("degree sum %d != 2*edges (%d)", arcs, 2*g.NumEdges())
+	}
+}

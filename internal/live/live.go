@@ -218,6 +218,7 @@ func Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, er
 	return &Result{Coreness: coreness, Messages: msgCount.Load()}, nil
 }
 
+//dkcore:estwrite the live async Apply entry point; pointwise-min guarded below
 func (n *asyncNode) deliver(m message) {
 	i := sort.SearchInts(n.neighbors, m.from)
 	if i >= len(n.neighbors) || n.neighbors[i] != m.from {

@@ -220,6 +220,8 @@ func (m *Mutable) applyDelete(u, v int) {
 
 // applyInsert adds {u, v} and re-seeds the affected region's upper
 // bounds. The runtime must be quiescent (estimates exact).
+//
+//dkcore:estwrite §3.1.2 reseed: raises regional upper bounds after an insert
 func (m *Mutable) applyInsert(u, v int) {
 	m.growLocked(max(u, v) + 1)
 	nu, nv := m.rt.nodes[u], m.rt.nodes[v]
@@ -340,6 +342,8 @@ func (m *Mutable) recompute(nd *roundNode) {
 // addNeighbor inserts v into nd's sorted adjacency with an initial
 // +∞ estimate. Callers resync nd.ref (via Rebuild or recompute) before
 // the next round runs.
+//
+//dkcore:estwrite mutation-absorption reseed: raising bounds is Rebuild's prerogative
 func addNeighbor(nd *roundNode, v int) {
 	i := sort.SearchInts(nd.neighbors, v)
 	nd.neighbors = append(nd.neighbors, 0)
@@ -352,6 +356,8 @@ func addNeighbor(nd *roundNode, v int) {
 
 // removeNeighbor deletes v from nd's sorted adjacency and estimate
 // vector.
+//
+//dkcore:estwrite mutation-absorption reseed: shrinks the estimate vector with the adjacency
 func removeNeighbor(nd *roundNode, v int) {
 	i := searchInts(nd.neighbors, v)
 	nd.neighbors = append(nd.neighbors[:i], nd.neighbors[i+1:]...)

@@ -200,6 +200,7 @@ func (rt *roundRuntime) step(counter *int64Counter) bool {
 	return any
 }
 
+//dkcore:estwrite the live round-mode Apply entry point; pointwise-min guarded below
 func (n *roundNode) deliverRound(m message) {
 	i := searchInts(n.neighbors, m.from)
 	if i < 0 || m.core >= n.est[i] {

@@ -145,6 +145,8 @@ func newEngine(parts *core.Partitions, p, n, maxRounds int) *engine {
 // the engine may be re-run (InitEstimates is idempotent); after an error
 // the inboxes may hold undelivered batches and the engine must be
 // discarded.
+//
+//dkcore:noalloc the BSP steady-state round loop (TestSteadyStateRoundAllocs)
 func (e *engine) run(ctx context.Context) (int, error) {
 	e.estimatesSent = 0
 	e.batches = 0
@@ -153,6 +155,7 @@ func (e *engine) run(ctx context.Context) (int, error) {
 			return 0, err
 		}
 		if round >= e.maxRounds {
+			//dkcore:lint-ignore KC004 cold failure exit: the round budget tripped, the run is over
 			return 0, fmt.Errorf("parallel: no quiescence on %d nodes over %d partitions within %d rounds",
 				e.n, e.p, e.maxRounds)
 		}

@@ -49,6 +49,8 @@ func WithKCoreMaxSupersteps(n int) KCoreOption {
 // estimate with ComputeIndex, re-broadcasts on change, and votes to halt
 // — the one-to-many scenario realized on the framework the paper's
 // conclusions propose.
+//
+//dkcore:estwrite the Pregel vertex program: superstep-0 init plus pointwise-min delivery
 func KCore(ctx context.Context, g *graph.Graph, opts ...KCoreOption) ([]int, Result, error) {
 	var ro kcoreRunOptions
 	for _, opt := range opts {

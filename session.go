@@ -196,6 +196,8 @@ func (s *Session) applyWait(ev stream.Event) bool {
 // returns ErrQueueFull when the bounded queue is full (the backpressure
 // signal) and ErrSessionClosed after Close; a nil return means the event
 // will be absorbed by a future epoch — use Flush to wait for it.
+//
+//dkcore:noctx non-blocking by contract: a full queue returns ErrQueueFull immediately
 func (s *Session) Enqueue(ev EdgeEvent) error {
 	s.sendMu.RLock()
 	defer s.sendMu.RUnlock()
@@ -213,6 +215,8 @@ func (s *Session) Enqueue(ev EdgeEvent) error {
 
 // Flush blocks until every mutation enqueued before the call has been
 // absorbed and published, or returns ErrSessionClosed.
+//
+//dkcore:noctx blocking is Flush's documented contract (drain barrier); bounded by writer progress
 func (s *Session) Flush() error {
 	done := make(chan bool, 1)
 	s.sendMu.RLock()
@@ -230,6 +234,8 @@ func (s *Session) Flush() error {
 // mutation. Reads keep serving the final epoch; subsequent mutations
 // return false (blocking mutators) or ErrSessionClosed (Enqueue, Flush).
 // Close is idempotent and always returns nil.
+//
+//dkcore:noctx blocking drain is the documented Close contract; bounded by queued work
 func (s *Session) Close() error {
 	s.sendMu.Lock()
 	if !s.closed {
