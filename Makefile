@@ -2,21 +2,27 @@
 #
 #   make build       compile every package and binary
 #   make apicheck    fail if any exported symbol of the root package (or
-#                    the cluster/transport/dataset/oocore/serve/core/
+#                    the cluster/transport/dataset/oocore/serve/core/chaos/
 #                    stream runtime packages) lacks a doc comment
 #   make lint        run cmd/kcore-lint, the domain-invariant static
 #                    analyzers (KC001-KC005; see docs/INVARIANTS.md)
 #   make test        run the full test suite
 #   make race        run the test suite under the race detector
 #   make fuzz-short  run each native fuzz target briefly
+#   make chaos       full chaos equivalence suite: 50-graph pool under
+#                    seeded fault schedules across the oocore, cluster,
+#                    and serve legs (CHAOS_SEED=N replays a schedule)
+#   make chaos-smoke bounded slice of the chaos suite under -race (the
+#                    CI lane)
 #   make bench       run every benchmark once (smoke) — use BENCHTIME=2s for numbers
 #   make bench-partition  run only BenchmarkPartitionSetup (the O(n+m)
 #                    partition-setup gate; flat-in-p cost is the contract)
 #   make ci          build + vet (incl. gofmt gate) + apicheck + lint +
-#                    test + race + fuzz-short
+#                    test + race + fuzz-short + chaos-smoke
 #
 # .github/workflows/ci.yml runs build+vet+apicheck+lint+test as the fast
-# lane and race / fuzz-short / bench smoke as separate parallel jobs.
+# lane and race / fuzz-short / chaos smoke / bench smoke as separate
+# parallel jobs.
 #
 # Lint escape hatches (all greppable, reason mandatory):
 #   //dkcore:noalloc <why>     marks a steady-state function the KC004
@@ -30,11 +36,12 @@
 #   //dkcore:lint-ignore KCNNN <why>   suppresses one finding on the same
 #                              or next line; a missing reason is KC000
 
-GO        ?= go
-FUZZTIME  ?= 10s
-BENCHTIME ?= 1x
+GO         ?= go
+FUZZTIME   ?= 10s
+BENCHTIME  ?= 1x
+CHAOS_SEED ?= 1
 
-.PHONY: all build vet apicheck lint test race fuzz-short bench bench-partition bench-hotpath bench-allocs bench-serve bench-cluster bench-oocore ci
+.PHONY: all build vet apicheck lint test race fuzz-short chaos chaos-smoke bench bench-partition bench-hotpath bench-allocs bench-serve bench-cluster bench-oocore ci
 
 all: build
 
@@ -58,7 +65,7 @@ vet:
 # runtime's packages (cluster, transport, dataset) are held to the same
 # standard — operators read their godoc when running a deployment.
 apicheck:
-	$(GO) run ./internal/apicheck . ./internal/cluster ./internal/transport ./internal/dataset ./internal/oocore ./internal/serve ./internal/core ./internal/stream
+	$(GO) run ./internal/apicheck . ./internal/cluster ./internal/transport ./internal/dataset ./internal/oocore ./internal/serve ./internal/core ./internal/stream ./internal/chaos
 
 # lint runs the domain-invariant analyzers over every package: monotone
 # estimate writes, ctx-first cancellation, decode-before-allocate,
@@ -82,6 +89,22 @@ fuzz-short: build
 	$(GO) test -run '^$$' -fuzz FuzzServeBinaryFrame -fuzztime $(FUZZTIME) ./internal/serve
 	$(GO) test -run '^$$' -fuzz FuzzHostStateDifferential -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzLoadSNAP -fuzztime $(FUZZTIME) ./internal/dataset
+
+# chaos is the full fault-injection acceptance run: a 50-graph pool
+# decomposed under seeded fault schedules on every robustness-bearing
+# leg (out-of-core spill, cluster protocol, query service). Every run
+# must end in the sequential oracle's coreness or a clean structured
+# error; a failure prints the seed, which CHAOS_SEED replays exactly.
+# docs/OPERATIONS.md ("Chaos drills") is the runbook.
+chaos: build
+	DKCORE_CHAOS_GRAPHS=50 DKCORE_CHAOS_SEED=$(CHAOS_SEED) \
+		$(GO) test -run TestChaosEquivalence -count=1 -v -timeout 20m ./internal/chaos
+
+# chaos-smoke is the CI lane: a bounded seed slice under the race
+# detector, fast enough to run on every push.
+chaos-smoke: build
+	DKCORE_CHAOS_SEED=$(CHAOS_SEED) \
+		$(GO) test -run TestChaosEquivalence -count=1 -short -race -timeout 10m ./internal/chaos
 
 # bench runs every benchmark, BenchmarkPartitionSetup included, so the
 # BENCH_*.json trajectory always carries the partition-setup series.
@@ -132,4 +155,4 @@ bench-serve: build
 bench-oocore: build
 	$(GO) test -run TestOOCoreBoundedMemory -count=1 -v ./internal/bench
 
-ci: build vet apicheck lint test race fuzz-short
+ci: build vet apicheck lint test race fuzz-short chaos-smoke

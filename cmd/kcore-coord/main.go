@@ -53,6 +53,7 @@ func run(args []string, out io.Writer) error {
 		histogram = fs.Bool("histogram", false, "print shell-size histogram instead of per-node coreness")
 		ckptEvery = fs.Int("checkpoint-every", 0, "checkpoint every N rounds (0 = no checkpoints)")
 		rejoin    = fs.Duration("rejoin-wait", 0, "how long to wait for a replacement when a host dies (0 = fail fast)")
+		frameTO   = fs.Duration("frame-timeout", 0, "per-frame deadline on host connections; 0 = none (set it above the slowest host's per-round compute)")
 		allowJoin = fs.Bool("allow-join", false, "admit workers joining after the run has started")
 		compress  = fs.Bool("compress", false, "offer flate compression for delta batches")
 		verbose   = fs.Bool("v", false, "log per-round debug detail")
@@ -87,6 +88,7 @@ func run(args []string, out io.Writer) error {
 		ListenAddr:      *listen,
 		CheckpointEvery: *ckptEvery,
 		RejoinWait:      *rejoin,
+		FrameTimeout:    *frameTO,
 		AllowJoin:       *allowJoin,
 		Compression:     *compress,
 		Log:             log,

@@ -21,6 +21,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"time"
 
 	"dkcore"
 )
@@ -35,8 +36,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("kcore-host", flag.ContinueOnError)
 	var (
-		coord   = fs.String("coord", "127.0.0.1:7070", "coordinator address")
-		listen  = fs.String("listen", "", "deprecated: hosts no longer listen (relay runs through the coordinator)")
+		coord    = fs.String("coord", "127.0.0.1:7070", "coordinator address")
+		listen   = fs.String("listen", "", "deprecated: hosts no longer listen (relay runs through the coordinator)")
+		dialWait = fs.Duration("dial-wait", 10*time.Second,
+			"keep retrying transient failures (coordinator not up yet, connection lost) with backoff for this long after the last good connection; 0 = fail on first error")
+		frameTimeout = fs.Duration("frame-timeout", 0,
+			"per-frame deadline on the coordinator connection; 0 = none (set it above round time plus the coordinator's -rejoin-wait)")
 		verbose = fs.Bool("v", false, "log per-round debug detail")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -52,6 +57,8 @@ func run(args []string) error {
 	res, err := dkcore.RunClusterHost(ctx, dkcore.HostConfig{
 		CoordinatorAddr: *coord,
 		ListenAddr:      *listen,
+		RetryWait:       *dialWait,
+		FrameTimeout:    *frameTimeout,
 		Log:             log,
 	})
 	if err != nil {

@@ -8,7 +8,11 @@
 // Mutations arrive over the same endpoints (POST /mutate, or the binary
 // mutate frame) and flow through the session's bounded single-writer
 // queue; /healthz reports the epoch lag between accepted and absorbed
-// mutations.
+// mutations. Liveness and readiness are separate probes: /healthz/live
+// stays 200 for the process lifetime, while /healthz/ready turns 503
+// during the shutdown drain and — with -ready-max-lag set — whenever
+// the epoch lag exceeds the bound, so load balancers stop routing to an
+// instance that is alive but saturated.
 //
 // Usage:
 //
@@ -54,6 +58,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		queue    = fs.Int("queue", 1024, "mutation queue size (backpressure bound)")
 		batch    = fs.Int("batch", 256, "max mutations absorbed per epoch")
 		grace    = fs.Duration("grace", 5*time.Second, "shutdown grace period")
+		readyLag = fs.Int64("ready-max-lag", 0, "epoch lag above which /healthz/ready reports 503 (0 = no bound)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,7 +77,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	defer sess.Close()
 
-	srv := serve.New(sess)
+	srv := serve.New(sess, serve.WithReadyMaxLag(*readyLag))
 	if *httpAddr != "" {
 		addr, err := srv.ListenHTTP(*httpAddr)
 		if err != nil {

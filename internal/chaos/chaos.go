@@ -1,0 +1,153 @@
+// Package chaos is the deterministic fault-injection layer behind the
+// repo's robustness scenarios. The protocol this project reproduces is
+// prized precisely because its estimates are monotone and therefore
+// tolerant of loss, duplication, and reordering (Montresor et al., PODC
+// 2011, §7); this package turns that claim into a reproducible test
+// axis by injecting faults on three surfaces:
+//
+//   - network connections (Conn, Listener, Dialer): seeded schedules of
+//     dropped, delayed, duplicated, truncated, and bit-flipped writes,
+//     plus read-side flips and severs, with per-direction budgets;
+//   - the filesystem (FS, FaultFS): short writes, injected EIO,
+//     crash-at-byte-N kill points, and silently-torn renames, threaded
+//     through the out-of-core block store;
+//   - the clock (Clock, FakeClock): injectable time for retry/backoff
+//     and timeout paths, so tests advance time instead of sleeping.
+//
+// Every injection is drawn from a rand.Rand seeded by the Injector's
+// seed (hashed per surface name, so goroutine interleavings do not
+// perturb a surface's schedule), recorded in a structured fault log,
+// and charged against a global budget — once the budget is exhausted
+// every wrapper becomes transparent, so a faulted system is always
+// eventually offered a clean environment in which to converge. A
+// failing run therefore reduces to one number: its seed.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one injected fault, as recorded in the structured fault log.
+type Event struct {
+	// Seq is the event's 1-based position in the log.
+	Seq int
+	// Surface identifies the injection surface: "conn", "fs", or "clock".
+	Surface string
+	// Target names the wrapped object (connection name, file path).
+	Target string
+	// Op is the operation the fault was injected into ("write", "read",
+	// "open", "rename", ...).
+	Op string
+	// Fault is the fault kind ("drop", "dup", "truncate", "flip",
+	// "delay", "sever", "eio", "short", "crash", "torn-rename").
+	Fault string
+	// Detail carries fault-specific context (byte offsets, durations).
+	Detail string
+}
+
+// String renders the event as one grep-friendly log line.
+func (e Event) String() string {
+	return fmt.Sprintf("#%03d %s %s %s %s %s", e.Seq, e.Surface, e.Target, e.Op, e.Fault, e.Detail)
+}
+
+// Injector is one seeded fault campaign: it hands out wrapped
+// connections, filesystems, and clocks whose faults are drawn from
+// deterministic per-surface schedules, all sharing one fault budget and
+// one structured log. An Injector is safe for concurrent use.
+type Injector struct {
+	seed   int64
+	budget atomic.Int64
+
+	mu     sync.Mutex
+	events []Event
+	conns  int // counter naming anonymous accepted connections
+}
+
+// NewInjector returns an injector whose schedules derive from seed and
+// which will inject at most budget faults in total across every surface
+// it wraps. A zero or negative budget yields a transparent injector.
+func NewInjector(seed int64, budget int) *Injector {
+	in := &Injector{seed: seed}
+	in.budget.Store(int64(budget))
+	return in
+}
+
+// Seed returns the seed the injector's schedules derive from — the one
+// number needed to reproduce a failing run.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// Remaining reports how many faults the injector may still inject.
+func (in *Injector) Remaining() int { return int(max64(0, in.budget.Load())) }
+
+// Events returns a snapshot of the structured fault log in injection
+// order.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}
+
+// LogString renders the fault log one event per line — what a failing
+// chaos test prints next to its seed.
+func (in *Injector) LogString() string {
+	events := in.Events()
+	if len(events) == 0 {
+		return "(no faults injected)"
+	}
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// take attempts to spend one unit of the fault budget and, on success,
+// records the event. It returns false once the budget is exhausted, at
+// which point callers must behave transparently.
+func (in *Injector) take(surface, target, op, fault, detail string) bool {
+	if in.budget.Add(-1) < 0 {
+		in.budget.Add(1) // leave the counter parked at ~0 for Remaining
+		return false
+	}
+	in.mu.Lock()
+	in.events = append(in.events, Event{
+		Seq: len(in.events) + 1, Surface: surface, Target: target,
+		Op: op, Fault: fault, Detail: detail,
+	})
+	in.mu.Unlock()
+	return true
+}
+
+// rng returns a fresh schedule generator for one named surface: seeded
+// by the injector seed hashed with the name, so each surface's fault
+// sequence is a pure function of (seed, name) no matter how goroutines
+// interleave.
+func (in *Injector) rng(name string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", in.seed, name)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// nextConnName names an anonymous accepted connection deterministically
+// in accept order.
+func (in *Injector) nextConnName() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.conns++
+	return fmt.Sprintf("accept-%d", in.conns)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,309 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// memConn is a synchronous in-memory net.Conn: writes append to wbuf,
+// reads drain rbuf. It keeps conn-wrapper tests deterministic without
+// goroutines.
+type memConn struct {
+	rbuf bytes.Buffer
+	wbuf bytes.Buffer
+}
+
+func (m *memConn) Read(p []byte) (int, error)         { return m.rbuf.Read(p) }
+func (m *memConn) Write(p []byte) (int, error)        { return m.wbuf.Write(p) }
+func (m *memConn) Close() error                       { return nil }
+func (m *memConn) LocalAddr() net.Addr                { return nil }
+func (m *memConn) RemoteAddr() net.Addr               { return nil }
+func (m *memConn) SetDeadline(t time.Time) error      { return nil }
+func (m *memConn) SetReadDeadline(t time.Time) error  { return nil }
+func (m *memConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// connFaultLog drives a fixed op sequence through a wrapped conn and
+// returns the resulting fault log.
+func connFaultLog(t *testing.T, seed int64) []Event {
+	t.Helper()
+	in := NewInjector(seed, 64)
+	c := in.WrapConn(&memConn{}, "test", ConnPlan{
+		Drop: 0.2, Dup: 0.2, Flip: 0.2,
+		WriteBudget: 100,
+	})
+	payload := []byte("0123456789abcdef")
+	for i := 0; i < 50; i++ {
+		if _, err := c.Write(payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	return in.Events()
+}
+
+func TestConnScheduleDeterministic(t *testing.T) {
+	a := connFaultLog(t, 42)
+	b := connFaultLog(t, 42)
+	if len(a) == 0 {
+		t.Fatal("schedule injected no faults; probabilities too low for the test to mean anything")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fault counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, diverging event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	other := connFaultLog(t, 43)
+	same := len(other) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault logs")
+	}
+}
+
+func TestInjectorBudgetExhausts(t *testing.T) {
+	in := NewInjector(7, 3)
+	c := in.WrapConn(&memConn{}, "test", ConnPlan{Drop: 1.0, WriteBudget: 100})
+	payload := []byte("x")
+	for i := 0; i < 20; i++ {
+		if _, err := c.Write(payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if got := len(in.Events()); got != 3 {
+		t.Fatalf("budget 3 but %d events injected:\n%s", got, in.LogString())
+	}
+	if in.Remaining() != 0 {
+		t.Fatalf("Remaining() = %d after exhaustion", in.Remaining())
+	}
+	// Past the budget the wrapper is transparent: drops stop, so the
+	// 17 unbudgeted writes must all have reached the underlying conn.
+	under := &memConn{}
+	c2 := in.WrapConn(under, "test2", ConnPlan{Drop: 1.0, WriteBudget: 100})
+	if _, err := c2.Write(payload); err != nil {
+		t.Fatalf("post-budget write: %v", err)
+	}
+	if under.wbuf.Len() != 1 {
+		t.Fatalf("post-budget write did not pass through: %d bytes", under.wbuf.Len())
+	}
+}
+
+func TestConnDropSwallowsBytes(t *testing.T) {
+	in := NewInjector(1, 1)
+	under := &memConn{}
+	c := in.WrapConn(under, "drop", ConnPlan{Drop: 1.0})
+	if n, err := c.Write([]byte("hello")); err != nil || n != 5 {
+		t.Fatalf("dropped write reported (%d, %v), want (5, nil)", n, err)
+	}
+	if under.wbuf.Len() != 0 {
+		t.Fatalf("dropped write reached the conn: %q", under.wbuf.String())
+	}
+}
+
+func TestConnTrip(t *testing.T) {
+	in := NewInjector(1, 8)
+	c := in.WrapConn(&memConn{}, "trip", ConnPlan{})
+	c.Trip()
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrTripped) {
+		t.Fatalf("write after Trip: %v, want ErrTripped", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrTripped) {
+		t.Fatalf("read after Trip: %v, want ErrTripped", err)
+	}
+}
+
+func TestFaultFSCrashAtByteN(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(99, 8)
+	fs := in.WrapFS(OS{}, "crash", FSPlan{CrashAfterBytes: 10})
+	path := filepath.Join(dir, "victim")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte("0123456")); err != nil { // 7 bytes, under the limit
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := f.Write([]byte("789abcdef")) // crosses byte 10
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write: (%d, %v), want ErrCrashed", n, err)
+	}
+	if n != 3 {
+		t.Fatalf("crossing write persisted %d bytes, want exactly 3 (up to the kill point)", n)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("readback: %v", err)
+	}
+	if string(data) != "0123456789" {
+		t.Fatalf("on-disk bytes %q, want the exact 10-byte prefix", data)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() = false after kill point")
+	}
+	if _, err := fs.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("ReadFile after crash: %v, want ErrCrashed", err)
+	}
+	if _, err := fs.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("OpenFile after crash: %v, want ErrCrashed", err)
+	}
+	if err := fs.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Rename after crash: %v, want ErrCrashed", err)
+	}
+}
+
+func TestFaultFSTornRename(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(5, 8)
+	fs := in.WrapFS(OS{}, "torn", FSPlan{TornRenameProb: 1.0, TornRenameMatch: ".est"})
+	src := filepath.Join(dir, "ckpt.tmp")
+	dst := filepath.Join(dir, "block.est")
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	if err := os.WriteFile(src, payload, 0o644); err != nil {
+		t.Fatalf("seed src: %v", err)
+	}
+	if err := fs.Rename(src, dst); err != nil {
+		t.Fatalf("torn rename must be silent, got %v", err)
+	}
+	data, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatalf("dest missing: %v", err)
+	}
+	if len(data) >= len(payload) {
+		t.Fatalf("dest has %d bytes, want a strict prefix of %d", len(data), len(payload))
+	}
+	if !bytes.HasPrefix(payload, data) {
+		t.Fatalf("dest %q is not a prefix of the source", data)
+	}
+	if _, err := os.Stat(src); !os.IsNotExist(err) {
+		t.Fatalf("source survived the rename: %v", err)
+	}
+	// A rename not matching the filter is untouched.
+	src2 := filepath.Join(dir, "b.tmp")
+	dst2 := filepath.Join(dir, "b.blk")
+	if err := os.WriteFile(src2, payload, 0o644); err != nil {
+		t.Fatalf("seed src2: %v", err)
+	}
+	if err := fs.Rename(src2, dst2); err != nil {
+		t.Fatalf("filtered rename: %v", err)
+	}
+	if data, _ := os.ReadFile(dst2); !bytes.Equal(data, payload) {
+		t.Fatalf("non-matching rename corrupted: %d bytes", len(data))
+	}
+}
+
+func TestFaultFSShortWriteAndEIO(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(11, 64)
+	fs := in.WrapFS(OS{}, "short", FSPlan{ShortProb: 1.0})
+	f, err := fs.OpenFile(filepath.Join(dir, "s"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: (%d, %v), want ErrInjected", n, err)
+	}
+	if n >= 10 {
+		t.Fatalf("short write persisted %d of 10 bytes", n)
+	}
+	f.Close()
+
+	eio := in.WrapFS(OS{}, "eio", FSPlan{ErrProb: 1.0})
+	if _, err := eio.OpenFile(filepath.Join(dir, "e"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("open under ErrProb=1: %v, want ErrInjected", err)
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	fc := NewFakeClock(time.Unix(0, 0))
+	done := make(chan error, 1)
+	go func() { done <- fc.Sleep(context.Background(), 10*time.Second) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for fc.Sleepers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sleeper never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fc.Advance(9 * time.Second)
+	select {
+	case err := <-done:
+		t.Fatalf("woke after 9s of a 10s sleep: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	fc.Advance(time.Second)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Sleep: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sleeper never woke after full advance")
+	}
+	if got := fc.Now(); !got.Equal(time.Unix(10, 0)) {
+		t.Fatalf("Now() = %v, want 10s past epoch", got)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { done <- fc.Sleep(ctx, time.Hour) }()
+	for fc.Sleepers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Sleep: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled sleeper never woke")
+	}
+}
+
+func TestWallClockSleepCancels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := (Wall{}).Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on dead ctx: %v", err)
+	}
+	start := time.Now()
+	if err := (Wall{}).Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("1ms sleep took over a second")
+	}
+}
+
+func TestEventLogString(t *testing.T) {
+	in := NewInjector(3, 2)
+	if got := in.LogString(); got != "(no faults injected)" {
+		t.Fatalf("empty log: %q", got)
+	}
+	in.take("fs", "/tmp/x", "write", "eio", "test")
+	log := in.LogString()
+	for _, want := range []string{"#001", "fs", "/tmp/x", "eio"} {
+		if !bytes.Contains([]byte(log), []byte(want)) {
+			t.Fatalf("log %q missing %q", log, want)
+		}
+	}
+	if in.Seed() != 3 {
+		t.Fatalf("Seed() = %d", in.Seed())
+	}
+}

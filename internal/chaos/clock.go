@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the time source behind retry/backoff and timeout
+// paths, so chaos tests can drive them deterministically. Production
+// code uses Wall; tests may substitute a FakeClock and advance it by
+// hand instead of sleeping.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in
+	// the latter case and nil otherwise.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// Wall is the real-time Clock.
+type Wall struct{}
+
+// Now returns time.Now().
+func (Wall) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d or until ctx is done.
+func (Wall) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// FakeClock is a manually advanced Clock: Sleep blocks until Advance
+// has moved the clock past the wake time (or the sleeper's ctx is
+// done). It never consults real time, so tests using it are exactly as
+// fast as their logic.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan struct{}
+}
+
+// NewFakeClock returns a FakeClock starting at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake clock's current time.
+func (f *FakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Sleep blocks until the clock has been advanced to now+d, or until ctx
+// is done.
+func (f *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	f.mu.Lock()
+	w := fakeWaiter{at: f.now.Add(d), ch: make(chan struct{})}
+	f.waiters = append(f.waiters, w)
+	f.mu.Unlock()
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Advance moves the clock forward by d and wakes every sleeper whose
+// wake time has been reached.
+func (f *FakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	kept := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !w.at.After(f.now) {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	f.waiters = kept
+	f.mu.Unlock()
+}
+
+// Sleepers reports how many Sleep calls are currently blocked — tests
+// use it to know when the code under test has reached its backoff.
+func (f *FakeClock) Sleepers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}

@@ -1,0 +1,242 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTripped is returned by a Conn whose kill switch has fired (an
+// injected sever or an explicit Trip call): the simulated process on
+// the other side of this connection is gone.
+var ErrTripped = errors.New("chaos: connection tripped")
+
+// ConnPlan configures the fault schedule of one wrapped connection.
+// Probabilities are per operation (one Write or Read call) and are only
+// consulted while both the per-direction budget and the injector's
+// global budget last. The zero value is a transparent plan.
+type ConnPlan struct {
+	// Write-side faults, checked in this order.
+	Drop     float64 // swallow the write, report success (frame loss)
+	Dup      float64 // write the bytes twice (frame duplication)
+	Truncate float64 // write a prefix, then sever the connection
+	Flip     float64 // flip one bit before writing (frame corruption)
+	Delay    float64 // sleep up to MaxDelay before writing
+
+	// Read-side faults.
+	ReadFlip  float64 // flip one bit of the bytes just read
+	ReadSever float64 // sever the connection instead of delivering
+	ReadDelay float64 // sleep up to MaxDelay before delivering
+
+	// MaxDelay bounds an injected delay; 0 means 2ms.
+	MaxDelay time.Duration
+
+	// WriteBudget and ReadBudget cap the faults injected per direction
+	// on this one connection; 0 means 2 per direction.
+	WriteBudget int
+	ReadBudget  int
+}
+
+func (p ConnPlan) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 2 * time.Millisecond
+	}
+	return p.MaxDelay
+}
+
+func (p ConnPlan) writeBudget() int {
+	if p.WriteBudget == 0 {
+		return 2
+	}
+	return p.WriteBudget
+}
+
+func (p ConnPlan) readBudget() int {
+	if p.ReadBudget == 0 {
+		return 2
+	}
+	return p.ReadBudget
+}
+
+// Conn is a net.Conn wrapped in a seeded fault schedule. Reads and
+// writes each draw from their own deterministic generator, so the fault
+// sequence of a direction depends only on (seed, name, direction) and
+// the number of operations performed, not on goroutine interleaving.
+type Conn struct {
+	net.Conn
+	in   *Injector
+	name string
+	plan ConnPlan
+
+	tripped atomic.Bool
+
+	wmu     sync.Mutex
+	wrng    *rand.Rand
+	wfaults int
+
+	rmu     sync.Mutex
+	rrng    *rand.Rand
+	rfaults int
+}
+
+// WrapConn wraps c in the injector's fault schedule under the given
+// name (the per-direction schedules derive from it).
+func (in *Injector) WrapConn(c net.Conn, name string, plan ConnPlan) *Conn {
+	return &Conn{
+		Conn: c, in: in, name: name, plan: plan,
+		wrng: in.rng(name + "/write"),
+		rrng: in.rng(name + "/read"),
+	}
+}
+
+// Trip severs the connection immediately: in-flight and subsequent
+// operations fail. Tests use it as a deterministic crash point.
+func (c *Conn) Trip() {
+	if c.tripped.CompareAndSwap(false, true) {
+		c.in.take("conn", c.name, "trip", "sever", "manual kill switch")
+		c.Conn.Close()
+	}
+}
+
+// sever closes the underlying connection as an injected fault.
+func (c *Conn) sever() {
+	c.tripped.Store(true)
+	c.Conn.Close()
+}
+
+// Write applies the write-side schedule, then delegates.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.tripped.Load() {
+		return 0, ErrTripped
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.wfaults < c.plan.writeBudget() {
+		r := c.wrng.Float64()
+		switch {
+		case r < c.plan.Drop:
+			if c.in.take("conn", c.name, "write", "drop", fmt.Sprintf("%d bytes swallowed", len(p))) {
+				c.wfaults++
+				return len(p), nil
+			}
+		case r < c.plan.Drop+c.plan.Dup:
+			if c.in.take("conn", c.name, "write", "dup", fmt.Sprintf("%d bytes written twice", len(p))) {
+				c.wfaults++
+				if n, err := c.Conn.Write(p); err != nil {
+					return n, err
+				}
+				return c.Conn.Write(p)
+			}
+		case r < c.plan.Drop+c.plan.Dup+c.plan.Truncate:
+			keep := 0
+			if len(p) > 1 {
+				keep = 1 + c.wrng.Intn(len(p)-1)
+			}
+			if c.in.take("conn", c.name, "write", "truncate", fmt.Sprintf("%d of %d bytes, then sever", keep, len(p))) {
+				c.wfaults++
+				n, _ := c.Conn.Write(p[:keep])
+				c.sever()
+				return n, ErrTripped
+			}
+		case r < c.plan.Drop+c.plan.Dup+c.plan.Truncate+c.plan.Flip:
+			if len(p) > 0 {
+				i := c.wrng.Intn(len(p))
+				bit := byte(1 << c.wrng.Intn(8))
+				if c.in.take("conn", c.name, "write", "flip", fmt.Sprintf("bit %02x at byte %d of %d", bit, i, len(p))) {
+					c.wfaults++
+					corrupted := make([]byte, len(p))
+					copy(corrupted, p)
+					corrupted[i] ^= bit
+					return c.Conn.Write(corrupted)
+				}
+			}
+		case r < c.plan.Drop+c.plan.Dup+c.plan.Truncate+c.plan.Flip+c.plan.Delay:
+			d := time.Duration(c.wrng.Int63n(int64(c.plan.maxDelay()) + 1))
+			if c.in.take("conn", c.name, "write", "delay", d.String()) {
+				c.wfaults++
+				time.Sleep(d)
+			}
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// Read delegates, then applies the read-side schedule to the delivered
+// bytes.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.tripped.Load() {
+		return 0, ErrTripped
+	}
+	n, err := c.Conn.Read(p)
+	if err != nil || n == 0 {
+		return n, err
+	}
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.rfaults < c.plan.readBudget() {
+		r := c.rrng.Float64()
+		switch {
+		case r < c.plan.ReadFlip:
+			i := c.rrng.Intn(n)
+			bit := byte(1 << c.rrng.Intn(8))
+			if c.in.take("conn", c.name, "read", "flip", fmt.Sprintf("bit %02x at byte %d of %d", bit, i, n)) {
+				c.rfaults++
+				p[i] ^= bit
+			}
+		case r < c.plan.ReadFlip+c.plan.ReadSever:
+			if c.in.take("conn", c.name, "read", "sever", fmt.Sprintf("%d bytes discarded, then sever", n)) {
+				c.rfaults++
+				c.sever()
+				return 0, ErrTripped
+			}
+		case r < c.plan.ReadFlip+c.plan.ReadSever+c.plan.ReadDelay:
+			d := time.Duration(c.rrng.Int63n(int64(c.plan.maxDelay()) + 1))
+			if c.in.take("conn", c.name, "read", "delay", d.String()) {
+				c.rfaults++
+				time.Sleep(d)
+			}
+		}
+	}
+	return n, nil
+}
+
+// Listener wraps ln so every accepted connection is fault-injected
+// under the plan, named deterministically in accept order.
+func (in *Injector) Listener(ln net.Listener, plan ConnPlan) net.Listener {
+	return &listener{Listener: ln, in: in, plan: plan}
+}
+
+type listener struct {
+	net.Listener
+	in   *Injector
+	plan ConnPlan
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.WrapConn(c, l.in.nextConnName(), l.plan), nil
+}
+
+// Dialer returns a dial function (the cluster host seam) whose
+// connections are fault-injected under the plan, named by dial order
+// per target address.
+func (in *Injector) Dialer(plan ConnPlan) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	var d net.Dialer
+	var seq atomic.Int64
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		c, err := d.DialContext(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("dial-%s-%d", addr, seq.Add(1))
+		return in.WrapConn(c, name, plan), nil
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
-	"net"
 	"slices"
 	"strings"
 	"sync"
@@ -296,7 +295,7 @@ func TestCoordinatorCancelDuringSilentEnrollment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, err := net.Dial("tcp", coord.Addr())
+	raw, err := dialTimeout(coord.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,12 +309,7 @@ func TestCoordinatorCancelDuringSilentEnrollment(t *testing.T) {
 	}()
 	time.Sleep(20 * time.Millisecond) // let the coordinator accept and block in Recv
 	cancel()
-	select {
-	case err := <-errCh:
-		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("err = %v, want context.Canceled", err)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("coordinator did not unblock after cancellation")
+	if err := waitErr(t, errCh, testDialWait, "coordinator to unblock after cancellation"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -35,7 +35,17 @@ type CoordinatorConfig struct {
 	// worker after a host connection dies before giving up on the run.
 	// 0 (the default) fails fast: any host death aborts the run with a
 	// structured error naming the host and its last acknowledged round.
+	// A host that reconnects within the window is restored from its
+	// slot's checkpoint and replay log like any other replacement — the
+	// checkpoint itself is never invalidated by the death.
 	RejoinWait time.Duration
+	// FrameTimeout bounds each frame send and each wait for a host's
+	// next frame. 0 disables deadlines. Choose it above the slowest
+	// host's per-round compute, or healthy-but-slow workers read as
+	// dead. A tripped deadline is a connection failure, so with a
+	// RejoinWait budget it feeds the normal recovery path — wedged
+	// hosts become replaceable instead of hanging the run.
+	FrameTimeout time.Duration
 	// AllowJoin lets extra workers join a running cluster: a join
 	// triggers a partial repartition in which only the moved nodes are
 	// re-shipped. Replacement workers for dead hosts are always
@@ -252,6 +262,9 @@ func (c *Coordinator) acceptLoop(cs *connSet, joinCh chan<- joiner) {
 			return
 		}
 		conn := transport.NewConn(raw)
+		if c.cfg.FrameTimeout > 0 {
+			conn.SetTimeouts(c.cfg.FrameTimeout, c.cfg.FrameTimeout)
+		}
 		if !cs.add(conn) {
 			return
 		}

@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"log/slog"
-	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -22,7 +21,7 @@ import (
 // coordinator has committed that round's deliveries, before any done
 // report — the worst point for a SIGKILL. Returns nil once it has died.
 func crashingHost(addr string, killRound int) error {
-	raw, err := net.Dial("tcp", addr)
+	raw, err := dialTimeout(addr)
 	if err != nil {
 		return err
 	}

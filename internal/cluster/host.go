@@ -2,13 +2,27 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"log/slog"
+	"math/rand"
 	"net"
 	"slices"
+	"time"
 
+	"dkcore/internal/chaos"
 	"dkcore/internal/core"
 	"dkcore/internal/transport"
+)
+
+// Dial retry/backoff knobs: attempts back off exponentially from the
+// floor to the cap, each jittered to half-to-full value so a fleet of
+// hosts started together does not re-dial in lockstep.
+const (
+	dialBackoffFloor = 25 * time.Millisecond
+	dialBackoffCap   = 2 * time.Second
+	defaultDialWait  = 10 * time.Second
 )
 
 // HostConfig configures a host worker.
@@ -20,6 +34,30 @@ type HostConfig struct {
 	//
 	// Deprecated: remove from call sites; retained so they compile.
 	ListenAddr string
+	// DialTimeout bounds one dial attempt. 0 means 10s.
+	DialTimeout time.Duration
+	// RetryWait is how long the host keeps retrying transient failures
+	// — a coordinator not yet listening, a connection reset mid-run —
+	// with capped exponential backoff and jitter before giving up,
+	// measured from the last successful connection (or from start). 0,
+	// the default, disables retry entirely: the first failure is final,
+	// the long-standing one-shot behavior. A reconnecting host enrolls
+	// as a fresh joiner, so mid-run retry only helps a coordinator
+	// running with a RejoinWait budget to restore it.
+	RetryWait time.Duration
+	// FrameTimeout bounds each frame send and each wait for the next
+	// frame on the coordinator connection. 0 disables deadlines.
+	// Choose it above the longest legitimate quiet period — a full
+	// round's compute plus the coordinator's RejoinWait, during which a
+	// healthy host hears nothing.
+	FrameTimeout time.Duration
+	// Dialer overrides how the coordinator connection is established;
+	// nil means a net.Dialer with DialTimeout. Chaos tests inject
+	// fault-wrapped connections here.
+	Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Clock is the time source for retry backoff; nil means the wall
+	// clock. Chaos tests substitute a chaos.FakeClock.
+	Clock chaos.Clock
 	// Log receives structured runtime events (restores, reshapes).
 	// nil discards them.
 	Log *slog.Logger
@@ -48,13 +86,61 @@ type HostResult struct {
 // RunHost dials the coordinator and serves one protocol session:
 // handshake, configuration, restore, then ticks until stopped. It
 // returns after shipping the final result frame. Cancelling ctx tears
-// the connection down promptly and returns ctx.Err().
+// the connection down promptly and returns ctx.Err(). With a RetryWait
+// budget, transient failures — dialing before the coordinator listens,
+// losing the connection mid-run — are retried under capped exponential
+// backoff with jitter; the re-enrolled worker is restored by the
+// coordinator from its checkpoint and replay log, so a retried session
+// resumes rather than restarts the protocol.
 func RunHost(ctx context.Context, cfg HostConfig) (*HostResult, error) {
-	res, err := runHost(ctx, cfg)
-	if err != nil && ctx.Err() != nil {
-		return nil, ctx.Err()
+	clock := cfg.Clock
+	if clock == nil {
+		clock = chaos.Wall{}
 	}
-	return res, err
+	backoff := dialBackoffFloor
+	deadline := clock.Now().Add(cfg.RetryWait)
+	for {
+		res, connected, err := runHost(ctx, cfg)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if cfg.RetryWait <= 0 || !isTransient(err) {
+			return res, err
+		}
+		if connected {
+			// Real progress was made; a fresh failure gets a fresh budget.
+			deadline = clock.Now().Add(cfg.RetryWait)
+			backoff = dialBackoffFloor
+		}
+		wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		if clock.Now().Add(wait).After(deadline) {
+			return nil, fmt.Errorf("cluster: no coordinator session within %v: %w", cfg.RetryWait, err)
+		}
+		if serr := clock.Sleep(ctx, wait); serr != nil {
+			return nil, serr
+		}
+		backoff = min(backoff*2, dialBackoffCap)
+	}
+}
+
+// isTransient classifies a session failure: connection-level faults
+// (refused dials, resets, timeouts, torn frames) are worth retrying,
+// while protocol-level failures (version mismatch, hostile frames,
+// decode errors) are final no matter how long the retry budget is.
+func isTransient(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, chaos.ErrTripped) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
 }
 
 // hostRun is a host worker's session state.
@@ -90,40 +176,55 @@ func (h *hostRun) owner(u int) int {
 	return u % h.baseHosts
 }
 
-func runHost(ctx context.Context, cfg HostConfig) (*HostResult, error) {
+// runHost runs one session attempt. connected reports whether the dial
+// succeeded — the retry loop's signal that the coordinator is reachable
+// and a failure deserves a fresh budget.
+func runHost(ctx context.Context, cfg HostConfig) (res *HostResult, connected bool, err error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	log := cfg.Log
 	if log == nil {
 		log = slog.New(discardHandler{})
 	}
-	raw, err := net.Dial("tcp", cfg.CoordinatorAddr)
+	dial := cfg.Dialer
+	if dial == nil {
+		timeout := cfg.DialTimeout
+		if timeout <= 0 {
+			timeout = defaultDialWait
+		}
+		d := &net.Dialer{Timeout: timeout}
+		dial = d.DialContext
+	}
+	raw, err := dial(ctx, "tcp", cfg.CoordinatorAddr)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: %w", err)
+		return nil, false, fmt.Errorf("cluster: %w", err)
 	}
 	conn := transport.NewConn(raw)
+	if cfg.FrameTimeout > 0 {
+		conn.SetTimeouts(cfg.FrameTimeout, cfg.FrameTimeout)
+	}
 	defer conn.Close()
 	stopWatch := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stopWatch()
 
 	h := &hostRun{conn: conn, log: log, res: &HostResult{}}
 	if err := h.handshake(); err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	if err := h.configure(); err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	if err := h.restore(); err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	if err := conn.Send(frameReady, nil); err != nil {
-		return nil, fmt.Errorf("cluster: ready: %w", err)
+		return nil, true, fmt.Errorf("cluster: ready: %w", err)
 	}
 	if err := h.serve(); err != nil {
-		return nil, err
+		return nil, true, err
 	}
-	return h.res, nil
+	return h.res, true, nil
 }
 
 func (h *hostRun) handshake() error {

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dkcore/internal/chaos"
+	"dkcore/internal/gen"
+	"dkcore/internal/kcore"
+	"dkcore/internal/transport"
+)
+
+// TestHostRetriesUntilCoordinatorUp starts the workers before anything
+// is listening on the coordinator address — the classic deployment race
+// that used to fail on the first refused dial. With a RetryWait budget
+// the hosts must back off, keep dialing, attach once the coordinator
+// appears, and produce the exact sequential answer.
+func TestHostRetriesUntilCoordinatorUp(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 3, 11)
+	want := kcore.Decompose(g).CorenessValues()
+
+	// Reserve a loopback port, then free it: until the coordinator
+	// claims it below, every host dial gets connection-refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	hostErr := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := RunHost(ctx, HostConfig{
+				CoordinatorAddr: addr,
+				RetryWait:       20 * time.Second,
+			})
+			hostErr <- err
+		}()
+	}
+
+	// Let several dial attempts fail before the coordinator shows up.
+	time.Sleep(150 * time.Millisecond)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Graph:      g,
+		NumHosts:   2,
+		ListenAddr: addr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if herr := waitErr(t, hostErr, testDialWait, "host exit"); herr != nil {
+			t.Fatalf("host: %v", herr)
+		}
+	}
+	for u := range want {
+		if res.Coreness[u] != want[u] {
+			t.Fatalf("node %d: got %d want %d", u, res.Coreness[u], want[u])
+		}
+	}
+}
+
+// TestHostRetryGivesUpAfterWindow: with no coordinator ever appearing,
+// the retry loop must stop at the RetryWait deadline with a structured
+// error, not spin forever.
+func TestHostRetryGivesUpAfterWindow(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	_, err = RunHost(context.Background(), HostConfig{
+		CoordinatorAddr: addr,
+		RetryWait:       300 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("host attached to a coordinator that never existed")
+	}
+	if !strings.Contains(err.Error(), "no coordinator session within") {
+		t.Fatalf("unstructured give-up error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > testDialWait {
+		t.Fatalf("retry loop overshot its window: %v", elapsed)
+	}
+}
+
+// TestTransientErrorClassification pins the retry predicate: connection
+// faults (including injected chaos severs) are retryable; protocol and
+// decode failures are final — retrying a hostile frame cannot help.
+func TestTransientErrorClassification(t *testing.T) {
+	for _, err := range []error{
+		io.EOF,
+		fmt.Errorf("recv: %w", io.ErrUnexpectedEOF),
+		net.ErrClosed,
+		chaos.ErrTripped,
+		&net.OpError{Op: "dial", Err: errors.New("connection refused")},
+	} {
+		if !isTransient(err) {
+			t.Errorf("isTransient(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{
+		errors.New("cluster: decode config: bad host count"),
+		&protocolError{host: 1, cause: errors.New("frame 9, want tick")},
+		context.Canceled,
+	} {
+		if isTransient(err) {
+			t.Errorf("isTransient(%v) = true, want false", err)
+		}
+	}
+}
+
+// reshapeVictim serves the protocol like a normal host until the first
+// reshape frame arrives, then trips its chaos-wrapped connection — an
+// injected I/O failure exactly inside the membership barrier, the point
+// PROTOCOL.md documents as fatal by design.
+func reshapeVictim(addr string) error {
+	in := chaos.NewInjector(1, 8)
+	raw, err := dialTimeout(addr)
+	if err != nil {
+		return err
+	}
+	cc := in.WrapConn(raw, "reshape-victim", chaos.ConnPlan{})
+	conn := transport.NewConn(cc)
+	defer conn.Close()
+	h := &hostRun{conn: conn, res: &HostResult{}}
+	h.log = slog.New(discardHandler{})
+	if err := h.handshake(); err != nil {
+		return err
+	}
+	if err := h.configure(); err != nil {
+		return err
+	}
+	if err := h.restore(); err != nil {
+		return err
+	}
+	if err := conn.Send(frameReady, nil); err != nil {
+		return err
+	}
+	for {
+		typ, payload, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case frameTick:
+			if err := h.tick(payload); err != nil {
+				return err
+			}
+		case frameReshape:
+			cc.Trip()
+			return nil
+		case frameStop:
+			return fmt.Errorf("reshape victim outlived the run")
+		default:
+			return fmt.Errorf("unexpected frame %d", typ)
+		}
+	}
+}
+
+// TestReshapeIOErrorIsFatal covers the documented fatal-by-design path:
+// a connection failure during a reshape must abort the run with an
+// error naming the reshape — never hang, and never enter crash recovery
+// even with a generous RejoinWait budget, because a crash mid-
+// repartition leaves neither ownership table fully distributed.
+func TestReshapeIOErrorIsFatal(t *testing.T) {
+	g := gen.WorstCase(25)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Graph:      g,
+		NumHosts:   2,
+		RejoinWait: 30 * time.Second, // must NOT rescue a reshape fault
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Leave(1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	hostDone := make(chan error, 2)
+	go func() { hostDone <- reshapeVictim(coord.Addr()) }()
+	go func() {
+		_, err := RunHost(ctx, HostConfig{CoordinatorAddr: coord.Addr()})
+		hostDone <- err
+	}()
+	coordDone := make(chan error, 1)
+	go func() {
+		_, err := coord.RunContext(ctx)
+		coordDone <- err
+	}()
+	err = waitErr(t, coordDone, 2*testDialWait, "coordinator abort")
+	if err == nil {
+		t.Fatal("run survived an I/O failure mid-reshape")
+	}
+	if !strings.Contains(err.Error(), "reshape") {
+		t.Fatalf("abort does not name the reshape phase: %v", err)
+	}
+	// Both hosts must exit promptly once the coordinator tears down —
+	// the fatal path may not strand workers (their errors are whatever
+	// the teardown produced, so only liveness is asserted).
+	for i := 0; i < 2; i++ {
+		waitErr(t, hostDone, testDialWait, "host exit after abort")
+	}
+}

@@ -25,7 +25,9 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
+	"dkcore/internal/chaos"
 	"dkcore/internal/graph"
 )
 
@@ -117,12 +119,25 @@ func LoadSNAPFile(path string, opt LoadOptions) (*SNAPGraph, error) {
 	return sg, nil
 }
 
+// Retry policy for downloads. SNAP's web server throttles and
+// occasionally sheds load, so transient failures (connection errors,
+// 5xx, 429, 408) are retried with doubling backoff; permanent failures
+// (404 and other 4xx) abort immediately. Package variables rather than
+// constants so tests can shrink the schedule and inject a fake clock.
+var (
+	fetchClock    chaos.Clock = chaos.Wall{}
+	fetchAttempts             = 4
+	fetchBackoff              = 500 * time.Millisecond
+)
+
 // FetchSNAP returns the path of the cached download for a registry key,
 // fetching it first when absent. The cache layout is one
 // "<key>.txt.gz" file per dataset under cacheDir. A cached file is
 // served without touching the network; a miss downloads only when
 // DKCORE_SNAP_FETCH=1, and otherwise returns ErrFetchDisabled so
 // offline environments (CI, tests) fail fast with a clear reason.
+// Transient download failures are retried with doubling backoff under
+// ctx; permanent HTTP errors are not.
 func FetchSNAP(ctx context.Context, key, cacheDir string) (string, error) {
 	url, ok := snapURLs[key]
 	if !ok {
@@ -138,36 +153,65 @@ func FetchSNAP(ctx context.Context, key, cacheDir string) (string, error) {
 	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
 		return "", fmt.Errorf("dataset: %w", err)
 	}
+	backoff := fetchBackoff
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		retryable, err := downloadOnce(ctx, key, url, path, cacheDir)
+		if err == nil {
+			return path, nil
+		}
+		lastErr = err
+		if !retryable {
+			return "", err
+		}
+		if attempt >= fetchAttempts {
+			return "", fmt.Errorf("dataset: fetch %s failed after %d attempts: %w", key, fetchAttempts, lastErr)
+		}
+		if serr := fetchClock.Sleep(ctx, backoff); serr != nil {
+			return "", fmt.Errorf("dataset: fetch %s: %w (last error: %v)", key, serr, lastErr)
+		}
+		backoff *= 2
+	}
+}
+
+// downloadOnce performs a single download attempt into a fresh temp
+// file, renamed into place only on success so an interrupted fetch
+// never leaves a truncated file that a later run would trust. The bool
+// reports whether the failure is worth retrying.
+func downloadOnce(ctx context.Context, key, url, path, cacheDir string) (bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return "", fmt.Errorf("dataset: %w", err)
+		return false, fmt.Errorf("dataset: %w", err)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return "", fmt.Errorf("dataset: fetch %s: %w", key, err)
+		// Connection-level failure: server not up yet, reset, timeout.
+		return ctx.Err() == nil, fmt.Errorf("dataset: fetch %s: %w", key, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("dataset: fetch %s: HTTP %s", key, resp.Status)
+		retryable := resp.StatusCode >= 500 ||
+			resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusRequestTimeout
+		return retryable, fmt.Errorf("dataset: fetch %s: HTTP %s", key, resp.Status)
 	}
-	// Download to a temp file and rename, so an interrupted fetch never
-	// leaves a truncated file that a later run would trust.
 	tmp, err := os.CreateTemp(cacheDir, key+".part-*")
 	if err != nil {
-		return "", fmt.Errorf("dataset: %w", err)
+		return false, fmt.Errorf("dataset: %w", err)
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := io.Copy(tmp, resp.Body); err != nil {
 		tmp.Close()
-		return "", fmt.Errorf("dataset: fetch %s: %w", key, err)
+		// A mid-body failure is a dropped connection, not a verdict.
+		return ctx.Err() == nil, fmt.Errorf("dataset: fetch %s: %w", key, err)
 	}
 	if err := tmp.Close(); err != nil {
-		return "", fmt.Errorf("dataset: %w", err)
+		return false, fmt.Errorf("dataset: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return "", fmt.Errorf("dataset: %w", err)
+		return false, fmt.Errorf("dataset: %w", err)
 	}
-	return path, nil
+	return false, nil
 }
 
 // OpenSNAP is the one-call flow: resolve the cached (or freshly

@@ -19,14 +19,23 @@ package oocore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 
+	"dkcore/internal/chaos"
 	"dkcore/internal/core"
 	"dkcore/internal/transport"
 )
+
+// ErrCorrupt is wrapped by every load-path failure that means a spill
+// file's bytes are wrong (bad magic, wrong block, checksum or decode
+// failure, torn frame) rather than the filesystem failing. The engine
+// treats ErrCorrupt as recoverable — quarantine the file and reconverge
+// from neighbors — while real I/O errors abort the run.
+var ErrCorrupt = errors.New("oocore: corrupt spill file")
 
 // Spill-file framing. Block and estimate files carry a magic tag, the
 // block ID, a payload length, and a CRC32 so a load can verify it is
@@ -47,12 +56,19 @@ const (
 // above it.
 type Store struct {
 	dir string
+	fs  chaos.FS
 	enc []byte // reused frame-assembly buffer for every write path
 	pay []byte // reused payload buffer (must not alias enc)
 }
 
-// NewStore returns a Store rooted at dir, which must already exist.
-func NewStore(dir string) *Store { return &Store{dir: dir} }
+// NewStore returns a Store rooted at dir, which must already exist,
+// backed by the real filesystem.
+func NewStore(dir string) *Store { return NewStoreFS(dir, chaos.OS{}) }
+
+// NewStoreFS returns a Store rooted at dir whose I/O goes through fs —
+// the seam chaos tests use to inject short writes, EIO, and
+// crash-at-byte-N kill points.
+func NewStoreFS(dir string, fs chaos.FS) *Store { return &Store{dir: dir, fs: fs} }
 
 // Dir returns the spill directory this store writes under.
 func (st *Store) Dir() string { return st.dir }
@@ -83,31 +99,59 @@ func (st *Store) framed(magic string, id int, payload []byte) []byte {
 }
 
 // unframe verifies a spill file's header against the expected magic and
-// block ID and returns its checked payload.
+// block ID and returns its checked payload. Every failure wraps
+// ErrCorrupt: the bytes are wrong, not the filesystem.
 func unframe(data []byte, magic string, id int) ([]byte, error) {
 	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
-		return nil, fmt.Errorf("oocore: block %d: bad magic", id)
+		return nil, fmt.Errorf("oocore: block %d: bad magic: %w", id, ErrCorrupt)
 	}
 	data = data[len(magic):]
 	gotID, n := binary.Uvarint(data)
 	if n <= 0 || gotID != uint64(id) {
-		return nil, fmt.Errorf("oocore: block %d: header names block %d", id, gotID)
+		return nil, fmt.Errorf("oocore: block %d: header names block %d: %w", id, gotID, ErrCorrupt)
 	}
 	data = data[n:]
 	plen, n := binary.Uvarint(data)
 	if n <= 0 {
-		return nil, fmt.Errorf("oocore: block %d: bad payload length", id)
+		return nil, fmt.Errorf("oocore: block %d: bad payload length: %w", id, ErrCorrupt)
 	}
 	data = data[n:]
 	if len(data) < 4 || plen != uint64(len(data)-4) {
-		return nil, fmt.Errorf("oocore: block %d: payload length %d does not match file", id, plen)
+		return nil, fmt.Errorf("oocore: block %d: payload length %d does not match file: %w", id, plen, ErrCorrupt)
 	}
 	want := binary.LittleEndian.Uint32(data[:4])
 	payload := data[4:]
 	if got := crc32.ChecksumIEEE(payload); got != want {
-		return nil, fmt.Errorf("oocore: block %d: checksum mismatch (file %08x, payload %08x)", id, want, got)
+		return nil, fmt.Errorf("oocore: block %d: checksum mismatch (file %08x, payload %08x): %w", id, want, got, ErrCorrupt)
 	}
 	return payload, nil
+}
+
+// writeFileAtomic persists data at path through a same-directory temp
+// file: write, fsync, close, rename. A crash at any byte leaves either
+// the previous complete file or a stray .tmp that Sweep removes — never
+// a torn file at the final path.
+func (st *Store) writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := st.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		st.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		st.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		st.fs.Remove(tmp)
+		return err
+	}
+	return st.fs.Rename(tmp, path)
 }
 
 // WriteBlock spills a contiguous partition: the count nodes
@@ -116,7 +160,7 @@ func unframe(data []byte, magic string, id int) ([]byte, error) {
 func (st *Store) WriteBlock(id, first, count int, off, flat []int) (int64, error) {
 	payload := transport.EncodeCSRBlock(first, count, off, flat)
 	buf := st.framed(blockMagic, id, payload)
-	if err := os.WriteFile(st.blockPath(id), buf, 0o644); err != nil {
+	if err := st.writeFileAtomic(st.blockPath(id), buf); err != nil {
 		return 0, fmt.Errorf("oocore: write block %d: %w", id, err)
 	}
 	return int64(len(buf)), nil
@@ -127,7 +171,7 @@ func (st *Store) WriteBlock(id, first, count int, off, flat []int) (int64, error
 // the bytes read. Verification covers the magic, the embedded block ID,
 // the CRC32, and the CSR decode itself.
 func (st *Store) LoadBlock(id int) (first int, off, flat []int, bytes int64, err error) {
-	data, err := os.ReadFile(st.blockPath(id))
+	data, err := st.fs.ReadFile(st.blockPath(id))
 	if err != nil {
 		return 0, nil, nil, 0, fmt.Errorf("oocore: load block %d: %w", id, err)
 	}
@@ -137,7 +181,7 @@ func (st *Store) LoadBlock(id int) (first int, off, flat []int, bytes int64, err
 	}
 	first, off, flat, err = transport.DecodeCSRBlock(payload)
 	if err != nil {
-		return 0, nil, nil, 0, fmt.Errorf("oocore: block %d: %w", id, err)
+		return 0, nil, nil, 0, fmt.Errorf("oocore: block %d: %v: %w", id, err, ErrCorrupt)
 	}
 	return first, off, flat, int64(len(data)), nil
 }
@@ -154,7 +198,7 @@ func (st *Store) LoadBlock(id int) (first int, off, flat []int, bytes int64, err
 func (st *Store) WriteCheckpoint(id int, ckpt core.Batch) (int64, error) {
 	st.pay = transport.AppendBatch(st.pay[:0], ckpt)
 	buf := st.framed(estMagic, id, st.pay)
-	if err := os.WriteFile(st.estPath(id), buf, 0o644); err != nil {
+	if err := st.writeFileAtomic(st.estPath(id), buf); err != nil {
 		return 0, fmt.Errorf("oocore: write checkpoint %d: %w", id, err)
 	}
 	return int64(len(buf)), nil
@@ -166,7 +210,7 @@ func (st *Store) WriteCheckpoint(id int, ckpt core.Batch) (int64, error) {
 // initialized state rebuilds the evicted block's exact cascade state
 // (see the checkpoint/restore contract in internal/core).
 func (st *Store) LoadCheckpoint(id int) (ckpt core.Batch, bytes int64, ok bool, err error) {
-	data, err := os.ReadFile(st.estPath(id))
+	data, err := st.fs.ReadFile(st.estPath(id))
 	if os.IsNotExist(err) {
 		return nil, 0, false, nil
 	}
@@ -179,9 +223,29 @@ func (st *Store) LoadCheckpoint(id int) (ckpt core.Batch, bytes int64, ok bool, 
 	}
 	ckpt, err = transport.DecodeBatch(payload)
 	if err != nil {
-		return nil, 0, false, fmt.Errorf("oocore: checkpoint %d: %w", id, err)
+		return nil, 0, false, fmt.Errorf("oocore: checkpoint %d: %v: %w", id, err, ErrCorrupt)
 	}
 	return ckpt, int64(len(data)), true, nil
+}
+
+// QuarantineCheckpoint moves block id's checkpoint file aside under a
+// .torn suffix so it stops poisoning loads but stays on disk for
+// inspection. A missing checkpoint is a no-op.
+func (st *Store) QuarantineCheckpoint(id int) error {
+	path := st.estPath(id)
+	err := st.fs.Rename(path, path+".torn")
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		// As a last resort drop the file: recovery must not be blocked
+		// by the quarantine bookkeeping itself.
+		if rmErr := st.fs.Remove(path); rmErr == nil || os.IsNotExist(rmErr) {
+			return nil
+		}
+		return fmt.Errorf("oocore: quarantine checkpoint %d: %w", id, err)
+	}
+	return nil
 }
 
 // AppendFrontier appends one estimate batch to block id's frontier file
@@ -194,7 +258,7 @@ func (st *Store) AppendFrontier(id int, batch core.Batch) (int64, error) {
 	st.pay = payload
 	var hdr [binary.MaxVarintLen64]byte
 	hn := binary.PutUvarint(hdr[:], uint64(len(payload)))
-	f, err := os.OpenFile(st.frontierPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := st.fs.OpenFile(st.frontierPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("oocore: append frontier %d: %w", id, err)
 	}
@@ -206,6 +270,10 @@ func (st *Store) AppendFrontier(id int, batch core.Batch) (int64, error) {
 			f.Close()
 			return written, fmt.Errorf("oocore: append frontier %d: %w", id, err)
 		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return written, fmt.Errorf("oocore: append frontier %d: %w", id, err)
 	}
 	if err := f.Close(); err != nil {
 		return written, fmt.Errorf("oocore: append frontier %d: %w", id, err)
@@ -221,7 +289,7 @@ func (st *Store) AppendFrontier(id int, batch core.Batch) (int64, error) {
 // inspection.
 func (st *Store) DrainFrontier(id int, apply func(core.Batch)) (int64, error) {
 	path := st.frontierPath(id)
-	data, err := os.ReadFile(path)
+	data, err := st.fs.ReadFile(path)
 	if os.IsNotExist(err) {
 		return 0, nil
 	}
@@ -233,16 +301,16 @@ func (st *Store) DrainFrontier(id int, apply func(core.Batch)) (int64, error) {
 	for len(data) > 0 {
 		flen, n := binary.Uvarint(data)
 		if n <= 0 || flen > uint64(len(data)-n) {
-			return 0, fmt.Errorf("oocore: frontier %d: torn frame", id)
+			return 0, fmt.Errorf("oocore: frontier %d: torn frame: %w", id, ErrCorrupt)
 		}
 		batch, err := transport.DecodeBatch(data[n : n+int(flen)])
 		if err != nil {
-			return 0, fmt.Errorf("oocore: frontier %d: %w", id, err)
+			return 0, fmt.Errorf("oocore: frontier %d: %v: %w", id, err, ErrCorrupt)
 		}
 		batches = append(batches, batch)
 		data = data[n+int(flen):]
 	}
-	if err := os.Remove(path); err != nil {
+	if err := st.fs.Remove(path); err != nil {
 		return 0, fmt.Errorf("oocore: drain frontier %d: %w", id, err)
 	}
 	for _, b := range batches {
@@ -256,7 +324,7 @@ func (st *Store) DrainFrontier(id int, apply func(core.Batch)) (int64, error) {
 // budget. Estimate and frontier files are excluded: they are transient
 // working state, not the graph's resident form.
 func (st *Store) BlockStoreBytes() (int64, error) {
-	entries, err := os.ReadDir(st.dir)
+	entries, err := st.fs.ReadDir(st.dir)
 	if err != nil {
 		return 0, err
 	}
@@ -272,4 +340,83 @@ func (st *Store) BlockStoreBytes() (int64, error) {
 		total += info.Size()
 	}
 	return total, nil
+}
+
+// Sweep is the startup recovery pass over the spill directory: stray
+// .tmp files (a crash between write and rename) are deleted, and every
+// .blk, .est, and .dlt file is verified end to end — frame header,
+// checksum, and payload decode. Torn files are quarantined under a
+// .torn suffix so later loads see a clean miss and fall back to replay
+// (rebuild from the graph, reconverge from neighbors) instead of
+// reading garbage. It returns the quarantined file names.
+func (st *Store) Sweep() ([]string, error) {
+	entries, err := st.fs.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("oocore: sweep: %w", err)
+	}
+	var quarantined []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		ext := filepath.Ext(name)
+		if ext == ".tmp" {
+			if err := st.fs.Remove(filepath.Join(st.dir, name)); err != nil {
+				return quarantined, fmt.Errorf("oocore: sweep: %w", err)
+			}
+			continue
+		}
+		var id int
+		if n, err := fmt.Sscanf(name, "block-%d", &id); n != 1 || err != nil {
+			continue
+		}
+		var verr error
+		switch ext {
+		case ".blk":
+			_, _, _, _, verr = st.LoadBlock(id)
+		case ".est":
+			_, _, _, verr = st.LoadCheckpoint(id)
+		case ".dlt":
+			verr = st.verifyFrontier(id)
+		default:
+			continue
+		}
+		if verr == nil {
+			continue
+		}
+		if !errors.Is(verr, ErrCorrupt) {
+			return quarantined, fmt.Errorf("oocore: sweep: %w", verr)
+		}
+		path := filepath.Join(st.dir, name)
+		if err := st.fs.Rename(path, path+".torn"); err != nil {
+			return quarantined, fmt.Errorf("oocore: sweep: %w", err)
+		}
+		quarantined = append(quarantined, name)
+	}
+	return quarantined, nil
+}
+
+// verifyFrontier decodes every frame of block id's frontier file
+// without consuming it, reporting ErrCorrupt-wrapped failures exactly
+// as DrainFrontier would.
+func (st *Store) verifyFrontier(id int) error {
+	data, err := st.fs.ReadFile(st.frontierPath(id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("oocore: frontier %d: %w", id, err)
+	}
+	for len(data) > 0 {
+		flen, n := binary.Uvarint(data)
+		if n <= 0 || flen > uint64(len(data)-n) {
+			return fmt.Errorf("oocore: frontier %d: torn frame: %w", id, ErrCorrupt)
+		}
+		if _, err := transport.DecodeBatch(data[n : n+int(flen)]); err != nil {
+			return fmt.Errorf("oocore: frontier %d: %v: %w", id, err, ErrCorrupt)
+		}
+		data = data[n+int(flen):]
+	}
+	return nil
 }

@@ -2,9 +2,11 @@ package oocore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 
+	"dkcore/internal/chaos"
 	"dkcore/internal/core"
 	"dkcore/internal/graph"
 )
@@ -25,6 +27,7 @@ type Options struct {
 	spillDir     string
 	blockSize    int
 	maxPasses    int
+	fs           chaos.FS
 }
 
 // Option mutates Options; pass to Decompose.
@@ -53,6 +56,13 @@ func WithBlockSize(nodes int) Option {
 	return func(o *Options) { o.blockSize = nodes }
 }
 
+// WithFS routes the run's spill I/O through fs. The default is the real
+// filesystem; chaos tests substitute a chaos.FaultFS to exercise short
+// writes, injected EIO, torn renames, and crash-at-byte-N kill points.
+func WithFS(fs chaos.FS) Option {
+	return func(o *Options) { o.fs = fs }
+}
+
 // Result reports a completed out-of-core decomposition.
 type Result struct {
 	// Coreness[u] is node u's exact coreness.
@@ -70,6 +80,14 @@ type Result struct {
 	// BlockStoreBytes is the on-disk footprint of the spilled CSR
 	// blocks — what the memory gate compares against the cache budget.
 	BlockStoreBytes int64
+	// Recovered counts blocks whose persisted checkpoint was found torn
+	// or missing and that the engine rebuilt in place: quarantine the
+	// file, reinitialize from the spilled graph, and have neighbor
+	// blocks re-ship their borders. Monotonicity makes the rebuilt run
+	// converge to the same coreness (estimates restart at an
+	// overestimate and only descend), so a nonzero count costs extra
+	// passes, never correctness.
+	Recovered int
 	// Cache holds the block cache's hit/miss/eviction/spill counters.
 	Cache CacheStats
 }
@@ -92,6 +110,13 @@ type engine struct {
 	// pendingDisk[b] counts estimates waiting in block b's on-disk
 	// frontier file — the scheduler's spilled-block priority.
 	pendingDisk []int
+	// refresh[b] lists torn blocks whose borders block b must re-ship
+	// at its next load — the checkpoint-loss recovery protocol (see
+	// core.MarkBorderChanged). Resident blocks are marked immediately;
+	// this is the deferred path for spilled ones.
+	refresh [][]int
+	// recovered counts in-place checkpoint recoveries (Result.Recovered).
+	recovered int
 
 	passes        int
 	maxPasses     int
@@ -116,9 +141,12 @@ func (e *engine) blockRange(b int) (lo, hi int) {
 // is identical to the sequential engine's; scheduling affects only how
 // much disk traffic the fixpoint costs.
 func Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, error) {
-	o := Options{memoryBudget: DefaultMemoryBudget, blockSize: DefaultBlockSize}
+	o := Options{memoryBudget: DefaultMemoryBudget, blockSize: DefaultBlockSize, fs: chaos.OS{}}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.fs == nil {
+		o.fs = chaos.OS{}
 	}
 	if o.memoryBudget <= 0 {
 		return nil, fmt.Errorf("oocore: memory budget must be positive, got %d", o.memoryBudget)
@@ -148,11 +176,12 @@ func Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, er
 		n:           n,
 		per:         per,
 		blocks:      blocks,
-		store:       NewStore(dir),
+		store:       NewStoreFS(dir, o.fs),
 		cache:       newCache(o.memoryBudget, stats),
 		stats:       stats,
 		initialized: make([]bool, blocks),
 		pendingDisk: make([]int, blocks),
+		refresh:     make([][]int, blocks),
 		maxPasses:   o.maxPasses,
 	}
 	if e.maxPasses == 0 {
@@ -163,16 +192,39 @@ func Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, er
 		e.maxPasses = 64*blocks + 8*g.NumArcs() + 1024
 	}
 
+	// The run's directory is freshly created, so the sweep is normally a
+	// no-op; it exists so a store pointed at a reused or crash-scarred
+	// directory starts from verified files (torn ones quarantined, stray
+	// .tmp removed) instead of reading garbage.
+	if _, err := e.store.Sweep(); err != nil {
+		return nil, err
+	}
 	storeBytes, err := e.spill(ctx, g)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.run(ctx); err != nil {
-		return nil, err
-	}
-	coreness, err := e.gather()
-	if err != nil {
-		return nil, err
+
+	// Gather-time recovery loop: a torn checkpoint discovered while
+	// assembling the final vector (torn after the block's last eviction,
+	// so no load ever saw it) is quarantined, the block is scheduled for
+	// a from-scratch rebuild, and the cascade reconverges. Bounded: each
+	// retry consumes one injected corruption, and corruption sources are
+	// finite (a fault budget in tests, a fixed set of torn files on a
+	// real disk).
+	var coreness []int
+	for attempt := 0; ; attempt++ {
+		if err := e.run(ctx); err != nil {
+			return nil, err
+		}
+		var torn *tornCheckpointError
+		coreness, err = e.gather()
+		if err == nil {
+			break
+		}
+		if !errors.As(err, &torn) || attempt >= 2*e.blocks+8 {
+			return nil, err
+		}
+		e.recoverGather(torn.block)
 	}
 
 	if cleanup != nil {
@@ -189,6 +241,7 @@ func Decompose(ctx context.Context, g *graph.Graph, opts ...Option) (*Result, er
 		EstimatesSent:   e.estimatesSent,
 		Batches:         e.batches,
 		BlockStoreBytes: storeBytes,
+		Recovered:       e.recovered,
 		Cache:           *stats,
 	}, nil
 }
@@ -268,21 +321,43 @@ func (e *engine) load(id int) (*entry, error) {
 	dirty := false
 	if e.initialized[id] {
 		ckpt, cb, ok, err := e.store.LoadCheckpoint(id)
-		if err != nil {
+		switch {
+		case err != nil && errors.Is(err, ErrCorrupt), err == nil && !ok:
+			// The persisted checkpoint is torn (a crash mid-write on a
+			// non-atomic filesystem) or gone. Recoverable: quarantine the
+			// file and fall through with first-build state — estimates
+			// reseeded from degrees are an overestimate, and Apply only
+			// lowers, so reconvergence lands on the same coreness. The
+			// irreplaceable piece is the lost external knowledge, which
+			// neighbor blocks re-ship via the refresh marks.
+			if qerr := e.store.QuarantineCheckpoint(id); qerr != nil {
+				return nil, qerr
+			}
+			e.recovered++
+			e.refreshOthers(id)
+			dirty = true
+		case err != nil:
 			return nil, err
+		default:
+			e.stats.SpillBytesRead += cb
+			s.Apply(ckpt)
+			s.ImproveIfDirty()
+			s.ResetChanged()
+			for _, torn := range e.refresh[id] {
+				s.MarkBorderChanged(torn)
+			}
+			e.refresh[id] = nil
 		}
-		if !ok {
-			return nil, fmt.Errorf("oocore: block %d: initialized but no persisted checkpoint", id)
-		}
-		e.stats.SpillBytesRead += cb
-		s.Apply(ckpt)
-		s.ImproveIfDirty()
-		s.ResetChanged()
 	} else {
 		// First build: keep InitEstimates' blanket marks so the initial
 		// border ships on the first collect, and treat the block as dirty
 		// so eviction persists the seed state.
 		dirty = true
+	}
+	if dirty {
+		// Blanket marks re-ship the whole border; deferred refresh marks
+		// would be redundant.
+		e.refresh[id] = nil
 	}
 	ent := &entry{id: id, state: s, bytes: s.MemoryFootprint(), dirty: dirty, ref: true}
 	ent.pinned = true
@@ -318,6 +393,57 @@ func (e *engine) evict(ent *entry) error {
 	}
 	return nil
 }
+
+// refreshOthers runs the checkpoint-loss recovery protocol for torn
+// block torn: every other block must re-ship its border with the torn
+// block, reconstructing the external knowledge the torn checkpoint
+// carried (neighbors never re-ship spontaneously — an estimate already
+// delivered is an estimate never sent again). Resident blocks are
+// marked now and scheduled via their pending counter; spilled blocks
+// get a deferred refresh mark applied at their next load plus a
+// frontier-priority bump so the scheduler gets them there.
+func (e *engine) refreshOthers(torn int) {
+	for b := 0; b < e.blocks; b++ {
+		if b == torn {
+			continue
+		}
+		if ent := e.cache.peek(b); ent != nil {
+			if n := ent.state.MarkBorderChanged(torn); n > 0 {
+				ent.pendingMem += n
+			}
+			continue
+		}
+		if e.initialized[b] {
+			e.refresh[b] = append(e.refresh[b], torn)
+			e.pendingDisk[b]++
+		}
+	}
+}
+
+// recoverGather handles a torn checkpoint discovered at gather time:
+// quarantine it, demote the block to uninitialized so its next load is
+// a from-scratch rebuild (overestimates only — monotone-safe), bump its
+// scheduler priority, and ask every neighbor to re-ship its border.
+func (e *engine) recoverGather(block int) {
+	// Quarantine is best-effort here: if the rename itself fails the
+	// rebuild still works, because an uninitialized block never reads
+	// its checkpoint.
+	_ = e.store.QuarantineCheckpoint(block)
+	e.recovered++
+	e.initialized[block] = false
+	e.pendingDisk[block]++
+	e.refreshOthers(block)
+}
+
+// tornCheckpointError marks a gather-time ErrCorrupt with the block
+// whose checkpoint is torn, so Decompose can recover and reconverge.
+type tornCheckpointError struct {
+	block int
+	err   error
+}
+
+func (t *tornCheckpointError) Error() string { return t.err.Error() }
+func (t *tornCheckpointError) Unwrap() error { return t.err }
 
 // route delivers one collection's outbound batches: direct Apply into
 // resident destinations, frontier-file append for spilled ones.
@@ -443,11 +569,15 @@ func (e *engine) gather() ([]int, error) {
 			continue
 		}
 		ckpt, nb, ok, err := e.store.LoadCheckpoint(b)
+		if err != nil && errors.Is(err, ErrCorrupt) {
+			return nil, &tornCheckpointError{block: b, err: err}
+		}
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
-			return nil, fmt.Errorf("oocore: block %d evicted without persisted checkpoint", b)
+			return nil, &tornCheckpointError{block: b,
+				err: fmt.Errorf("oocore: block %d evicted without persisted checkpoint: %w", b, ErrCorrupt)}
 		}
 		e.stats.SpillBytesRead += nb
 		for _, m := range ckpt {

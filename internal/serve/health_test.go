@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dkcore"
+)
+
+// TestHealthzSplitDuringShutdown: after Shutdown begins, the liveness
+// probe must stay 200 (the process is deliberately draining — a restart
+// would lose in-flight work) while the readiness probe and the legacy
+// combined endpoint turn 503.
+func TestHealthzSplitDuringShutdown(t *testing.T) {
+	sess := testSession(t, pathGraph(t, 5))
+	s := New(sess)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/healthz", "/healthz/live", "/healthz/ready"} {
+		if resp := getJSON(t, srv, path, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s before shutdown: status %d", path, resp.StatusCode)
+		}
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The handler itself keeps running (httptest owns the listener);
+	// only the ready state flipped.
+	if resp := getJSON(t, srv, "/healthz/live", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz/live during drain: status %d, want 200", resp.StatusCode)
+	}
+	var ready struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error"`
+	}
+	if resp := getJSON(t, srv, "/healthz/ready", &ready); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz/ready during drain: status %d, want 503", resp.StatusCode)
+	}
+	if ready.OK || !strings.Contains(ready.Error, "shutting down") {
+		t.Fatalf("ready body does not explain the drain: %+v", ready)
+	}
+	if resp := getJSON(t, srv, "/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz during drain: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHealthzReadyLagBound: with WithReadyMaxLag set, readiness flips
+// to 503 exactly when the epoch lag exceeds the bound — an instance
+// whose writer has fallen behind sheds new traffic while staying live.
+func TestHealthzReadyLagBound(t *testing.T) {
+	sess := testSession(t, pathGraph(t, 5))
+	s := New(sess, WithReadyMaxLag(5))
+	lag := int64(0)
+	s.sessionStats = func() dkcore.SessionStats {
+		st := sess.Stats()
+		st.Enqueued = st.Applied + lag
+		return st
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		lag    int64
+		status int
+	}{
+		{0, http.StatusOK},
+		{5, http.StatusOK}, // at the bound is still ready
+		{6, http.StatusServiceUnavailable},
+		{1000, http.StatusServiceUnavailable},
+	} {
+		lag = tc.lag
+		var body struct {
+			OK       bool   `json:"ok"`
+			EpochLag int64  `json:"epoch_lag"`
+			MaxLag   int64  `json:"max_lag"`
+			Error    string `json:"error"`
+		}
+		resp := getJSON(t, srv, "/healthz/ready", &body)
+		if resp.StatusCode != tc.status {
+			t.Fatalf("lag %d: status %d, want %d", tc.lag, resp.StatusCode, tc.status)
+		}
+		if body.EpochLag != tc.lag || body.MaxLag != 5 {
+			t.Fatalf("lag %d: body reports lag %d bound %d", tc.lag, body.EpochLag, body.MaxLag)
+		}
+		if tc.status != http.StatusOK && !strings.Contains(body.Error, "exceeds bound") {
+			t.Fatalf("lag %d: unstructured error %q", tc.lag, body.Error)
+		}
+		// Liveness must never track lag.
+		if resp := getJSON(t, srv, "/healthz/live", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("lag %d: /healthz/live status %d", tc.lag, resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthzReadyNoBoundIgnoresLag: without WithReadyMaxLag, even an
+// absurd lag keeps the server ready — lag shedding is opt-in.
+func TestHealthzReadyNoBoundIgnoresLag(t *testing.T) {
+	sess := testSession(t, pathGraph(t, 5))
+	s := New(sess)
+	s.sessionStats = func() dkcore.SessionStats {
+		st := sess.Stats()
+		st.Enqueued = st.Applied + 1_000_000
+		return st
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	if resp := getJSON(t, srv, "/healthz/ready", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("unbounded lag flipped readiness: status %d", resp.StatusCode)
+	}
+}

@@ -29,8 +29,14 @@ const (
 //	GET  /kcore?k=2                k-core member list
 //	GET  /degeneracy               degeneracy (max coreness)
 //	GET  /stats                    serving counters
-//	GET  /healthz                  liveness + epoch lag (503 when shutting down)
+//	GET  /healthz                  legacy combined health (503 when shutting down)
+//	GET  /healthz/live             liveness: 200 while the process can answer at all
+//	GET  /healthz/ready            readiness: 503 during shutdown drain or excessive epoch lag
 //	POST /mutate[?wait=1]          JSON mutation batch
+//
+// Liveness and readiness are split so orchestrators can tell "restart
+// me" from "stop routing to me": a draining or lag-saturated server is
+// alive (no restart) but not ready (no new traffic).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/coreness", s.handleCoreness)
@@ -38,6 +44,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/degeneracy", s.handleDegeneracy)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/healthz/live", s.handleLive)
+	mux.HandleFunc("/healthz/ready", s.handleReady)
 	mux.HandleFunc("/mutate", s.handleMutate)
 	return mux
 }
@@ -137,7 +145,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	down := s.shutdown
 	s.mu.Unlock()
-	st := s.sess.Stats()
+	st := s.sessStats()
 	status := http.StatusOK
 	body := map[string]any{
 		"ok":          !down,
@@ -150,6 +158,56 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["error"] = "shutting down"
 	}
 	writeJSON(w, status, body)
+}
+
+// handleLive answers the liveness probe: the process is up and the
+// handler runs, so it always reports 200 — even mid-shutdown, when the
+// server is deliberately finishing in-flight work and a restart would
+// only lose it.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":    true,
+		"epoch": s.sess.CurrentEpoch().Seq(),
+	})
+}
+
+// handleReady answers the readiness probe: 503 while draining after
+// Shutdown, and 503 when the epoch lag exceeds the WithReadyMaxLag
+// bound — an overloaded writer should shed new traffic, not absorb it
+// ever later.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	s.mu.Lock()
+	down := s.shutdown
+	s.mu.Unlock()
+	st := s.sessStats()
+	lag := st.EpochLag()
+	body := map[string]any{
+		"ok":          true,
+		"epoch":       st.Epoch,
+		"queue_depth": st.QueueDepth,
+		"epoch_lag":   lag,
+	}
+	if s.readyMaxLag > 0 {
+		body["max_lag"] = s.readyMaxLag
+	}
+	switch {
+	case down:
+		body["ok"] = false
+		body["error"] = "shutting down"
+	case s.readyMaxLag > 0 && lag > s.readyMaxLag:
+		body["ok"] = false
+		body["error"] = fmt.Sprintf("epoch lag %d exceeds bound %d", lag, s.readyMaxLag)
+	default:
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, body)
 }
 
 // mutateRequest is the POST /mutate body: a batch of edge events with

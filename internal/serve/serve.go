@@ -26,7 +26,12 @@ import (
 // omitted), stop with Shutdown. The Server does not own the Session:
 // closing the session is the caller's job, after Shutdown.
 type Server struct {
-	sess *dkcore.Session
+	sess        *dkcore.Session
+	readyMaxLag int64
+	// sessionStats overrides s.sess.Stats() in health handlers; tests
+	// use it to pin an epoch lag that a live writer would erase before
+	// the probe could observe it. nil means the real session.
+	sessionStats func() dkcore.SessionStats
 
 	mu       sync.Mutex
 	httpSrv  *http.Server
@@ -37,9 +42,26 @@ type Server struct {
 	wg sync.WaitGroup // binary accept loop and per-connection handlers
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithReadyMaxLag bounds the epoch lag (accepted-but-unabsorbed
+// mutations) at which /healthz/ready still reports ready: a server
+// whose writer has fallen more than n events behind answers 503 so load
+// balancers route mutations elsewhere until it catches up. 0 (the
+// default) disables the bound — readiness then tracks only the
+// shutdown state.
+func WithReadyMaxLag(n int64) Option {
+	return func(s *Server) { s.readyMaxLag = n }
+}
+
 // New returns a Server over sess with no listeners attached.
-func New(sess *dkcore.Session) *Server {
-	return &Server{sess: sess, conns: make(map[*transport.Conn]struct{})}
+func New(sess *dkcore.Session, opts ...Option) *Server {
+	s := &Server{sess: sess, conns: make(map[*transport.Conn]struct{})}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // ListenHTTP starts serving the HTTP API on addr (e.g. "127.0.0.1:0")
@@ -156,6 +178,14 @@ type Stats struct {
 	Applied    int64  `json:"applied"`
 	Batches    int64  `json:"batches"`
 	EpochLag   int64  `json:"epoch_lag"`
+}
+
+// sessStats resolves the session-stats source for health handlers.
+func (s *Server) sessStats() dkcore.SessionStats {
+	if s.sessionStats != nil {
+		return s.sessionStats()
+	}
+	return s.sess.Stats()
 }
 
 func (s *Server) stats() Stats {

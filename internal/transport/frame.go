@@ -26,6 +26,7 @@ import (
 	"net"
 	"slices"
 	"sync"
+	"time"
 )
 
 // MaxFrameSize bounds a single frame's length field to keep a corrupted or
@@ -54,15 +55,48 @@ type Conn struct {
 	inByType   [CompressedFlag]FrameStats
 
 	closer io.Closer
+
+	dl           deadliner // underlying deadline surface; nil when unsupported
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+}
+
+// deadliner is the per-direction deadline surface of the underlying
+// stream — net.Conn, net.Pipe ends, and fault-injection wrappers all
+// provide it; plain io.ReadWriteClosers need not.
+type deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
 }
 
 // NewConn wraps a stream connection in framing.
 func NewConn(rw io.ReadWriteCloser) *Conn {
+	dl, _ := rw.(deadliner)
 	return &Conn{
 		bw:     bufio.NewWriter(rw),
 		br:     bufio.NewReader(rw),
 		closer: rw,
+		dl:     dl,
 	}
+}
+
+// SetTimeouts installs per-frame deadlines: each Recv must deliver its
+// next frame within read of being called, and each Send must complete
+// within write, or the operation fails with the underlying transport's
+// timeout error. Zero disables a direction. The read timeout bounds the
+// whole wait for the next frame, so choose it above the longest
+// legitimate quiet period of the protocol (a cluster host idles through
+// its coordinator's full recovery wait). It returns false when the
+// underlying stream has no deadline support, in which case the
+// connection keeps working without timeouts. Call before the connection
+// carries traffic; it is not synchronized with in-flight frames.
+func (c *Conn) SetTimeouts(read, write time.Duration) bool {
+	if c.dl == nil {
+		return false
+	}
+	c.readTimeout = read
+	c.writeTimeout = write
+	return true
 }
 
 // Dial connects to a framed-protocol listener at addr (TCP).
@@ -88,6 +122,11 @@ func (c *Conn) Send(typ uint8, payload []byte) error {
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	if c.writeTimeout > 0 && c.dl != nil {
+		if err := c.dl.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return fmt.Errorf("transport: send deadline: %w", err)
+		}
+	}
 	wireType, wire := typ, payload
 	if c.compressOut && len(payload) >= compressMin {
 		packed, smaller, err := c.compressPayload(payload)
@@ -118,6 +157,11 @@ func (c *Conn) Send(typ uint8, payload []byte) error {
 // Recv reads one frame. It returns io.EOF unwrapped when the peer closed
 // the connection cleanly between frames.
 func (c *Conn) Recv() (typ uint8, payload []byte, err error) {
+	if c.readTimeout > 0 && c.dl != nil {
+		if err := c.dl.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+			return 0, nil, fmt.Errorf("transport: recv deadline: %w", err)
+		}
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
